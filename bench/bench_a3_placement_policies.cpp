@@ -1,0 +1,85 @@
+// A3 — ablation: cloud placement policy across seasons.
+//
+// Section III-A: "the main challenge still remains in the calibration of a
+// decision system that states what to do locally and remotely". Three
+// placements for the Internet flow, each evaluated in January and July:
+//   df-first   — always try DF clusters; backlog overflows vertically;
+//   dc-only    — classic cloud (ignore the heaters);
+//   season-aware — DF during the heating season, datacenter otherwise.
+
+#include <iostream>
+
+#include "harness.hpp"
+
+namespace {
+
+using namespace df3;
+
+struct Result {
+  double p50_min;
+  double df_sold_core_h;  // real (paid) work executed on the heaters
+  double dc_kwh;          // marginal energy bought from the elastic cloud
+  double vertical_share;  // fraction of requests that ended in the DC
+};
+
+Result run(core::CloudRouting routing, int month) {
+  core::PlatformConfig base;
+  base.cluster.cloud_offload_backlog_gc_per_core = 2000.0;
+  base.tick_s = 300.0;
+  // Elastic-cloud accounting: the datacenter bills only busy cores (its
+  // idle fleet is amortized over other tenants).
+  base.datacenter.cores = 512;
+  base.datacenter.power_per_idle_core = util::Watts{0.0};
+  auto city = bench::make_city(29, month, core::GatingPolicy::kAggressive, 4, 4, base);
+  city->set_cloud_routing(routing);
+  city->add_cloud_source(workload::risk_simulation_factory(), 1.0 / 1200.0);
+  city->run(util::days(4.0));
+  const auto& cloud = city->flow_metrics().by_flow(workload::Flow::kCloud);
+  double sold_core_s = 0.0;
+  for (std::size_t b = 0; b < city->building_count(); ++b) {
+    auto& cl = city->cluster(b);
+    for (std::size_t w = 0; w < cl.worker_count(); ++w) {
+      sold_core_s += cl.worker(w).busy_core_seconds();
+    }
+  }
+  const double vertical =
+      static_cast<double>(city->flow_metrics().served_by_prefix("vertical:")) /
+      static_cast<double>(std::max<std::uint64_t>(1, cloud.total()));
+  return {cloud.response_s.percentile(50.0) / 60.0, sold_core_s / 3600.0,
+          city->datacenter()->energy().facility_total().kwh(), vertical};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("A3 (ablation): local-vs-remote placement of the Internet flow",
+                "winter favours DF placement (heat is wanted); summer favours the "
+                "datacenter; season-aware takes both");
+
+  util::Table table({"policy", "month", "cloud_p50_min", "df_sold_core_h", "dc_kwh",
+                     "vertical_share"},
+                    "risk-simulation stream, 4 days, 4 buildings x 4 Q.rads");
+  table.set_precision(1);
+  struct Policy {
+    const char* name;
+    core::CloudRouting routing;
+  };
+  const Policy policies[] = {{"df-first", core::CloudRouting::kDfFirst},
+                             {"dc-only", core::CloudRouting::kDatacenterOnly},
+                             {"season-aware", core::CloudRouting::kSeasonAware}};
+  for (const auto& p : policies) {
+    for (const int month : {0, 6}) {
+      const auto r = run(p.routing, month);
+      table.add_row({std::string(p.name), std::string(thermal::month_name(month)), r.p50_min,
+                     r.df_sold_core_h, r.dc_kwh, r.vertical_share});
+    }
+  }
+  table.print(std::cout);
+
+  std::printf("\nreading: in January df-first sells thousands of heater core-hours whose\n"
+              "energy was being bought for heating anyway, so almost nothing is bought\n"
+              "from the cloud; in July its heaters are gated and the hybrid valve ships\n"
+              "everything vertically, converging with dc-only. season-aware encodes\n"
+              "exactly that switch — the decision system the paper asks for.\n");
+  return 0;
+}

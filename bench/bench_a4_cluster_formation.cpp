@@ -1,0 +1,65 @@
+// A4 — cluster-formation strategies for a city-scale deployment (§III-B).
+//
+// "To decide on the components of clusters, we can either use clustering
+//  techniques developed in wireless sensor networks or define clusters as
+//  the set of DF servers of a physical building or district."
+//
+// On a synthetic 2 km city of 300 DF sites (3 density hotspots) we compare
+// district grids, k-means and LEACH-style rotating heads on the metrics a
+// gateway layout drives: member->head distance (indirect-request hop) and
+// per-cluster core balance (burst headroom). LEACH rows also report head
+// churn — its fairness costs locality.
+
+#include <iostream>
+#include <set>
+
+#include "harness.hpp"
+#include "df3/core/clustering.hpp"
+
+int main() {
+  using namespace df3;
+  bench::banner("A4 (ablation): grid vs k-means vs LEACH cluster formation",
+                "WSN techniques buy locality/balance; rotation buys gateway fairness");
+
+  const auto sites = core::synthetic_city(300, 2000.0, 3, 17);
+  util::Table table({"strategy", "clusters", "mean_hop_m", "max_hop_m", "core_imbalance"},
+                    "300 DF sites over 2 km x 2 km, 3 districts");
+  table.set_precision(1);
+
+  const auto grid500 = core::grid_clusters(sites, 500.0);
+  const auto gq = core::evaluate(sites, grid500);
+  table.add_row({std::string("district grid 500 m"), static_cast<std::int64_t>(gq.clusters),
+                 gq.mean_head_distance_m, gq.max_head_distance_m, gq.core_imbalance});
+
+  const auto kmeans = core::kmeans_clusters(sites, gq.clusters, 7);
+  const auto kq = core::evaluate(sites, kmeans);
+  table.add_row({std::string("k-means (same k)"), static_cast<std::int64_t>(kq.clusters),
+                 kq.mean_head_distance_m, kq.max_head_distance_m, kq.core_imbalance});
+
+  // LEACH: average over an epoch of rounds.
+  double mean_hop = 0.0, max_hop = 0.0, imbalance = 0.0, clusters = 0.0;
+  std::set<std::size_t> ever_led;
+  const int rounds = 20;
+  for (int r = 0; r < rounds; ++r) {
+    const double fraction = static_cast<double>(gq.clusters) / static_cast<double>(sites.size());
+    const auto a = core::leach_clusters(sites, fraction, static_cast<std::uint64_t>(r), 7);
+    const auto q = core::evaluate(sites, a);
+    mean_hop += q.mean_head_distance_m;
+    max_hop += q.max_head_distance_m;
+    imbalance += q.core_imbalance;
+    clusters += static_cast<double>(q.clusters);
+    for (const auto h : a.head_site) ever_led.insert(h);
+  }
+  table.add_row({std::string("LEACH rotation (epoch mean)"),
+                 static_cast<std::int64_t>(clusters / rounds), mean_hop / rounds,
+                 max_hop / rounds, imbalance / rounds});
+  table.print(std::cout);
+
+  std::printf("\nLEACH fairness: %zu of %zu sites served as gateway within %d rounds\n",
+              ever_led.size(), sites.size(), rounds);
+  std::printf("reading: k-means tightens both hop metrics over naive district cells at\n"
+              "equal cluster count; LEACH pays a locality premium per round but spreads\n"
+              "the gateway's network/compute burden across the fleet — pick by whether\n"
+              "gateways are a scarce resource (paper's class-2 worry) or not.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// A5 — resource-oriented service composition: selection objectives (§IV).
+//
+// The paper's ROC vision turns middleware design into "the problem of
+// automatically composing resource functions", citing service selection
+// that optimizes energy consumption and service response time [19]. We
+// compose a 4-stage smart-building pipeline (decode -> features -> detect
+// -> notify) over a heterogeneous cluster (fast workers, downclocked
+// workers, a remote worker behind a slow link) and compare selection
+// objectives against naive baselines, validating predictions by real
+// execution.
+
+#include <iostream>
+
+#include "harness.hpp"
+#include "df3/core/composition.hpp"
+
+int main() {
+  using namespace df3;
+  bench::banner("A5 (ablation): service-selection objectives over a DF cluster",
+                "optimal DP selection vs naive placements; latency/energy trade-off");
+
+  sim::Simulation sim;
+  net::Network netw(sim, "net");
+  const auto origin = netw.add_node("origin");
+  const auto gw = netw.add_node("gw");
+  netw.add_link(origin, gw, net::wifi());
+  core::Cluster cluster(sim, "c", {}, netw, gw, [](workload::CompletionRecord) {});
+  // 6 workers: 0-1 top-clocked, 2-3 downclocked (efficient), 4-5 remote.
+  for (int i = 0; i < 6; ++i) {
+    const auto n = netw.add_node("n" + std::to_string(i));
+    netw.add_link(gw, n, i >= 4 ? net::zigbee() : net::ethernet_lan());
+    cluster.add_worker(hw::qrad_spec(), n);
+  }
+  for (std::size_t w : {2u, 3u}) {
+    cluster.worker(w).server().set_pstate(0);
+    cluster.worker(w).sync_speed();
+  }
+
+  core::ServiceComposer composer(cluster, netw, origin);
+  core::ServiceChain chain;
+  chain.name = "smart-building";
+  chain.stages = {{"decode", 1.5, util::kibibytes(96.0)},
+                  {"features", 3.0, util::kibibytes(16.0)},
+                  {"detect", 8.0, util::kibibytes(2.0)},
+                  {"notify", 0.3, util::bytes(200.0)}};
+  chain.input = util::kibibytes(256.0);
+  for (const auto& stage : chain.stages) {
+    for (std::size_t w = 0; w < cluster.worker_count(); ++w) {
+      composer.provide(stage.name, w);
+    }
+  }
+
+  struct Policy {
+    const char* name;
+    core::SelectionResult selection;
+  };
+  std::vector<Policy> policies;
+  policies.push_back({"optimal latency (DP)", composer.select(chain, core::Objective::kLatency)});
+  policies.push_back({"optimal energy (DP)", composer.select(chain, core::Objective::kEnergy)});
+  policies.push_back(
+      {"balanced 50/50 (DP)", composer.select(chain, core::Objective::kBalanced, 0.5)});
+  // Naive baselines: everything on one worker.
+  core::SelectionResult all_fast{{0, 0, 0, 0}, 0.0, 0.0};
+  core::SelectionResult all_remote{{4, 4, 4, 4}, 0.0, 0.0};
+  {
+    // Fill in the model predictions for the naive picks.
+    auto predict = [&](core::SelectionResult& s) {
+      net::NodeId at = origin;
+      util::Bytes payload = chain.input;
+      for (std::size_t i = 0; i < chain.stages.size(); ++i) {
+        const auto w = s.worker_per_stage[i];
+        s.predicted_latency_s +=
+            composer.transfer_time_s(at, cluster.worker(w).node(), payload) +
+            composer.compute_time_s(chain.stages[i], w);
+        s.predicted_energy_j += composer.compute_energy_j(chain.stages[i], w);
+        at = cluster.worker(w).node();
+        payload = chain.stages[i].output;
+      }
+      s.predicted_latency_s += composer.transfer_time_s(at, origin, payload);
+    };
+    predict(all_fast);
+    predict(all_remote);
+  }
+  policies.push_back({"naive: pin to fast worker", all_fast});
+  policies.push_back({"naive: pin to remote worker", all_remote});
+
+  util::Table table({"policy", "predicted_ms", "measured_ms", "energy_j"},
+                    "4-stage pipeline, heterogeneous 6-worker cluster");
+  table.set_precision(1);
+  for (auto& p : policies) {
+    double measured = -1.0;
+    composer.execute(chain, p.selection, [&](double latency, bool) { measured = latency; });
+    sim.run();
+    table.add_row({std::string(p.name), p.selection.predicted_latency_s * 1e3, measured * 1e3,
+                   p.selection.predicted_energy_j});
+  }
+  table.print(std::cout);
+
+  std::printf("\nreading: the DP picks dominate both naive placements; the energy\n"
+              "objective trades ~%.0f%% more latency for the downclocked workers'\n"
+              "efficiency — the exact knob reference [19] optimizes.\n",
+              100.0 * (policies[1].selection.predicted_latency_s /
+                           policies[0].selection.predicted_latency_s -
+                       1.0));
+  return 0;
+}

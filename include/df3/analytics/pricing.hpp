@@ -1,0 +1,92 @@
+#pragma once
+/// \file pricing.hpp
+/// \brief Seasonal pricing and SLA economics for DF capacity (paper §IV).
+///
+/// "data furnace introduces another dimension to classical cloud pricing
+///  models: the seasonality ... in winter, the heat demand increases the
+///  computing power that is then reduced in the summer. We are convinced
+///  that for SLAs designers, data furnace is a field of research."
+///
+/// Components:
+///  * `SpotPriceModel` — clears a per-interval spot price from DF supply
+///    (heat-driven capacity) vs compute demand, floored by the near-zero
+///    marginal cost of winter cycles and capped by the datacenter
+///    alternative (customers arbitrage);
+///  * `SlaPortfolio`  — splits demand between a *guaranteed* class (always
+///    served, datacenter backstop when DF capacity is short) and a
+///    *seasonal* class (DF-only, discounted, queued/shed in summer);
+///    `simulate` runs both over capacity/demand series and reports revenue,
+///    backstop cost and seasonal availability.
+
+#include <cstddef>
+#include <vector>
+
+#include "df3/util/stats.hpp"
+
+namespace df3::analytics {
+
+struct SpotPriceConfig {
+  /// Datacenter list price (currency per core-hour): the arbitrage cap.
+  double dc_price = 0.050;
+  /// Marginal winter price: heat was being bought anyway.
+  double floor_price = 0.004;
+  /// Price sensitivity to the demand/supply ratio.
+  double elasticity = 1.5;
+};
+
+/// Memoryless market clearing per interval.
+class SpotPriceModel {
+ public:
+  explicit SpotPriceModel(SpotPriceConfig config);
+
+  /// Spot price when `demand_cores` bid for `supply_cores` of DF capacity.
+  /// Zero supply prices at the datacenter cap.
+  [[nodiscard]] double price(double supply_cores, double demand_cores) const;
+
+  [[nodiscard]] const SpotPriceConfig& config() const { return config_; }
+
+ private:
+  SpotPriceConfig config_;
+};
+
+/// Price a whole capacity/demand year; exposes the monthly price series —
+/// the artifact an SLA designer would study.
+struct SpotMarketResult {
+  util::TimeSeries price;        ///< per-interval clearing price
+  double revenue = 0.0;          ///< DF operator revenue
+  double served_core_hours = 0.0;
+  double unserved_core_hours = 0.0;  ///< demand that walked to the DC
+};
+
+[[nodiscard]] SpotMarketResult run_spot_market(const SpotPriceModel& model,
+                                               const util::TimeSeries& supply_cores,
+                                               const util::TimeSeries& demand_cores,
+                                               double interval_s);
+
+struct SlaConfig {
+  /// Guaranteed class: DC-backed, priced at a premium over the DC.
+  double guaranteed_price = 0.055;
+  /// Backstop cost paid per core-hour bought from the DC when DF is short.
+  double dc_backstop_cost = 0.050;
+  /// Seasonal class: DF-only, heavily discounted.
+  double seasonal_price = 0.012;
+};
+
+struct SlaResult {
+  double revenue = 0.0;
+  double backstop_cost = 0.0;
+  /// Fraction of seasonal-class demand actually served (its availability).
+  double seasonal_availability = 1.0;
+  [[nodiscard]] double profit() const { return revenue - backstop_cost; }
+};
+
+/// Serve `guaranteed_demand` first (DC backstop when short), then the
+/// seasonal class from whatever DF capacity remains. Series are per
+/// `interval_s`, in cores.
+[[nodiscard]] SlaResult run_sla_portfolio(const SlaConfig& config,
+                                          const util::TimeSeries& supply_cores,
+                                          const util::TimeSeries& guaranteed_demand,
+                                          const util::TimeSeries& seasonal_demand,
+                                          double interval_s);
+
+}  // namespace df3::analytics

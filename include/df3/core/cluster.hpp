@@ -1,0 +1,193 @@
+#pragma once
+/// \file cluster.hpp
+/// \brief The DF3 cluster: gateway + workers + peak-management policies.
+///
+/// This is the component architecture of the paper's Figure 5. A cluster
+/// groups the DF servers of one building/district behind a gateway that
+/// receives requests from both flows and assigns their task shards to
+/// workers. It implements the paper's design space:
+///
+///  * **architecture class A (shared)** — every worker serves both edge and
+///    DCC shards; edge outranks cloud, with preemption available;
+///  * **architecture class B (dedicated)** — the first `dedicated_edge_
+///    workers` workers accept *only* edge shards (guaranteed minimal QoS,
+///    paid for in idle capacity);
+///  * **peak management** — when an edge shard cannot be placed:
+///    preemption, vertical offloading (datacenter), horizontal offloading
+///    (peer cluster), or delaying, per the configured `PeakPolicy` ladder;
+///  * cloud shards exceeding the backlog threshold offload vertically
+///    (Qarnot hybrid infrastructure).
+///
+/// Transport: inputs move origin -> gateway -> staging worker over the real
+/// simulated network (queuing included); outputs move back to the origin.
+/// Direct edge requests (paper II-C) skip the gateway hop.
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "df3/core/scheduler.hpp"
+#include "df3/core/task.hpp"
+#include "df3/core/worker.hpp"
+#include "df3/net/network.hpp"
+#include "df3/workload/request.hpp"
+
+namespace df3::core {
+
+/// Anything that can execute a full request remotely (a datacenter, or in
+/// tests a stub). Used as the vertical-offload target.
+class ComputeService {
+ public:
+  virtual ~ComputeService() = default;
+  using Done = std::function<void(workload::CompletionRecord)>;
+
+  /// Execute `r` on behalf of a client at `origin`; `done` fires with the
+  /// completion record (network round trip included).
+  virtual void submit(workload::Request r, net::NodeId origin, Done done) = 0;
+
+  /// Label recorded in CompletionRecord::served_by.
+  [[nodiscard]] virtual std::string label() const = 0;
+};
+
+/// Ordered ladder of actions to try when an edge shard cannot be placed.
+enum class PeakAction : std::uint8_t {
+  kPreempt,     ///< evict a preemptible cloud shard
+  kHorizontal,  ///< forward the whole request to a peer cluster
+  kVertical,    ///< forward the whole request to the datacenter
+  kDelay,       ///< leave it queued
+};
+
+struct ClusterConfig {
+  /// Class B when > 0: that many workers are reserved for edge shards.
+  int dedicated_edge_workers = 0;
+  QueueDiscipline discipline = QueueDiscipline::kEdf;
+  /// Tried in order for edge shards that cannot be placed on arrival.
+  std::vector<PeakAction> edge_peak_ladder = {PeakAction::kPreempt, PeakAction::kDelay};
+  /// Cloud backlog (gigacycles per usable core) beyond which *new* cloud
+  /// requests are offloaded vertically; infinity disables.
+  double cloud_offload_backlog_gc_per_core = std::numeric_limits<double>::infinity();
+  /// Checkpoint/restore cost charged to a preempted shard (gigacycles added
+  /// to its remaining work): serializing container state is not free.
+  double preemption_overhead_gc = 2.0;
+  /// Reference fabric bandwidth for the coupled-app slowdown model (the
+  /// datacenter-grade fabric tightly coupled apps were written for).
+  double reference_fabric_gbps = 10.0;
+  /// Actual bandwidth of the LAN interconnecting this cluster's workers.
+  double fabric_gbps = 1.0;
+};
+
+/// Per-cluster activity counters (fairness accounting, section III-B).
+struct ClusterStats {
+  std::uint64_t received_edge = 0;
+  std::uint64_t received_cloud = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t offloaded_vertical = 0;
+  std::uint64_t offloaded_horizontal_out = 0;
+  std::uint64_t offloaded_horizontal_in = 0;
+  std::uint64_t rejected = 0;
+  /// Gigacycles completed on behalf of peer clusters (fairness accounting
+  /// for multi-organization cooperation, paper ref. [16]).
+  double foreign_gigacycles = 0.0;
+};
+
+class Cluster : public sim::Entity {
+ public:
+  using CompletionSink = std::function<void(workload::CompletionRecord)>;
+
+  /// `gateway_node` must exist in `network`. The sink receives every
+  /// completion this cluster is responsible for (including ones it
+  /// offloaded elsewhere).
+  Cluster(sim::Simulation& sim, std::string name, ClusterConfig config, net::Network& network,
+          net::NodeId gateway_node, CompletionSink sink);
+
+  /// Create and register a worker on `node` with the given chassis.
+  /// Returns its index. Workers added first are the dedicated-edge ones
+  /// under architecture class B.
+  std::size_t add_worker(hw::ServerSpec spec, net::NodeId node);
+
+  [[nodiscard]] Worker& worker(std::size_t i) { return *workers_.at(i); }
+  [[nodiscard]] const Worker& worker(std::size_t i) const { return *workers_.at(i); }
+  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+  [[nodiscard]] net::NodeId gateway_node() const { return gateway_node_; }
+
+  void set_peer(Cluster* peer) { peer_ = peer; }
+  void set_datacenter(ComputeService* dc) { datacenter_ = dc; }
+
+  /// Submit a request arriving at the gateway from `origin`. The transport
+  /// from the origin to the gateway must already have happened (the
+  /// platform pays it); this starts the input staging transfer.
+  void submit(workload::Request r, net::NodeId origin);
+
+  /// Direct edge request (paper II-C): the device talks straight to worker
+  /// `widx`; no gateway staging hop. Shards prefer that worker.
+  void submit_direct(workload::Request r, net::NodeId origin, std::size_t widx);
+
+  /// Accept a request offloaded from a peer cluster. Will not offload it
+  /// again horizontally (no ping-pong).
+  void submit_offloaded(workload::Request r, net::NodeId origin, CompletionSink peer_sink);
+
+  /// Run a single request pinned to worker `widx`, reporting completion to
+  /// `done` directly (no return transport, no platform sink) — the
+  /// execution primitive of the service-composition layer, which manages
+  /// its own inter-stage transfers. The input is assumed to already be on
+  /// the worker.
+  void run_pinned(workload::Request r, std::size_t widx, CompletionSink done);
+
+  /// Try to place queued shards on free cores. Called automatically on
+  /// arrivals and completions; call after hardware capacity changes.
+  void pump();
+
+  /// Propagate a hardware speed change on all workers, then pump.
+  void sync_workers();
+
+  [[nodiscard]] const ClusterStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t queued() const { return queue_.size(); }
+  [[nodiscard]] int usable_cores() const;
+  [[nodiscard]] int free_cores() const;
+  [[nodiscard]] int dedicated_edge_workers() const { return config_.dedicated_edge_workers; }
+
+ private:
+  struct Pending {
+    std::shared_ptr<RequestState> state;
+    net::NodeId origin;
+    /// Worker affinity for direct requests; SIZE_MAX = none.
+    std::size_t preferred_worker = SIZE_MAX;
+    /// True when this request arrived via horizontal offload.
+    bool foreign = false;
+    /// True for composition stages: report straight to the sink with no
+    /// return-network hop.
+    bool local_only = false;
+    CompletionSink sink;  ///< where the completion goes (peer's sink if foreign)
+  };
+
+  void stage_and_enqueue(workload::Request r, net::NodeId origin, std::size_t preferred,
+                         bool foreign, CompletionSink sink);
+  void enqueue_ready(const std::shared_ptr<Pending>& p);
+  [[nodiscard]] double slowdown_for(const workload::Request& r) const;
+  [[nodiscard]] bool worker_eligible(std::size_t widx, Priority p) const;
+  [[nodiscard]] bool place(Task& t);
+  bool handle_unplaceable_edge(Task t);
+  void abandon_expired(Task t);
+  void on_task_done(Task t);
+  void complete(const std::shared_ptr<RequestState>& state);
+
+  ClusterConfig config_;
+  net::Network& network_;
+  net::NodeId gateway_node_;
+  CompletionSink sink_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  TaskQueue queue_;
+  Cluster* peer_ = nullptr;
+  ComputeService* datacenter_ = nullptr;
+  ClusterStats stats_;
+  /// Pending bookkeeping keyed by the RequestState pointer.
+  std::unordered_map<const RequestState*, std::shared_ptr<Pending>> pending_;
+  bool pumping_ = false;
+};
+
+}  // namespace df3::core

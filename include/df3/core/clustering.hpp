@@ -1,0 +1,86 @@
+#pragma once
+/// \file clustering.hpp
+/// \brief Cluster-formation algorithms for city-scale DF deployments.
+///
+/// Paper §III-B: "To decide on the components of clusters, we can either
+/// use clustering techniques developed in wireless sensor networks [13] or
+/// define clusters as the set of DF servers of a physical building or
+/// district." This module provides both families:
+///
+///  * `grid_clusters`    — district partition by geographic cells (the
+///                         "physical building or district" option);
+///  * `kmeans_clusters`  — centroid clustering weighted by core count
+///                         (classic WSN partitioning for latency);
+///  * `leach_clusters`   — LEACH-style probabilistic rotating cluster
+///                         heads (energy/fairness-oriented; heads change
+///                         every round so no site hosts the gateway load
+///                         forever).
+///
+/// Quality is summarized by `evaluate`: mean/max member→head distance (a
+/// proxy for the indirect-request hop) and core-count imbalance (a proxy
+/// for peak-absorption headroom).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace df3::core {
+
+/// One DF server site in the city plane.
+struct ServerSite {
+  double x_m = 0.0;
+  double y_m = 0.0;
+  int cores = 16;
+  std::string name;
+};
+
+/// A clustering: every site belongs to exactly one cluster; each cluster
+/// has a designated head (gateway) site.
+struct ClusterAssignment {
+  std::vector<std::size_t> cluster_of;  ///< site index -> cluster id
+  std::vector<std::size_t> head_site;   ///< cluster id -> site index
+
+  [[nodiscard]] std::size_t cluster_count() const { return head_site.size(); }
+};
+
+/// Aggregate quality of an assignment.
+struct ClusteringQuality {
+  double mean_head_distance_m = 0.0;
+  double max_head_distance_m = 0.0;
+  /// max cluster core count / mean cluster core count (1.0 = balanced).
+  double core_imbalance = 1.0;
+  std::size_t clusters = 0;
+};
+
+/// Validate (throws on malformed assignments) and score.
+[[nodiscard]] ClusteringQuality evaluate(const std::vector<ServerSite>& sites,
+                                         const ClusterAssignment& assignment);
+
+/// Partition by square district cells of side `cell_m`; the head is the
+/// most central site of each non-empty cell.
+[[nodiscard]] ClusterAssignment grid_clusters(const std::vector<ServerSite>& sites,
+                                              double cell_m);
+
+/// Lloyd's k-means on site coordinates, weighted by core count; runs
+/// `iterations` refinement steps from a seeded start. Heads are the sites
+/// nearest their cluster centroid. Empty clusters are re-seeded on the
+/// farthest outlier.
+[[nodiscard]] ClusterAssignment kmeans_clusters(const std::vector<ServerSite>& sites,
+                                                std::size_t k, std::uint64_t seed,
+                                                int iterations = 50);
+
+/// LEACH-style election for round `round`: each site becomes a head with
+/// probability `head_fraction`, derived deterministically from
+/// (seed, site, round); sites that led within the last 1/head_fraction
+/// rounds are ineligible (the rotation guarantee). Members join the
+/// nearest elected head. At least one head is always elected.
+[[nodiscard]] ClusterAssignment leach_clusters(const std::vector<ServerSite>& sites,
+                                               double head_fraction, std::uint64_t round,
+                                               std::uint64_t seed);
+
+/// Synthetic city: `n` sites over a `side_m` square, in `hotspots` gaussian
+/// districts (0 = uniform). Deterministic per seed.
+[[nodiscard]] std::vector<ServerSite> synthetic_city(std::size_t n, double side_m,
+                                                     int hotspots, std::uint64_t seed);
+
+}  // namespace df3::core

@@ -1,0 +1,72 @@
+#pragma once
+/// \file heat_regulator.hpp
+/// \brief DVFS-based heat regulator (paper section III-B, last paragraph).
+///
+/// "To make sure that the expectations will be complied, we propose to add
+///  a heat regulator system in each DF server. The heat regulator implements
+///  a DVFS based technique to guarantee that the energy consumed corresponds
+///  to the heat demand."
+///
+/// Every control period the regulator receives the thermostat's heat demand
+/// (watts) and selects the chassis P-state — and possibly gates the
+/// motherboards off (Qarnot's hybrid infrastructure) — so the achievable
+/// power envelope brackets the demand. It tracks delivery error for the E7
+/// experiment.
+
+#include "df3/hw/server.hpp"
+#include "df3/thermal/thermostat.hpp"
+#include "df3/util/stats.hpp"
+#include "df3/util/units.hpp"
+
+namespace df3::core {
+
+/// What the regulator may do when heat demand falls below the idle power of
+/// the lowest P-state.
+enum class GatingPolicy : std::uint8_t {
+  /// Gate motherboards off (standby). Maximum heat fidelity; computing
+  /// capacity vanishes — pending work must be offloaded (hybrid infra).
+  kAggressive,
+  /// Keep the chassis at the lowest P-state so the cluster retains minimal
+  /// edge capacity; slightly over-delivers heat in shoulder seasons.
+  kKeepWarm,
+};
+
+struct RegulatorConfig {
+  GatingPolicy gating = GatingPolicy::kAggressive;
+  /// Demand below this is treated as "no heat requested" (W).
+  double demand_epsilon_w = 1.0;
+};
+
+/// Per-server control loop. Call `regulate` every control period.
+class HeatRegulator {
+ public:
+  explicit HeatRegulator(RegulatorConfig config = {});
+
+  /// Apply the thermostat demand to the server: picks P-state/gating.
+  /// Returns the power ceiling the chassis can now reach.
+  util::Watts regulate(hw::DfServer& server, const thermal::HeatDemand& demand);
+
+  /// Record actual delivery over the elapsed period (called after physics
+  /// integration): `delivered` is the heat actually emitted, `requested`
+  /// the demand that was in force.
+  void record(util::Seconds dt, util::Watts delivered, util::Watts requested);
+
+  /// Mean absolute tracking error (W) over everything recorded.
+  [[nodiscard]] double mean_abs_error_w() const;
+  /// Energy-weighted relative error: |delivered-requested| integral over
+  /// requested integral. 0 == perfect tracking.
+  [[nodiscard]] double relative_error() const;
+  [[nodiscard]] util::Joules delivered_total() const { return delivered_; }
+  [[nodiscard]] util::Joules requested_total() const { return requested_; }
+
+  [[nodiscard]] const RegulatorConfig& config() const { return config_; }
+
+ private:
+  RegulatorConfig config_;
+  util::StreamingStats abs_error_w_;
+  util::Joules delivered_{0.0};
+  util::Joules requested_{0.0};
+  util::Joules abs_error_{0.0};
+};
+
+}  // namespace df3::core

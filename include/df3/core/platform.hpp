@@ -1,0 +1,229 @@
+#pragma once
+/// \file platform.hpp
+/// \brief Df3Platform: the end-to-end DF3 city simulation façade.
+///
+/// Assembles the full stack of the paper's Figure 3/5: buildings whose rooms
+/// are heated by DF servers, per-building clusters (edge+DCC gateway +
+/// workers), a city network (IoT links, building LANs, fiber uplinks), an
+/// optional remote datacenter for vertical offloading, the per-server DVFS
+/// heat regulators, and the physics loop coupling power to room temperature
+/// to throttling to computing capacity.
+///
+/// Typical use (see examples/quickstart.cpp):
+///
+///   core::PlatformConfig cfg;
+///   core::Df3Platform city(cfg);
+///   city.add_building({.name = "b0", .rooms = 4});
+///   city.add_edge_source(0, workload::alarm_detection_factory(), 0.05);
+///   city.add_cloud_source(workload::render_batch_factory(), 1.0 / 600.0);
+///   city.run(util::days(7.0));
+///   city.flow_metrics().by_flow(...);
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "df3/baselines/datacenter.hpp"
+#include "df3/core/cluster.hpp"
+#include "df3/core/heat_regulator.hpp"
+#include "df3/metrics/collectors.hpp"
+#include "df3/net/network.hpp"
+#include "df3/thermal/room.hpp"
+#include "df3/thermal/thermostat.hpp"
+#include "df3/thermal/water_tank.hpp"
+#include "df3/thermal/weather.hpp"
+#include "df3/workload/generators.hpp"
+
+namespace df3::core {
+
+/// One building to instantiate: `rooms` rooms, each hosting one DF server
+/// of the given family, all grouped into one cluster behind a gateway.
+struct BuildingConfig {
+  std::string name = "building";
+  int rooms = 4;
+  hw::ServerSpec server = hw::qrad_spec();
+  thermal::RoomParams room = {};
+  thermal::ComfortProfile comfort = {};
+  util::Celsius initial_temperature{19.0};
+  /// Proportional gain of the room thermostats (W per K of error).
+  double thermostat_gain_w_per_k = 250.0;
+  /// Peak solar + occupancy gain (W) reached in high summer; scales with
+  /// the seasonal outdoor temperature (zero in deep winter). Keeps
+  /// unheated shoulder-season rooms at the 22-24 degC the Figure-4 sites
+  /// record in May.
+  double solar_gain_peak_w = 180.0;
+  net::LinkProfile lan = net::ethernet_lan();     ///< gateway <-> room servers
+  net::LinkProfile device_link = net::zigbee();   ///< IoT sensors -> gateway/server
+  net::LinkProfile wifi_link = net::wifi();       ///< payload-heavy edge clients
+  net::LinkProfile uplink = net::fiber_wan();     ///< gateway -> internet
+  /// Use the 2R2C (air + envelope mass) room model instead of 1R1C —
+  /// higher fidelity for setback-recovery dynamics at ~10x the integration
+  /// cost (explicit substeps).
+  bool high_fidelity_rooms = false;
+  thermal::Room2R2CParams room_2r2c = {};
+  /// When set, the building is a *digital-boiler plant*: instead of
+  /// room-heating servers it hosts one `server` (use a boiler spec)
+  /// charging this hot-water store against `daily_hot_water_l` of draws.
+  /// `rooms` is ignored. Hot water is wanted year-round, so such a
+  /// building's compute capacity does not breathe with the seasons.
+  std::optional<thermal::WaterTankParams> water_tank = std::nullopt;
+  double daily_hot_water_l = 1500.0;
+};
+
+struct PlatformConfig {
+  std::uint64_t seed = 1;
+  thermal::ClimateNormals climate = {};
+  /// Physics / regulation control period.
+  double tick_s = 60.0;
+  ClusterConfig cluster = {};
+  RegulatorConfig regulator = {};
+  /// Attach a vertical-offload datacenter.
+  bool with_datacenter = true;
+  baselines::DatacenterConfig datacenter = {};
+  /// Simulation start time (seconds since Jan 1); use
+  /// thermal::start_of_month to start mid-season.
+  sim::Time start_time = 0.0;
+};
+
+/// How cloud requests are routed to the city (placement policy, bench A3).
+enum class CloudRouting : std::uint8_t {
+  kDfFirst,       ///< round-robin over DF clusters; clusters may offload
+  kDatacenterOnly,///< straight to the datacenter (classic cloud baseline)
+  kSeasonAware,   ///< DF clusters in the heating season, datacenter otherwise
+};
+
+class Df3Platform {
+ public:
+  explicit Df3Platform(PlatformConfig config);
+
+  /// Add a building with its rooms, servers, cluster and network segment.
+  /// Returns the building index. Call before `run`.
+  std::size_t add_building(const BuildingConfig& cfg);
+
+  /// Attach an edge workload source to building `b`: Poisson arrivals at
+  /// `rate_per_s` from the building's device node (ZigBee sensors) or,
+  /// with `via_wifi`, from its Wi-Fi node (phones/tablets with payloads
+  /// LPWAN radios cannot carry). Direct requests target worker 0; indirect
+  /// go through the gateway.
+  void add_edge_source(std::size_t b, workload::RequestFactory factory, double rate_per_s,
+                       bool direct = false, bool via_wifi = false);
+
+  /// Attach an edge source with a custom arrival process.
+  void add_edge_source(std::size_t b, workload::RequestFactory factory,
+                       std::unique_ptr<workload::ArrivalProcess> arrivals, bool direct = false,
+                       bool via_wifi = false);
+
+  /// Attach a cloud (Internet/DCC) source at `rate_per_s`, routed per the
+  /// platform's CloudRouting policy.
+  void add_cloud_source(workload::RequestFactory factory, double rate_per_s);
+  void add_cloud_source(workload::RequestFactory factory,
+                        std::unique_ptr<workload::ArrivalProcess> arrivals);
+
+  void set_cloud_routing(CloudRouting r) { cloud_routing_ = r; }
+
+  /// Run the simulation for `duration` of simulated time.
+  void run(util::Seconds duration);
+
+  // --- component access (benches & tests) ---
+  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+  [[nodiscard]] const thermal::WeatherModel& weather() const { return weather_; }
+  [[nodiscard]] net::Network& network() { return *network_; }
+  [[nodiscard]] std::size_t building_count() const { return buildings_.size(); }
+  [[nodiscard]] Cluster& cluster(std::size_t b) { return *buildings_.at(b)->cluster; }
+  [[nodiscard]] baselines::Datacenter* datacenter() { return datacenter_.get(); }
+  [[nodiscard]] sim::Time now() const { return sim_.now(); }
+
+  // --- results ---
+  [[nodiscard]] const metrics::FlowMetrics& flow_metrics() const { return flow_metrics_; }
+  [[nodiscard]] metrics::EnergyLedger& df_energy() { return df_energy_; }
+  /// Mean room temperature across all rooms, per sample tick (Fig 4 input).
+  [[nodiscard]] const util::TimeSeries& room_temperature_series() const { return temp_series_; }
+  /// City usable cores sampled per tick (seasonality / capacity series, E9).
+  [[nodiscard]] const util::TimeSeries& capacity_series() const { return capacity_series_; }
+  /// Heat demand (W, city total) sampled per tick.
+  [[nodiscard]] const util::TimeSeries& heat_demand_series() const { return demand_series_; }
+  /// Outdoor temperature sampled per tick.
+  [[nodiscard]] const util::TimeSeries& outdoor_series() const { return outdoor_series_; }
+  [[nodiscard]] const metrics::ComfortMetrics& comfort(std::size_t b) const {
+    return buildings_.at(b)->comfort_metrics;
+  }
+  /// Aggregate regulator tracking error across all servers.
+  [[nodiscard]] double regulator_relative_error() const;
+  [[nodiscard]] std::uint64_t total_preemptions() const;
+
+  /// Room temperature of one room (tests).
+  [[nodiscard]] util::Celsius room_temperature(std::size_t b, std::size_t r) const;
+
+  /// Hot-water store temperature of a boiler building (tests/benches).
+  [[nodiscard]] util::Celsius tank_temperature(std::size_t b) const;
+
+  /// Dump the per-tick telemetry series as CSV (time_s, room_mean_c,
+  /// usable_cores, heat_demand_w, outdoor_c) — the plotting input for
+  /// every time-series figure.
+  void export_series_csv(std::ostream& os) const;
+
+ private:
+  struct RoomUnit {
+    thermal::AnyRoom room;
+    thermal::ModulatingThermostat thermostat;
+    HeatRegulator regulator;
+    std::size_t worker_index;       ///< index within the building cluster
+    util::Watts last_demand{0.0};
+    bool last_season = true;
+    util::Joules energy_mark{0.0};  ///< server energy at last tick
+
+    RoomUnit(thermal::AnyRoom rm, thermal::ModulatingThermostat th, HeatRegulator reg,
+             std::size_t widx)
+        : room(std::move(rm)), thermostat(th), regulator(std::move(reg)), worker_index(widx) {}
+  };
+
+  struct TankUnit {
+    thermal::WaterTank tank;
+    HeatRegulator regulator;
+    std::size_t worker_index = 0;
+    util::Watts last_demand{0.0};
+    util::Joules energy_mark{0.0};
+
+    TankUnit(thermal::WaterTank t, HeatRegulator reg, std::size_t widx)
+        : tank(std::move(t)), regulator(std::move(reg)), worker_index(widx) {}
+  };
+
+  struct Building {
+    BuildingConfig cfg;
+    net::NodeId gateway_node = 0;
+    net::NodeId device_node = 0;
+    net::NodeId wifi_node = 0;
+    std::unique_ptr<Cluster> cluster;
+    std::vector<RoomUnit> rooms;
+    std::optional<TankUnit> tank_unit;
+    metrics::ComfortMetrics comfort_metrics;
+  };
+
+  void tick(sim::Time t);
+  [[nodiscard]] Cluster* route_cloud_target();
+  void deliver_to_cluster(workload::Request r, std::size_t b, bool direct, bool via_wifi);
+
+  PlatformConfig config_;
+  sim::Simulation sim_;
+  thermal::WeatherModel weather_;
+  std::unique_ptr<net::Network> network_;
+  net::NodeId internet_node_;
+  std::unique_ptr<baselines::Datacenter> datacenter_;
+  std::vector<std::unique_ptr<Building>> buildings_;
+  std::vector<std::unique_ptr<workload::WorkloadSource>> sources_;
+  std::unique_ptr<sim::PeriodicProcess> physics_;
+  CloudRouting cloud_routing_ = CloudRouting::kDfFirst;
+  std::size_t rr_next_ = 0;
+  std::uint64_t source_counter_ = 0;
+
+  metrics::FlowMetrics flow_metrics_;
+  metrics::EnergyLedger df_energy_;
+  util::TimeSeries temp_series_;
+  util::TimeSeries capacity_series_;
+  util::TimeSeries demand_series_;
+  util::TimeSeries outdoor_series_;
+};
+
+}  // namespace df3::core

@@ -1,0 +1,73 @@
+#pragma once
+/// \file scheduler.hpp
+/// \brief Gateway task queue with pluggable discipline.
+///
+/// The gateway keeps one logical queue of task shards. Two disciplines:
+///
+///  * FCFS — strict arrival order (within a priority class);
+///  * EDF  — earliest absolute deadline first (deadline-less cloud shards
+///           sort after all deadline-carrying edge shards).
+///
+/// Edge priority always dominates cloud priority (paper: the whole point of
+/// the edge flow is near-real-time service); the discipline orders *within*
+/// a class.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "df3/core/task.hpp"
+
+namespace df3::core {
+
+enum class QueueDiscipline : std::uint8_t { kFcfs, kEdf };
+
+[[nodiscard]] constexpr const char* discipline_name(QueueDiscipline d) {
+  return d == QueueDiscipline::kFcfs ? "fcfs" : "edf";
+}
+
+/// Priority queue of task shards. Not a std::priority_queue: we need
+/// removal of expired work and requeue-at-front for preemption victims.
+class TaskQueue {
+ public:
+  explicit TaskQueue(QueueDiscipline discipline) : discipline_(discipline) {}
+
+  /// Enqueue a fresh shard (back of its class, subject to discipline).
+  void push(Task t);
+
+  /// Requeue a preemption victim: it resumes before fresh work of the same
+  /// class (it has already waited once).
+  void push_front(Task t);
+
+  /// Remove and return the best shard to run next; nullopt when empty.
+  [[nodiscard]] std::optional<Task> pop();
+
+  /// Best shard of a given priority class only (e.g. dedicated edge workers
+  /// pull only edge shards); nullopt if that class is empty.
+  [[nodiscard]] std::optional<Task> pop_class(Priority p);
+
+  /// Inspect without removing. nullptr when empty.
+  [[nodiscard]] const Task* peek() const;
+
+  [[nodiscard]] std::size_t size() const { return edge_.size() + cloud_.size(); }
+  [[nodiscard]] std::size_t size_class(Priority p) const {
+    return p == Priority::kEdge ? edge_.size() : cloud_.size();
+  }
+  [[nodiscard]] bool empty() const { return edge_.empty() && cloud_.empty(); }
+
+  /// Total queued gigacycles, for backlog-based offload decisions.
+  [[nodiscard]] double backlog_gigacycles() const;
+
+  [[nodiscard]] QueueDiscipline discipline() const { return discipline_; }
+
+ private:
+  std::deque<Task>& lane(Priority p) { return p == Priority::kEdge ? edge_ : cloud_; }
+  void insert_by_discipline(std::deque<Task>& q, Task t);
+
+  QueueDiscipline discipline_;
+  std::uint64_t seq_ = 0;
+  std::deque<Task> edge_;
+  std::deque<Task> cloud_;
+};
+
+}  // namespace df3::core

@@ -1,0 +1,68 @@
+#pragma once
+/// \file task.hpp
+/// \brief The schedulable unit inside a cluster: one task of one request.
+///
+/// A `Request` with `tasks == k` is split by the gateway into k `Task`
+/// shards, each occupying one core. The request completes when all shards
+/// have finished; shards carry their remaining work so preemption (paper
+/// section III-B, option 1 for peak management) can checkpoint and resume.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "df3/sim/engine.hpp"
+#include "df3/workload/request.hpp"
+
+namespace df3::core {
+
+/// Scheduling class: edge requests outrank cloud requests in the shared-
+/// worker architecture (class A).
+enum class Priority : std::uint8_t { kCloud = 0, kEdge = 1 };
+
+[[nodiscard]] constexpr Priority priority_of(const workload::Request& r) {
+  return workload::is_edge(r.flow) ? Priority::kEdge : Priority::kCloud;
+}
+
+struct RequestState;  // forward: shared bookkeeping for all shards
+
+/// One core-sized shard of a request.
+struct Task {
+  std::shared_ptr<RequestState> request;
+  int shard_index = 0;
+  double remaining_gigacycles = 0.0;
+  /// Multiplier >= 1 applied to service time for communication overhead of
+  /// tightly coupled tasks on the hosting fabric (computed at dispatch).
+  double slowdown = 1.0;
+
+  [[nodiscard]] Priority priority() const;
+  [[nodiscard]] bool preemptible() const;
+  [[nodiscard]] std::optional<sim::Time> deadline() const;
+};
+
+/// Shared completion bookkeeping for one request's shards.
+struct RequestState {
+  workload::Request request;
+  int shards_remaining = 0;
+  sim::Time first_dispatch = -1.0;
+  bool failed = false;  ///< set when any shard is dropped
+
+  explicit RequestState(workload::Request r)
+      : request(std::move(r)), shards_remaining(request.tasks) {}
+};
+
+inline Priority Task::priority() const { return priority_of(request->request); }
+inline bool Task::preemptible() const { return request->request.preemptible; }
+inline std::optional<sim::Time> Task::deadline() const {
+  return request->request.absolute_deadline();
+}
+
+/// Split a request into its shards. All shards share one RequestState.
+[[nodiscard]] std::vector<Task> make_tasks(workload::Request r, double slowdown = 1.0);
+
+/// Shard an already-wrapped request state (used by the cluster, which
+/// creates the state before the staging transfer completes).
+[[nodiscard]] std::vector<Task> make_tasks(std::shared_ptr<RequestState> state,
+                                           double slowdown = 1.0);
+
+}  // namespace df3::core

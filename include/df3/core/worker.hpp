@@ -1,0 +1,93 @@
+#pragma once
+/// \file worker.hpp
+/// \brief Worker runtime on one DF server: executes task shards, tracks
+///        progress across DVFS/throttle speed changes, supports preemption.
+///
+/// The worker is the "worker system" of the paper's component architecture
+/// (Fig. 5). It owns no scheduling policy — the cluster gateway decides what
+/// runs; the worker faithfully executes at whatever speed the hardware
+/// currently sustains (P-state chosen by the heat regulator, derated by the
+/// free-cooling throttle, zero when the chassis is gated off). Progress
+/// accounting is exact: on every speed change the remaining gigacycles of
+/// each running shard are updated and completion events re-armed.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "df3/core/task.hpp"
+#include "df3/hw/server.hpp"
+#include "df3/net/network.hpp"
+#include "df3/sim/engine.hpp"
+
+namespace df3::core {
+
+/// Executes tasks on one hw::DfServer.
+class Worker : public sim::Entity {
+ public:
+  /// `on_task_done(task)` fires when a shard completes. The worker frees
+  /// the core before invoking it, so the callback may immediately dispatch
+  /// new work to this worker.
+  using TaskDone = std::function<void(Task)>;
+
+  Worker(sim::Simulation& sim, std::string name, hw::ServerSpec spec, net::NodeId node,
+         TaskDone on_task_done);
+
+  [[nodiscard]] hw::DfServer& server() { return server_; }
+  [[nodiscard]] const hw::DfServer& server() const { return server_; }
+  [[nodiscard]] net::NodeId node() const { return node_; }
+
+  [[nodiscard]] int total_cores() const { return server_.spec().total_cores(); }
+  [[nodiscard]] int busy_cores() const { return static_cast<int>(running_.size()); }
+  [[nodiscard]] int free_cores() const;
+  [[nodiscard]] bool available() const { return free_cores() > 0; }
+
+  /// Start a shard on a free core. Returns false (and leaves the task
+  /// untouched) when no core is free or the server is unusable.
+  [[nodiscard]] bool try_start(Task task);
+
+  /// Preempt one running *preemptible* shard with priority strictly below
+  /// `min_keep`; its remaining work is captured and the shard returned.
+  /// Picks the shard with the most remaining work (least progress lost).
+  [[nodiscard]] std::optional<Task> preempt_one(Priority min_keep);
+
+  /// Number of running shards with priority below `p`.
+  [[nodiscard]] int running_below(Priority p) const;
+
+  /// Re-evaluate speed after a hardware change (P-state, throttle, gating).
+  /// Must be called by whoever mutates the server. Paused tasks (speed 0)
+  /// resume automatically when speed returns.
+  void sync_speed();
+
+  /// Sum of remaining gigacycles across running shards.
+  [[nodiscard]] double backlog_gigacycles() const;
+
+  // --- accounting ---
+  [[nodiscard]] std::uint64_t tasks_completed() const { return completed_; }
+  [[nodiscard]] std::uint64_t tasks_preempted() const { return preempted_; }
+  /// Core-seconds of executed work (at whatever speed), for utilization.
+  [[nodiscard]] double busy_core_seconds() const;
+
+ private:
+  struct Running {
+    Task task;
+    sim::Time started_at = 0.0;        ///< last (re)start instant
+    double speed_gcps = 0.0;           ///< per-core speed when (re)started
+    sim::EventHandle completion;
+  };
+
+  void arm_completion(Running& r);
+  void settle(Running& r);  ///< fold elapsed progress into remaining work
+  void finish(std::size_t idx);
+
+  hw::DfServer server_;
+  net::NodeId node_;
+  TaskDone on_task_done_;
+  std::vector<Running> running_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t preempted_ = 0;
+  double busy_core_seconds_ = 0.0;
+  sim::Time busy_accum_mark_ = 0.0;
+};
+
+}  // namespace df3::core

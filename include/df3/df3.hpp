@@ -1,0 +1,52 @@
+#pragma once
+/// \file df3.hpp
+/// \brief Umbrella header for df3sim: the Data-Furnace-in-three-flows
+///        simulation framework.
+///
+/// Pulls in the public API of every module. Applications that only need one
+/// subsystem may include the individual headers instead:
+///
+///   df3/sim/engine.hpp        discrete-event engine
+///   df3/thermal/...           weather, rooms, thermostats, urban heat
+///   df3/hw/...                CPUs (DVFS) and DF server chassis
+///   df3/net/...               protocols and store-and-forward network
+///   df3/workload/...          request flows, arrivals, generators, traces
+///   df3/core/...              the DF3 middleware (the paper's contribution)
+///   df3/baselines/...         datacenter, micro-DC/CDN, desktop grid
+///   df3/metrics/...           response/energy/comfort collectors
+///   df3/analytics/...         thermosensitivity + demand forecasting
+
+#include "df3/analytics/forecaster.hpp"
+#include "df3/analytics/pricing.hpp"
+#include "df3/baselines/datacenter.hpp"
+#include "df3/baselines/desktop_grid.hpp"
+#include "df3/core/cluster.hpp"
+#include "df3/core/clustering.hpp"
+#include "df3/core/heat_regulator.hpp"
+#include "df3/core/platform.hpp"
+#include "df3/core/scheduler.hpp"
+#include "df3/core/task.hpp"
+#include "df3/core/worker.hpp"
+#include "df3/hw/cpu.hpp"
+#include "df3/hw/mining.hpp"
+#include "df3/hw/server.hpp"
+#include "df3/metrics/collectors.hpp"
+#include "df3/net/network.hpp"
+#include "df3/net/protocol.hpp"
+#include "df3/sim/engine.hpp"
+#include "df3/thermal/calendar.hpp"
+#include "df3/thermal/pv.hpp"
+#include "df3/thermal/room.hpp"
+#include "df3/thermal/thermostat.hpp"
+#include "df3/thermal/urban.hpp"
+#include "df3/thermal/water_tank.hpp"
+#include "df3/thermal/weather.hpp"
+#include "df3/util/rng.hpp"
+#include "df3/util/stats.hpp"
+#include "df3/util/table.hpp"
+#include "df3/util/thread_pool.hpp"
+#include "df3/util/units.hpp"
+#include "df3/workload/arrivals.hpp"
+#include "df3/workload/generators.hpp"
+#include "df3/workload/request.hpp"
+#include "df3/workload/trace.hpp"

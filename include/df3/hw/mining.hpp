@@ -1,0 +1,70 @@
+#pragma once
+/// \file mining.hpp
+/// \brief Crypto-heater economics (paper §II-B.1 and §IV).
+///
+/// "digital heaters are receiving a growing interest in the community of
+///  coin miners. Comino and the Qarnot crypto-heater are special servers,
+///  built to serve both as a space heater and a crypto currency miner."
+///
+/// Proof-of-work hashing is the perfect DF workload: embarrassingly
+/// parallel, interrupt-free, and every joule becomes heat. The model prices
+/// that joule three ways — electricity bought, coins earned, heating value
+/// displaced — which is all a crypto-heater business case is.
+
+#include "df3/hw/server.hpp"
+#include "df3/util/units.hpp"
+
+namespace df3::hw {
+
+struct MiningConfig {
+  /// Hashes per joule of *dynamic* power (GPU ethash-class efficiency).
+  double hashes_per_joule = 4.5e5;
+  /// Currency earned per hash (network difficulty + coin price folded in).
+  /// Calibrated so a 650 W rig earns ~150/month — bare mining at retail
+  /// electricity is marginal; the heating credit is the business.
+  double reward_per_hash = 2.2e-13;
+  /// Grid electricity price (currency per kWh).
+  double electricity_per_kwh = 0.18;
+  /// Value of a kWh of delivered heating (what the host would otherwise
+  /// pay — the displaced electric-heater kWh).
+  double heat_value_per_kwh = 0.18;
+};
+
+/// Instantaneous hash rate of a chassis: its dynamic power converted at
+/// the configured efficiency (static power hashes nothing).
+[[nodiscard]] double hash_rate(const DfServer& server, const MiningConfig& config);
+
+/// Accumulates the three money flows of a mining heater over time.
+class MiningLedger {
+ public:
+  explicit MiningLedger(MiningConfig config);
+
+  /// Integrate `dt` at the server's current operating point. `heat_wanted`
+  /// is whether the host currently requests heat (earned heat value only
+  /// accrues when the heat displaces real heating).
+  void advance(const DfServer& server, util::Seconds dt, bool heat_wanted);
+
+  [[nodiscard]] double hashes() const { return hashes_; }
+  [[nodiscard]] double coin_revenue() const { return coin_revenue_; }
+  [[nodiscard]] double electricity_cost() const { return electricity_cost_; }
+  [[nodiscard]] double heat_value() const { return heat_value_; }
+
+  /// Miner's profit when the miner pays the electricity (Comino model).
+  [[nodiscard]] double miner_profit() const { return coin_revenue_ - electricity_cost_; }
+  /// Host+miner joint value in the Qarnot model (host heats for free, the
+  /// operator keeps the coins): coins + displaced heating - electricity.
+  [[nodiscard]] double system_value() const {
+    return coin_revenue_ + heat_value_ - electricity_cost_;
+  }
+
+  [[nodiscard]] const MiningConfig& config() const { return config_; }
+
+ private:
+  MiningConfig config_;
+  double hashes_ = 0.0;
+  double coin_revenue_ = 0.0;
+  double electricity_cost_ = 0.0;
+  double heat_value_ = 0.0;
+};
+
+}  // namespace df3::hw

@@ -1,0 +1,165 @@
+#pragma once
+/// \file server.hpp
+/// \brief Data-furnace server chassis: power, heat routing, throttling, aging.
+///
+/// A `DfServer` is the physical machine the DF3 middleware schedules onto.
+/// It aggregates identical CPUs, exposes the *heat = power* identity, and
+/// implements the chassis-level behaviours the paper calls out:
+///
+///  * **power gating** (Qarnot hybrid infrastructure): motherboards turn off
+///    when no heat is requested, leaving only standby power;
+///  * **free-cooling throttle**: with no active cooling, a hot room forces
+///    frequency reduction and eventually shutdown (paper: long compute-heavy
+///    jobs "might not be enough" for free cooling — section VI);
+///  * **heat routing**: Q.rads emit 100% indoors; the Nerdalize e-radiator's
+///    dual pipe vents outdoors off-season; boilers heat a water loop;
+///  * **aging**: thermal stress accumulates with an Arrhenius-style factor,
+///    doubling per +10 K over the reference junction temperature
+///    (section III-C: free cooling "might cause the acceleration of
+///    processor aging").
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "df3/hw/cpu.hpp"
+#include "df3/util/units.hpp"
+
+namespace df3::hw {
+
+/// Where the chassis heat goes, season-dependent.
+enum class HeatRouting : std::uint8_t {
+  kIndoor,        ///< all heat into the host room (Q.rad)
+  kDualPipe,      ///< indoor during heating season, vented outdoors otherwise
+  kWaterLoop,     ///< into the building's hot-water loop (digital boilers)
+};
+
+/// Static description of a DF server chassis.
+struct ServerSpec {
+  std::string family = "qrad";
+  CpuSpec cpu = qrad_cpu_spec();
+  int cpu_count = 4;
+  util::Watts standby_power{4.0};  ///< drawn when motherboards are gated off
+  HeatRouting routing = HeatRouting::kIndoor;
+  /// Free-cooling envelope: throttle linearly from `throttle_start` and gate
+  /// off completely at `shutdown_temp` inlet temperature.
+  util::Celsius throttle_start{27.0};
+  util::Celsius shutdown_temp{35.0};
+  /// Reference junction temperature for the aging model.
+  util::Celsius aging_reference_junction{65.0};
+
+  [[nodiscard]] int total_cores() const { return cpu.cores * cpu_count; }
+  /// Nameplate power: all CPUs at top P-state, fully busy.
+  [[nodiscard]] util::Watts rated_power() const;
+};
+
+/// Catalogue of the server families named in the paper (section II-B).
+[[nodiscard]] ServerSpec qrad_spec();             ///< Qarnot Q.rad, ~500 W, 4 CPUs
+[[nodiscard]] ServerSpec eradiator_spec();        ///< Nerdalize, ~1000 W, dual pipe
+[[nodiscard]] ServerSpec crypto_heater_spec();    ///< Qarnot QC1, ~650 W, 2 GPUs
+[[nodiscard]] ServerSpec asperitas_boiler_spec(); ///< AIC24, ~20 kW, 200 CPUs
+[[nodiscard]] ServerSpec stimergy_boiler_spec();  ///< oil-immersed, ~4 kW
+
+/// Runtime state of one chassis. The middleware sets the P-state and the
+/// number of busy cores; the physics coupling reads power/heat and feeds
+/// back the room (inlet) temperature.
+class DfServer {
+ public:
+  explicit DfServer(ServerSpec spec);
+
+  [[nodiscard]] const ServerSpec& spec() const { return spec_; }
+  [[nodiscard]] const CpuModel& cpu_model() const { return cpu_model_; }
+
+  // --- control plane (called by the middleware) ---
+
+  /// Gate motherboards on/off. Gating off drops busy cores to zero.
+  void set_powered(bool on);
+  [[nodiscard]] bool powered() const { return powered_; }
+
+  /// Select the DVFS P-state for all CPUs (index into the CPU spec).
+  void set_pstate(std::size_t ps);
+  [[nodiscard]] std::size_t pstate() const { return pstate_; }
+
+  /// Report how many cores are currently executing work (0..usable cores).
+  void set_busy_cores(int cores);
+  [[nodiscard]] int busy_cores() const { return busy_cores_; }
+
+  /// Space-heating filler load: cores kept busy with low-priority synthetic
+  /// work (Liu et al.'s "seasonal applications" class) purely to emit the
+  /// requested heat. Filler yields to real work: the effective load is
+  /// min(total, busy + filler).
+  void set_filler_cores(int cores);
+  [[nodiscard]] int filler_cores() const { return filler_cores_; }
+
+  /// Cores drawing dynamic power right now (real + filler, capped).
+  [[nodiscard]] int loaded_cores() const;
+
+  // --- physics coupling ---
+
+  /// Update the inlet (room/loop) temperature; applies the free-cooling
+  /// throttle, possibly reducing the *effective* P-state or gating off.
+  void set_inlet_temperature(util::Celsius t);
+  [[nodiscard]] util::Celsius inlet_temperature() const { return inlet_; }
+
+  /// True if the free-cooling envelope has forced a full thermal shutdown.
+  [[nodiscard]] bool thermally_shut_down() const;
+
+  /// The P-state actually in effect after thermal capping.
+  [[nodiscard]] std::size_t effective_pstate() const;
+
+  /// Instantaneous electrical draw (== heat output, free cooling does no
+  /// external work).
+  [[nodiscard]] util::Watts power() const;
+
+  /// Cores usable right now (0 when gated or thermally shut down).
+  [[nodiscard]] int usable_cores() const;
+
+  /// Per-core speed in gigacycles/s at the effective P-state.
+  [[nodiscard]] double core_speed_gcps() const;
+
+  /// Highest chassis power achievable right now (all usable cores busy at
+  /// the effective P-state) — the ceiling the heat regulator can reach.
+  [[nodiscard]] util::Watts max_power_now() const;
+
+  /// Lowest active chassis power (powered, zero busy cores).
+  [[nodiscard]] util::Watts idle_power() const;
+
+  /// Choose the highest P-state so that full-chassis-busy power stays
+  /// within `cap`; gates off if even the lowest state busts the cap and
+  /// `allow_gating` is set. Returns the chosen effective power ceiling.
+  util::Watts apply_power_cap(util::Watts cap, bool allow_gating = true);
+
+  // --- accounting (advanced by the physics tick) ---
+
+  /// Integrate energy and aging over `dt` at current settings. `heating_
+  /// season` selects the dual-pipe routing direction.
+  void advance(util::Seconds dt, bool heating_season);
+
+  [[nodiscard]] util::Joules energy_consumed() const { return energy_; }
+  [[nodiscard]] util::Joules heat_indoor() const { return heat_indoor_; }
+  [[nodiscard]] util::Joules heat_outdoor() const { return heat_outdoor_; }
+
+  /// Estimated junction temperature: inlet plus a load-dependent rise.
+  [[nodiscard]] util::Celsius junction_temperature() const;
+
+  /// Accumulated aging in "equivalent stress hours": wall hours weighted by
+  /// 2^((Tj - Tref)/10). A part rated for ~5 years at Tref has consumed its
+  /// life when this reaches ~43800.
+  [[nodiscard]] double aging_stress_hours() const { return stress_hours_; }
+
+ private:
+  ServerSpec spec_;
+  CpuModel cpu_model_;
+  bool powered_ = true;
+  std::size_t pstate_;
+  int busy_cores_ = 0;
+  int filler_cores_ = 0;
+  util::Celsius inlet_{20.0};
+
+  util::Joules energy_{0.0};
+  util::Joules heat_indoor_{0.0};
+  util::Joules heat_outdoor_{0.0};
+  double stress_hours_ = 0.0;
+};
+
+}  // namespace df3::hw

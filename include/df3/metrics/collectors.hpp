@@ -1,0 +1,107 @@
+#pragma once
+/// \file collectors.hpp
+/// \brief Experiment metric collectors: response times per flow/app,
+///        outcome counts, energy ledger and PUE accounting.
+
+#include <map>
+#include <string>
+
+#include "df3/util/stats.hpp"
+#include "df3/util/units.hpp"
+#include "df3/workload/request.hpp"
+
+namespace df3::metrics {
+
+/// Response-time and outcome statistics, sliced by flow and by app.
+class FlowMetrics {
+ public:
+  /// Record one completion (any outcome).
+  void record(const workload::CompletionRecord& rec);
+
+  struct Slice {
+    util::PercentileSampler response_s;   ///< completed requests only
+    std::uint64_t completed = 0;
+    std::uint64_t deadline_missed = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t dropped = 0;
+
+    [[nodiscard]] std::uint64_t total() const {
+      return completed + deadline_missed + rejected + dropped;
+    }
+    /// Fraction of requests that met their obligations.
+    [[nodiscard]] double success_rate() const {
+      const auto t = total();
+      return t == 0 ? 1.0 : static_cast<double>(completed) / static_cast<double>(t);
+    }
+  };
+
+  [[nodiscard]] const Slice& by_flow(workload::Flow f) const;
+  [[nodiscard]] const Slice& by_app(const std::string& app) const;
+  [[nodiscard]] const Slice& overall() const { return overall_; }
+  [[nodiscard]] const std::map<std::string, Slice>& apps() const { return by_app_; }
+
+  /// Count of completions whose served_by starts with the given prefix
+  /// ("vertical:", "horizontal:", ...), for offload accounting.
+  [[nodiscard]] std::uint64_t served_by_prefix(const std::string& prefix) const;
+
+ private:
+  Slice overall_;
+  std::map<workload::Flow, Slice> by_flow_;
+  std::map<std::string, Slice> by_app_;
+  std::map<std::string, std::uint64_t> served_by_;
+  static const Slice kEmpty;
+};
+
+/// City-wide energy bookkeeping. PUE = total facility energy / IT energy.
+/// For data furnace there is no cooling term, so PUE ~ 1 + standby overhead;
+/// for the air-cooled datacenter baseline the cooling term dominates the
+/// difference (the paper cites CloudandHeat's PUE of 1.026 vs classic DCs).
+class EnergyLedger {
+ public:
+  void add_it(util::Joules e);        ///< energy consumed by servers doing work
+  void add_overhead(util::Joules e);  ///< standby, network gear, PSU losses
+  void add_cooling(util::Joules e);   ///< chillers/CRAC (zero for DF servers)
+  void add_useful_heat(util::Joules e);  ///< heat delivered as requested heating
+  void add_waste_heat(util::Joules e);   ///< heat rejected outdoors/unwanted
+
+  [[nodiscard]] util::Joules it() const { return it_; }
+  [[nodiscard]] util::Joules overhead() const { return overhead_; }
+  [[nodiscard]] util::Joules cooling() const { return cooling_; }
+  [[nodiscard]] util::Joules useful_heat() const { return useful_heat_; }
+  [[nodiscard]] util::Joules waste_heat() const { return waste_heat_; }
+  [[nodiscard]] util::Joules facility_total() const { return it_ + overhead_ + cooling_; }
+
+  /// Power usage effectiveness; 1.0 when no energy recorded.
+  [[nodiscard]] double pue() const;
+
+  /// Energy-reuse-effectiveness-style credit: fraction of facility energy
+  /// delivered as useful heat.
+  [[nodiscard]] double heat_reuse_fraction() const;
+
+  void merge(const EnergyLedger& other);
+
+ private:
+  util::Joules it_{0.0};
+  util::Joules overhead_{0.0};
+  util::Joules cooling_{0.0};
+  util::Joules useful_heat_{0.0};
+  util::Joules waste_heat_{0.0};
+};
+
+/// Comfort tracking for one room: time-weighted deviation from target.
+class ComfortMetrics {
+ public:
+  /// Record the instantaneous state at time `t`.
+  void sample(double t, util::Celsius room, util::Celsius target);
+
+  /// Mean absolute deviation from target (K), time-weighted.
+  [[nodiscard]] double mean_abs_deviation_k(double until) const;
+  /// Time-weighted mean room temperature.
+  [[nodiscard]] double mean_temperature_c(double until) const;
+
+ private:
+  util::TimeWeightedValue abs_dev_;
+  util::TimeWeightedValue temp_;
+};
+
+}  // namespace df3::metrics

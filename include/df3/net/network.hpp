@@ -1,0 +1,114 @@
+#pragma once
+/// \file network.hpp
+/// \brief Store-and-forward network simulation with per-link queuing.
+///
+/// The topology is an undirected graph of named nodes joined by links, each
+/// carrying a `LinkProfile`. A message from A to B follows the minimum-
+/// latency route (Dijkstra over unloaded one-hop delay for its size) and
+/// experiences, per hop:
+///
+///   queuing   — each link direction is a FIFO server; a message waits until
+///               the link is free (this is what makes the shared-vs-
+///               segmented LAN experiment E10 meaningful);
+///   serialization — size/bandwidth with fragmentation + duty cycle;
+///   propagation   — the profile's base latency.
+///
+/// Delivery is an event on the owning `Simulation`. Partitions are supported
+/// by disabling links (failure injection).
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "df3/net/protocol.hpp"
+#include "df3/sim/engine.hpp"
+#include "df3/util/units.hpp"
+
+namespace df3::net {
+
+/// Dense node handle.
+using NodeId = std::uint32_t;
+
+/// A message in flight. `payload_tag` lets higher layers route semantics
+/// without the network knowing about request types.
+struct Message {
+  NodeId src = 0;
+  NodeId dst = 0;
+  util::Bytes size{0.0};
+  std::uint64_t payload_tag = 0;
+};
+
+/// Statistics for one link direction.
+struct LinkStats {
+  std::uint64_t messages = 0;
+  double bytes = 0.0;
+  double busy_seconds = 0.0;  ///< cumulative serialization time carried
+};
+
+class Network : public sim::Entity {
+ public:
+  explicit Network(sim::Simulation& sim, std::string name = "net");
+
+  /// Add a node; returns its id. Node names must be unique.
+  NodeId add_node(const std::string& node_name);
+
+  /// Node lookup by name; throws if unknown.
+  [[nodiscard]] NodeId node(const std::string& node_name) const;
+  [[nodiscard]] const std::string& node_name(NodeId id) const;
+  [[nodiscard]] std::size_t node_count() const { return node_names_.size(); }
+
+  /// Join two nodes with a bidirectional link; returns the link index.
+  std::size_t add_link(NodeId a, NodeId b, LinkProfile profile);
+
+  /// Enable/disable a link (network partition injection).
+  void set_link_up(std::size_t link, bool up);
+  [[nodiscard]] bool link_up(std::size_t link) const;
+
+  /// Minimum-delay route for a message of `size`; empty when unreachable.
+  /// The route is the sequence of link indices traversed.
+  [[nodiscard]] std::vector<std::size_t> route(NodeId src, NodeId dst, util::Bytes size) const;
+
+  /// Unloaded end-to-end delay along the current best route (no queuing).
+  /// nullopt when unreachable.
+  [[nodiscard]] std::optional<util::Seconds> unloaded_delay(NodeId src, NodeId dst,
+                                                            util::Bytes size) const;
+
+  /// Send a message now. `on_delivery(delivered_at)` fires at arrival; if
+  /// the destination is unreachable `on_drop()` fires immediately (same
+  /// simulation instant). Accounts queuing on every traversed link.
+  void send(const Message& msg, std::function<void(sim::Time)> on_delivery,
+            std::function<void()> on_drop = nullptr);
+
+  [[nodiscard]] const LinkStats& stats(std::size_t link) const;
+  [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t messages_dropped() const { return dropped_; }
+
+ private:
+  struct Link {
+    NodeId a, b;
+    LinkProfile profile;
+    bool up = true;
+    /// Earliest time each direction is free (0: a->b, 1: b->a).
+    std::array<sim::Time, 2> next_free{0.0, 0.0};
+    std::array<LinkStats, 2> dir_stats{};
+  };
+
+  [[nodiscard]] static std::size_t direction(const Link& l, NodeId from) {
+    return from == l.a ? 0 : 1;
+  }
+
+  std::vector<std::string> node_names_;
+  std::unordered_map<std::string, NodeId> by_name_;
+  std::vector<Link> links_;
+  std::vector<std::vector<std::size_t>> adjacency_;  // node -> link indices
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_ = 0;
+  mutable LinkStats merged_stats_{};  // scratch for stats() aggregation
+};
+
+}  // namespace df3::net

@@ -1,0 +1,159 @@
+#pragma once
+/// \file engine.hpp
+/// \brief Deterministic discrete-event simulation engine.
+///
+/// A single-threaded event calendar with a double-precision clock (seconds).
+/// Determinism rules:
+///  * events at equal timestamps execute in scheduling order (a monotone
+///    sequence number breaks ties), so a run is a pure function of the seed;
+///  * callbacks may schedule/cancel freely, including at the current time;
+///  * scheduling in the past is an error (throws), never silently reordered.
+///
+/// The engine knows nothing about the domain; buildings, servers, gateways
+/// and workloads are all `Entity`-derived objects that post events.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace df3::sim {
+
+/// Simulation time, in seconds since simulation start.
+using Time = double;
+
+class Simulation;
+
+/// Cancellation handle for a scheduled event. Default-constructed handles
+/// are inert; `cancel()` on an already-fired or cancelled event is a no-op
+/// that returns false.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True if the event is still pending (not fired, not cancelled).
+  [[nodiscard]] bool pending() const;
+
+  /// Cancel the event if still pending. Returns true if this call
+  /// cancelled it.
+  bool cancel();
+
+ private:
+  friend class Simulation;
+  struct Record;
+  explicit EventHandle(std::shared_ptr<Record> rec) : rec_(std::move(rec)) {}
+  std::shared_ptr<Record> rec_;
+};
+
+/// The event calendar and clock. Not copyable; entities hold references.
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulation time in seconds.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule `cb` to run at absolute time `t` (>= now). Throws
+  /// std::invalid_argument on scheduling in the past.
+  EventHandle schedule_at(Time t, Callback cb);
+
+  /// Schedule `cb` to run `dt` seconds from now (dt >= 0).
+  EventHandle schedule_in(Time dt, Callback cb) { return schedule_at(now_ + dt, std::move(cb)); }
+
+  /// Run events until the calendar is empty or `max_events` have executed.
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  /// Run all events with timestamp <= `t`, then advance the clock to exactly
+  /// `t` (even if the calendar still holds later events). Returns events run.
+  std::size_t run_until(Time t);
+
+  /// Request that the current `run`/`run_until` stops after the current
+  /// callback returns. Pending events stay in the calendar.
+  void stop() { stop_requested_ = true; }
+
+  /// Number of events pending in the calendar (cancelled ones may still be
+  /// counted until they are lazily discarded).
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+  // --- introspection counters, for tests and engine benchmarks ---
+  [[nodiscard]] std::uint64_t events_scheduled() const { return scheduled_; }
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+  [[nodiscard]] std::uint64_t events_cancelled() const { return cancelled_; }
+
+ private:
+  friend class EventHandle;
+  bool step();  // execute the next live event; false if calendar empty
+
+  struct QueueEntry;
+  struct Compare {
+    bool operator()(const QueueEntry& a, const QueueEntry& b) const;
+  };
+  struct QueueEntry {
+    Time t;
+    std::uint64_t seq;
+    std::shared_ptr<EventHandle::Record> rec;
+  };
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t scheduled_ = 0;
+  std::uint64_t executed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  bool stop_requested_ = false;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, Compare> queue_;
+};
+
+/// A named simulation participant. Owns no engine state; provides uniform
+/// access to the clock and calendar for derived domain objects.
+class Entity {
+ public:
+  Entity(Simulation& sim, std::string name) : sim_(&sim), name_(std::move(name)) {}
+  virtual ~Entity() = default;
+
+  Entity(const Entity&) = delete;
+  Entity& operator=(const Entity&) = delete;
+
+  [[nodiscard]] Simulation& sim() const { return *sim_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Time now() const { return sim_->now(); }
+
+ private:
+  Simulation* sim_;
+  std::string name_;
+};
+
+/// Repeating process: runs `tick` every `period` seconds starting at
+/// `start`. `stop()` cancels the next occurrence. The callback may call
+/// `stop()` on its own process.
+class PeriodicProcess {
+ public:
+  PeriodicProcess(Simulation& sim, Time start, Time period, std::function<void(Time)> tick);
+  ~PeriodicProcess() { stop(); }
+
+  PeriodicProcess(const PeriodicProcess&) = delete;
+  PeriodicProcess& operator=(const PeriodicProcess&) = delete;
+
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] Time period() const { return period_; }
+
+ private:
+  void arm(Time t);
+
+  Simulation& sim_;
+  Time period_;
+  std::function<void(Time)> tick_;
+  EventHandle next_;
+  bool running_ = true;
+};
+
+}  // namespace df3::sim

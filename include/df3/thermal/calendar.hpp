@@ -1,0 +1,57 @@
+#pragma once
+/// \file calendar.hpp
+/// \brief Simulation-time calendar: seconds-since-Jan-1 to month/day/hour.
+///
+/// df3sim uses a 365-day non-leap civil year starting January 1 at 00:00.
+/// The weather model, seasonality analysis and Figure-4 reproduction all
+/// index into this calendar. Times beyond one year wrap periodically.
+
+#include <array>
+#include <string_view>
+
+#include "df3/sim/engine.hpp"
+
+namespace df3::thermal {
+
+inline constexpr double kSecondsPerDay = 86400.0;
+inline constexpr double kSecondsPerYear = 365.0 * kSecondsPerDay;
+
+/// Days in each month of the (non-leap) simulation year.
+inline constexpr std::array<int, 12> kDaysInMonth = {31, 28, 31, 30, 31, 30,
+                                                     31, 31, 30, 31, 30, 31};
+
+/// Cumulative day offset of the first day of each month (Jan = 0).
+[[nodiscard]] constexpr std::array<int, 12> month_start_days() {
+  std::array<int, 12> out{};
+  int acc = 0;
+  for (int m = 0; m < 12; ++m) {
+    out[static_cast<std::size_t>(m)] = acc;
+    acc += kDaysInMonth[static_cast<std::size_t>(m)];
+  }
+  return out;
+}
+
+/// Fractional day-of-year in [0, 365) for simulation time `t` (wraps).
+[[nodiscard]] double day_of_year(sim::Time t);
+
+/// Month index 0..11 (0 = January) for simulation time `t`.
+[[nodiscard]] int month_of(sim::Time t);
+
+/// Hour-of-day in [0, 24).
+[[nodiscard]] double hour_of_day(sim::Time t);
+
+/// Day-of-week 0..6 with day 0 (Jan 1) defined as a Monday; used by
+/// business-hours workload modulation.
+[[nodiscard]] int day_of_week(sim::Time t);
+
+/// True during working hours: Mon-Fri, 08:00-18:00.
+[[nodiscard]] bool is_business_hours(sim::Time t);
+
+/// Three-letter month name, for table output ("Jan".."Dec").
+[[nodiscard]] std::string_view month_name(int month_index);
+
+/// Simulation time of the first instant of `month_index` (0..11) in year
+/// `year` (0-based). Convenience for experiment windows like Nov->May.
+[[nodiscard]] sim::Time start_of_month(int month_index, int year = 0);
+
+}  // namespace df3::thermal

@@ -1,0 +1,57 @@
+#pragma once
+/// \file pv.hpp
+/// \brief Rooftop photovoltaic production model (paper §VI).
+///
+/// "the local production of renewable energies is opening interesting
+///  perspectives for autonomous buildings equipped with electric heaters" —
+/// the paper names PV-powered autonomous buildings as the enabler that
+/// could widen the electric-heating (hence DF-server) market. This model
+/// turns the simulation calendar + weather into an AC production signal:
+///
+///   P(t) = peak * solar_elevation_factor(t) * season_factor(t) * sky(t)
+///
+/// where the sky state is derived from the weather model's AR(1) noise
+/// (warm anomalies in winter correlate with overcast in oceanic climates is
+/// ignored; we use an independent counter-hashed cloudiness process).
+
+#include "df3/sim/engine.hpp"
+#include "df3/thermal/weather.hpp"
+#include "df3/util/units.hpp"
+
+namespace df3::thermal {
+
+struct PvParams {
+  util::Watts peak{3000.0};     ///< nameplate (W-peak)
+  double latitude_deg = 48.85;  ///< Paris
+  /// Mean fraction of the clear-sky yield lost to clouds (0.35 ~ oceanic).
+  double mean_cloud_loss = 0.35;
+  /// Hour-scale persistence of the cloud process.
+  double cloud_phi = 0.9;
+};
+
+/// Deterministic PV array; queries are independent and reproducible.
+class PvArray {
+ public:
+  PvArray(PvParams params, std::uint64_t seed);
+
+  /// Instantaneous AC production at simulation time `t`.
+  [[nodiscard]] util::Watts production(sim::Time t) const;
+
+  /// Clear-sky production (no cloud loss) — the deterministic envelope.
+  [[nodiscard]] util::Watts clear_sky(sim::Time t) const;
+
+  /// Cloudiness in [0, 1] for the hour containing `t` (0 = clear).
+  [[nodiscard]] double cloudiness(sim::Time t) const;
+
+  /// Energy produced over [t0, t1], integrated at `step` resolution.
+  [[nodiscard]] util::Joules energy(sim::Time t0, sim::Time t1,
+                                    double step_s = 900.0) const;
+
+  [[nodiscard]] const PvParams& params() const { return params_; }
+
+ private:
+  PvParams params_;
+  std::uint64_t seed_;
+};
+
+}  // namespace df3::thermal

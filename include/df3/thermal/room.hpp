@@ -1,0 +1,126 @@
+#pragma once
+/// \file room.hpp
+/// \brief Lumped-parameter (RC-network) room thermal models.
+///
+/// A heated room is modelled as the standard building-physics RC network:
+/// thermal capacitance C (J/K) charged by heat input Q (W) and discharged
+/// through envelope resistance R (K/W) toward the outdoor temperature.
+///
+///   1R1C:  C dT/dt = (T_out - T)/R + Q
+///
+/// For piecewise-constant inputs the ODE has a closed form, so `advance`
+/// integrates *exactly* (no step-size error), which keeps long simulations
+/// (a year at minute ticks) both fast and energy-consistent.
+///
+/// The 2R2C variant adds an envelope node (walls) between indoor air and
+/// outside — it captures the slow thermal mass that makes morning reheat
+/// expensive; used by the higher-fidelity experiments.
+
+#include <variant>
+
+#include "df3/sim/engine.hpp"
+#include "df3/util/units.hpp"
+
+namespace df3::thermal {
+
+/// Parameters of a 1R1C room. Defaults describe a ~20 m2 insulated room
+/// that needs ~375 W to hold +15 K over outdoors — a room one 500 W Q.rad
+/// heats with the ~35% sizing margin real deployments use, so night-setback
+/// recovery completes in a few hours rather than half a day.
+struct RoomParams {
+  double resistance_k_per_w = 0.040;   ///< envelope resistance R (K/W)
+  double capacitance_j_per_k = 1.0e6;  ///< lumped capacitance C (J/K)
+  util::Watts internal_gains{60.0};    ///< occupants/appliances baseline heat
+
+  /// Time constant tau = R*C in seconds.
+  [[nodiscard]] double tau_s() const { return resistance_k_per_w * capacitance_j_per_k; }
+};
+
+/// Exactly-integrated 1R1C room.
+class Room {
+ public:
+  Room(RoomParams params, util::Celsius initial_temperature);
+
+  /// Advance by `dt` seconds with constant heater input `q_heat` and
+  /// constant outdoor temperature `t_out` over the interval.
+  void advance(util::Seconds dt, util::Watts q_heat, util::Celsius t_out);
+
+  [[nodiscard]] util::Celsius temperature() const { return temp_; }
+  [[nodiscard]] const RoomParams& params() const { return params_; }
+
+  /// Steady-state temperature for constant inputs (t -> infinity).
+  [[nodiscard]] util::Celsius equilibrium(util::Watts q_heat, util::Celsius t_out) const;
+
+  /// Heater power required to *hold* the room at `target` given `t_out`
+  /// (clamped at zero: the model has no active cooling).
+  [[nodiscard]] util::Watts holding_power(util::Celsius target, util::Celsius t_out) const;
+
+ private:
+  RoomParams params_;
+  util::Celsius temp_;
+};
+
+/// Parameters of a 2R2C room (air node + envelope node).
+struct Room2R2CParams {
+  double r_air_env_k_per_w = 0.010;    ///< air <-> envelope resistance
+  double r_env_out_k_per_w = 0.025;    ///< envelope <-> outdoors resistance
+  double c_air_j_per_k = 1.0e6;        ///< fast air + furnishing capacitance
+  double c_env_j_per_k = 2.0e7;        ///< slow wall mass capacitance
+  util::Watts internal_gains{60.0};
+};
+
+/// Semi-implicitly integrated 2R2C room. `advance` subdivides long steps so
+/// the stiff envelope node stays stable.
+class Room2R2C {
+ public:
+  Room2R2C(Room2R2CParams params, util::Celsius initial_temperature);
+
+  void advance(util::Seconds dt, util::Watts q_heat, util::Celsius t_out);
+
+  [[nodiscard]] util::Celsius air_temperature() const { return t_air_; }
+  [[nodiscard]] util::Celsius envelope_temperature() const { return t_env_; }
+  [[nodiscard]] const Room2R2CParams& params() const { return params_; }
+
+  /// Steady-state air temperature under constant inputs.
+  [[nodiscard]] util::Celsius equilibrium(util::Watts q_heat, util::Celsius t_out) const;
+
+  /// Steady-state heater power holding the air at `target` (series R).
+  [[nodiscard]] util::Watts holding_power(util::Celsius target, util::Celsius t_out) const;
+
+ private:
+  Room2R2CParams params_;
+  util::Celsius t_air_;
+  util::Celsius t_env_;
+};
+
+/// Fidelity-erased room handle: the platform drives either RC model behind
+/// one interface (pick per building with
+/// `BuildingConfig::high_fidelity_rooms`).
+class AnyRoom {
+ public:
+  explicit AnyRoom(Room room) : impl_(std::move(room)) {}
+  explicit AnyRoom(Room2R2C room) : impl_(std::move(room)) {}
+
+  void advance(util::Seconds dt, util::Watts q_heat, util::Celsius t_out) {
+    std::visit([&](auto& r) { r.advance(dt, q_heat, t_out); }, impl_);
+  }
+  [[nodiscard]] util::Celsius temperature() const {
+    return std::visit(
+        [](const auto& r) {
+          if constexpr (std::is_same_v<std::decay_t<decltype(r)>, Room2R2C>) {
+            return r.air_temperature();
+          } else {
+            return r.temperature();
+          }
+        },
+        impl_);
+  }
+  [[nodiscard]] util::Watts holding_power(util::Celsius target, util::Celsius t_out) const {
+    return std::visit([&](const auto& r) { return r.holding_power(target, t_out); }, impl_);
+  }
+
+ private:
+  std::variant<Room, Room2R2C> impl_;
+};
+
+}  // namespace df3::thermal

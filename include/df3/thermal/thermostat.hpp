@@ -1,0 +1,88 @@
+#pragma once
+/// \file thermostat.hpp
+/// \brief Thermostat controllers that turn comfort targets into heat demand.
+///
+/// In DF3 the thermostat is the origin of the *heating-request flow*: the
+/// host sets a target temperature and the middleware must produce exactly
+/// that much heat by running computation (paper section II-C). Two
+/// controllers are provided:
+///
+///  * `HysteresisThermostat` — classic on/off with a deadband; demand is
+///    either 0 or the heater's full rating.
+///  * `ModulatingThermostat` — proportional controller with a feed-forward
+///    term equal to the steady-state holding power; this is what a DVFS-
+///    capable digital heater can actually track, and is the default in the
+///    heat-regulator experiments.
+
+#include "df3/thermal/room.hpp"
+#include "df3/util/units.hpp"
+
+namespace df3::thermal {
+
+/// A heat request at an instant: how much heat (W) the host currently asks
+/// its DF server to emit.
+struct HeatDemand {
+  util::Watts power{0.0};
+  bool heating_season = true;  ///< false => host asked for no heat at all
+};
+
+/// On/off controller: full power below (target - band), off above
+/// (target + band).
+class HysteresisThermostat {
+ public:
+  HysteresisThermostat(util::Celsius target, util::KelvinDelta halfband, util::Watts rating);
+
+  /// Demand given the current room temperature. Stateful: remembers whether
+  /// the burner is currently on (hysteresis).
+  [[nodiscard]] HeatDemand demand(util::Celsius room_temperature);
+
+  void set_target(util::Celsius target) { target_ = target; }
+  [[nodiscard]] util::Celsius target() const { return target_; }
+  [[nodiscard]] bool is_on() const { return on_; }
+
+ private:
+  util::Celsius target_;
+  util::KelvinDelta halfband_;
+  util::Watts rating_;
+  bool on_ = false;
+};
+
+/// Proportional + feed-forward controller. Demand =
+/// clamp(holding_power(target) + Kp * (target - T_room), 0, rating).
+class ModulatingThermostat {
+ public:
+  /// `kp_w_per_k` is the proportional gain in watts per kelvin of error.
+  ModulatingThermostat(util::Celsius target, double kp_w_per_k, util::Watts rating);
+
+  /// Demand given room temperature and the feed-forward holding power the
+  /// room model reports for current outdoor conditions.
+  [[nodiscard]] HeatDemand demand(util::Celsius room_temperature,
+                                  util::Watts holding_power) const;
+
+  void set_target(util::Celsius target) { target_ = target; }
+  [[nodiscard]] util::Celsius target() const { return target_; }
+  [[nodiscard]] util::Watts rating() const { return rating_; }
+
+ private:
+  util::Celsius target_;
+  double kp_;
+  util::Watts rating_;
+};
+
+/// Host behaviour profile: when the heating season is declared and what
+/// target temperatures are used day vs night. Paper section III-A argues
+/// on-demand heat (driven by these comfort constraints) is what prevents
+/// DF servers from aggravating urban heat islands.
+struct ComfortProfile {
+  util::Celsius day_target{20.5};
+  util::Celsius night_target{18.0};
+  double night_start_hour = 22.0;
+  double night_end_hour = 6.0;
+  /// Outdoor seasonal mean above which the host turns heating off entirely.
+  util::Celsius heating_cutoff_outdoor{16.0};
+
+  /// The active target at time-of-day `hour` (0..24).
+  [[nodiscard]] util::Celsius target_at_hour(double hour) const;
+};
+
+}  // namespace df3::thermal

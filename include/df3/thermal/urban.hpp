@@ -1,0 +1,65 @@
+#pragma once
+/// \file urban.hpp
+/// \brief Urban-heat-island accounting for city-scale deployments.
+///
+/// Paper section III-A: a broad DF deployment must not behave like air
+/// conditioners or always-on boilers, which reject anthropogenic heat to the
+/// street and intensify the urban heat island (UHI). We track, per device
+/// class, how much heat is delivered *indoors on demand* (useful) versus
+/// *rejected outdoors* (waste), and convert the outdoor flux density into a
+/// first-order UHI intensity estimate using a linear sensitivity coefficient
+/// calibrated from the AC literature (Tremeac et al. 2012 report ~0.5-2 K
+/// for ~10-100 W/m2 of street-level rejection; we use K per (W/m2)).
+
+#include <string>
+#include <vector>
+
+#include "df3/util/units.hpp"
+
+namespace df3::thermal {
+
+/// One contributing device class in the city (e.g. "qrad-on-demand",
+/// "always-on-boiler", "air-conditioner").
+struct UrbanSource {
+  std::string name;
+  util::Joules indoor_heat{0.0};   ///< delivered inside buildings, on demand
+  util::Joules outdoor_heat{0.0};  ///< vented / rejected to ambient air
+};
+
+/// Integrates heat flows over a simulated period and derives UHI intensity.
+class UrbanHeatLedger {
+ public:
+  /// `district_area_m2`: street-level area over which rejected heat mixes.
+  /// `uhi_sensitivity_k_per_w_m2`: linearized UHI response.
+  UrbanHeatLedger(double district_area_m2, double uhi_sensitivity_k_per_w_m2 = 0.02);
+
+  /// Register a device class; returns its handle index.
+  std::size_t add_source(std::string name);
+
+  void record_indoor(std::size_t source, util::Joules heat);
+  void record_outdoor(std::size_t source, util::Joules heat);
+
+  [[nodiscard]] const std::vector<UrbanSource>& sources() const { return sources_; }
+
+  /// Total heat rejected outdoors across sources.
+  [[nodiscard]] util::Joules total_outdoor() const;
+  [[nodiscard]] util::Joules total_indoor() const;
+
+  /// Mean outdoor rejection flux over `period` (W/m2 of district area).
+  [[nodiscard]] double outdoor_flux_w_per_m2(util::Seconds period) const;
+
+  /// First-order UHI intensity increase attributable to the tracked sources
+  /// over `period` (kelvin).
+  [[nodiscard]] util::KelvinDelta uhi_intensity(util::Seconds period) const;
+
+  /// Fraction of all produced heat that was useful (delivered indoors on
+  /// demand); 1.0 when nothing was rejected.
+  [[nodiscard]] double useful_heat_fraction() const;
+
+ private:
+  double area_m2_;
+  double sensitivity_;
+  std::vector<UrbanSource> sources_;
+};
+
+}  // namespace df3::thermal

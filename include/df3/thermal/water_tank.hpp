@@ -1,0 +1,79 @@
+#pragma once
+/// \file water_tank.hpp
+/// \brief Domestic-hot-water tank model for digital boilers (paper §II-B.2).
+///
+/// A digital boiler "integrates several computing servers and whose heat is
+/// used to produce hot water or oil, required by the heating grid of the
+/// building". The tank closes that loop: servers heat the water volume,
+/// residents draw hot water (morning/evening peaks), cold mains water
+/// replaces each draw, and standing losses leak through the insulation.
+///
+/// Single lumped node:
+///   m c dT/dt = Q_servers - UA (T - T_amb) - draw_rate * c * (T - T_mains)
+///
+/// Exactly integrated per step for piecewise-constant inputs (same
+/// closed-form approach as the room RC model). The boiler's thermostat-
+/// equivalent is `demand()`: how much server heat the tank currently wants
+/// to reach its setpoint — this is what the DF3 heat regulator tracks for
+/// boiler deployments.
+
+#include "df3/sim/engine.hpp"
+#include "df3/thermal/thermostat.hpp"
+#include "df3/util/units.hpp"
+
+namespace df3::thermal {
+
+struct WaterTankParams {
+  double volume_l = 800.0;          ///< tank volume (litres)
+  double ua_w_per_k = 3.5;          ///< standing-loss coefficient
+  util::Celsius setpoint{55.0};     ///< target storage temperature
+  util::Celsius mains{12.0};        ///< cold feed temperature
+  util::Celsius ambient{18.0};      ///< plant-room temperature
+  util::Celsius legionella_min{50.0};  ///< sanitary lower bound to report
+  /// Proportional gain of the charging controller (W per K below setpoint).
+  double charge_gain_w_per_k = 1500.0;
+
+  /// Thermal capacitance of the stored water (J/K). c_p = 4186 J/(kg K).
+  [[nodiscard]] double capacity_j_per_k() const { return volume_l * 4186.0; }
+};
+
+/// Lumped hot-water store heated by a digital boiler.
+class WaterTank {
+ public:
+  WaterTank(WaterTankParams params, util::Celsius initial);
+
+  /// Advance `dt` with constant server heat input `q` and constant draw
+  /// `draw_lps` (litres/second of hot water replaced by mains water).
+  void advance(util::Seconds dt, util::Watts q, double draw_lps);
+
+  [[nodiscard]] util::Celsius temperature() const { return temp_; }
+  [[nodiscard]] const WaterTankParams& params() const { return params_; }
+
+  /// Heat power the tank requests from its boiler right now, given the
+  /// current draw: feed-forward (losses + draw enthalpy) plus proportional
+  /// recovery toward the setpoint, clamped to `rating`. Tanks want heat
+  /// year-round (`heating_season` always true) — the availability argument
+  /// the paper makes for digital boilers vs digital heaters.
+  [[nodiscard]] HeatDemand demand(double draw_lps, util::Watts rating) const;
+
+  /// Steady-state temperature under constant inputs.
+  [[nodiscard]] util::Celsius equilibrium(util::Watts q, double draw_lps) const;
+
+  /// Seconds spent below the sanitary minimum since construction.
+  [[nodiscard]] double seconds_below_sanitary() const { return below_sanitary_s_; }
+  /// Litres of hot water served since construction.
+  [[nodiscard]] double litres_served() const { return litres_served_; }
+
+ private:
+  WaterTankParams params_;
+  util::Celsius temp_;
+  double below_sanitary_s_ = 0.0;
+  double litres_served_ = 0.0;
+};
+
+/// Residential draw profile: litres/second as a function of time-of-day,
+/// with morning (07-09) and evening (18-22) peaks. `daily_litres` is the
+/// building's total daily consumption.
+[[nodiscard]] double hot_water_draw_lps(sim::Time t, double daily_litres);
+
+}  // namespace df3::thermal

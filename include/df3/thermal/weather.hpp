@@ -1,0 +1,82 @@
+#pragma once
+/// \file weather.hpp
+/// \brief Synthetic outdoor-temperature model (Paris-like climate).
+///
+/// The paper's deployments are French buildings heated through the winter;
+/// seasonality of the outdoor temperature drives both the heat demand (and
+/// hence the available DF computing capacity, paper section III-C/IV) and
+/// the Figure-4 room-temperature series. We synthesize temperature as
+///
+///   T(t) = seasonal(t) + diurnal(t) + AR1 noise(t)
+///
+/// where `seasonal` interpolates monthly climate normals with a cosine
+/// smoother, `diurnal` is a sinusoid with its minimum near 05:00, and the
+/// noise is an hourly AR(1) process giving realistic multi-day warm/cold
+/// spells. The model is deterministic given a seed and queries are
+/// *reproducible in any order* because noise is generated from a counter-
+/// hashed stream per hour, not from a shared sequential stream.
+
+#include <array>
+
+#include "df3/sim/engine.hpp"
+#include "df3/util/rng.hpp"
+#include "df3/util/units.hpp"
+
+namespace df3::thermal {
+
+/// Monthly mean outdoor temperatures (degC). Defaults to Paris-Montsouris
+/// climate normals.
+struct ClimateNormals {
+  std::array<double, 12> monthly_mean_c = {4.9,  5.6,  8.8,  11.5, 15.2, 18.3,
+                                           20.5, 20.3, 16.9, 13.0, 8.3,  5.5};
+  double diurnal_amplitude_k = 4.0;  ///< half peak-to-trough of the daily cycle
+  double noise_stddev_k = 2.2;       ///< marginal std-dev of the AR(1) weather noise
+  double noise_phi = 0.97;           ///< hourly AR(1) coefficient (multi-day spells)
+};
+
+/// Climate presets for the cities the paper's companies operate in.
+/// Paris is the default `ClimateNormals{}`.
+[[nodiscard]] ClimateNormals paris_climate();      ///< Qarnot, Stimergy
+[[nodiscard]] ClimateNormals amsterdam_climate();  ///< Nerdalize (Delft)
+[[nodiscard]] ClimateNormals dresden_climate();    ///< CloudandHeat
+[[nodiscard]] ClimateNormals stockholm_climate();  ///< the long-winter best case
+[[nodiscard]] ClimateNormals seville_climate();    ///< the no-winter worst case
+
+/// Deterministic synthetic weather. Thread-compatible: all queries const.
+class WeatherModel {
+ public:
+  WeatherModel(ClimateNormals normals, std::uint64_t seed);
+
+  /// Outdoor dry-bulb temperature at simulation time `t`.
+  [[nodiscard]] util::Celsius outdoor_temperature(sim::Time t) const;
+
+  /// Seasonal component only (smooth interpolation of monthly normals).
+  [[nodiscard]] util::Celsius seasonal_component(sim::Time t) const;
+
+  /// Diurnal component (kelvin offset), minimum near 05:00, max near 17:00.
+  [[nodiscard]] util::KelvinDelta diurnal_component(sim::Time t) const;
+
+  /// Stochastic AR(1) component (kelvin offset) for the hour containing `t`.
+  [[nodiscard]] util::KelvinDelta noise_component(sim::Time t) const;
+
+  [[nodiscard]] const ClimateNormals& normals() const { return normals_; }
+
+ private:
+  /// White innovation for absolute hour index `h`, reproducible per hour.
+  [[nodiscard]] double innovation(std::int64_t h) const;
+
+  ClimateNormals normals_;
+  std::uint64_t seed_;
+};
+
+/// A constant-temperature stub, useful in unit tests of rooms and servers.
+class ConstantWeather {
+ public:
+  explicit ConstantWeather(util::Celsius temp) : temp_(temp) {}
+  [[nodiscard]] util::Celsius outdoor_temperature(sim::Time) const { return temp_; }
+
+ private:
+  util::Celsius temp_;
+};
+
+}  // namespace df3::thermal

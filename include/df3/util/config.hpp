@@ -1,0 +1,44 @@
+#pragma once
+/// \file config.hpp
+/// \brief Minimal key=value scenario-file parser for the df3run tool.
+///
+/// Format: one `key = value` per line; `#` starts a comment; blank lines
+/// ignored; keys and values are trimmed. Values stay strings until typed
+/// accessors convert them (with range/format errors surfaced as
+/// std::invalid_argument naming the key).
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace df3::util {
+
+class KeyValueConfig {
+ public:
+  /// Parse from a stream. Throws std::invalid_argument on malformed lines
+  /// (no '='), duplicate keys, or empty keys.
+  [[nodiscard]] static KeyValueConfig parse(std::istream& is);
+
+  /// Parse a file by path; throws std::runtime_error if unreadable.
+  [[nodiscard]] static KeyValueConfig parse_file(const std::string& path);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Typed accessors with defaults; conversion failures throw
+  /// std::invalid_argument naming the key.
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] long get_int(const std::string& key, long fallback) const;
+  /// Accepts true/false/1/0/yes/no (case-insensitive).
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// All keys, sorted — callers can reject unknown keys for typo safety.
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace df3::util

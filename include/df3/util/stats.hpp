@@ -1,0 +1,131 @@
+#pragma once
+/// \file stats.hpp
+/// \brief Streaming summary statistics, percentile collection, and
+///        time-weighted accumulators used by metric collectors.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace df3::util {
+
+/// Welford online mean/variance accumulator. O(1) memory, numerically stable.
+class StreamingStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const StreamingStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact-percentile sample collector. Stores every observation (simulation
+/// scale keeps this cheap) and sorts lazily on query. Also exposes the
+/// StreamingStats summary of the same data.
+class PercentileSampler {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  /// Percentile by linear interpolation between closest ranks.
+  /// `p` in [0, 100]. Returns 0 when empty.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+  [[nodiscard]] double p99() const { return percentile(99.0); }
+
+  [[nodiscard]] const StreamingStats& summary() const { return summary_; }
+  [[nodiscard]] double mean() const { return summary_.mean(); }
+  [[nodiscard]] double max() const { return summary_.max(); }
+  [[nodiscard]] double min() const { return summary_.min(); }
+
+  void merge(const PercentileSampler& other);
+  void clear();
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  StreamingStats summary_;
+};
+
+/// Time-weighted mean of a piecewise-constant signal, e.g. "average number
+/// of busy workers" or "mean room temperature". Call `record(t, value)` each
+/// time the signal changes; queries integrate the step function.
+class TimeWeightedValue {
+ public:
+  /// Record that the signal takes `value` from time `t` onwards.
+  /// Times must be non-decreasing.
+  void record(double t, double value);
+
+  /// Close the observation window at time `t` and return the time-weighted
+  /// mean over [first_record, t]. Does not mutate state.
+  [[nodiscard]] double mean_until(double t) const;
+
+  /// Time integral of the signal over [first_record, t]
+  /// (e.g. watt-signal -> joules).
+  [[nodiscard]] double integral_until(double t) const;
+
+  [[nodiscard]] bool empty() const { return !started_; }
+  [[nodiscard]] double last_value() const { return last_value_; }
+
+ private:
+  bool started_ = false;
+  double first_t_ = 0.0;
+  double last_t_ = 0.0;
+  double last_value_ = 0.0;
+  double weighted_sum_ = 0.0;  // integral of value dt up to last_t_
+};
+
+/// Fixed set of (time, value) samples of a continuous signal, for exporting
+/// series (monthly temperature, capacity per week, ...).
+struct TimeSeries {
+  std::vector<double> times;
+  std::vector<double> values;
+
+  void add(double t, double v) {
+    times.push_back(t);
+    values.push_back(v);
+  }
+  [[nodiscard]] std::size_t size() const { return times.size(); }
+  [[nodiscard]] bool empty() const { return times.empty(); }
+
+  /// Mean of values whose time lies in [t0, t1).
+  [[nodiscard]] double mean_in_window(double t0, double t1) const;
+};
+
+/// Ordinary least squares fit y = a + b*x with goodness-of-fit. Used by the
+/// thermosensitivity analysis (heat demand vs outdoor temperature).
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+  std::size_t n = 0;
+
+  [[nodiscard]] double predict(double x) const { return intercept + slope * x; }
+};
+
+/// Fit OLS over paired samples. Requires xs.size() == ys.size() >= 2.
+[[nodiscard]] LinearFit fit_linear(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Pearson correlation of paired samples; 0 if degenerate.
+[[nodiscard]] double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace df3::util

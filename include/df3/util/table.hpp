@@ -1,0 +1,53 @@
+#pragma once
+/// \file table.hpp
+/// \brief Aligned text / CSV table rendering for experiment harness output.
+///
+/// Every bench binary regenerates one of the paper's figures/tables; this
+/// writer gives them a uniform, diff-friendly output format.
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace df3::util {
+
+/// A cell is a string, an integer, or a double (rendered with the table's
+/// floating-point precision).
+using Cell = std::variant<std::string, std::int64_t, double>;
+
+/// Column-aligned table with an optional title, renderable as padded text or
+/// CSV. Rows are appended in display order.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, std::string title = "");
+
+  /// Append one row. Throws if the arity does not match the header count.
+  void add_row(std::vector<Cell> row);
+
+  /// Number of fractional digits used when rendering double cells (default 3).
+  void set_precision(int digits) { precision_ = digits; }
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const { return headers_.size(); }
+
+  /// Render as an aligned text table (for terminal / bench output).
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (no escaping of embedded commas; cell text in df3sim is
+  /// identifier-like by construction).
+  void print_csv(std::ostream& os) const;
+
+  /// Convenience: text render to a string.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  [[nodiscard]] std::string render_cell(const Cell& c) const;
+
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 3;
+};
+
+}  // namespace df3::util

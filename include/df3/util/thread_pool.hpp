@@ -1,0 +1,77 @@
+#pragma once
+/// \file thread_pool.hpp
+/// \brief Small fixed-size worker pool for embarrassingly parallel sweeps.
+///
+/// The simulation engine itself is single-threaded and deterministic; the
+/// pool parallelizes *across* independent simulations — parameter sweeps in
+/// the bench harness and Monte-Carlo replications. Each task runs its own
+/// `Simulation`, so no shared mutable state crosses threads.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace df3::util {
+
+/// Fixed-size thread pool; joins all workers on destruction.
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; returns a future for its result.
+  template <class F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Run `fn(i)` for i in [0, n) on a transient pool and block until done.
+/// Results are collected in index order, so output is deterministic even
+/// though execution order is not.
+template <class Fn>
+auto parallel_map(std::size_t n, Fn&& fn, std::size_t threads = 0)
+    -> std::vector<std::invoke_result_t<Fn, std::size_t>> {
+  using R = std::invoke_result_t<Fn, std::size_t>;
+  ThreadPool pool(threads);
+  std::vector<std::future<R>> futures;
+  futures.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    futures.push_back(pool.submit([&fn, i] { return fn(i); }));
+  }
+  std::vector<R> results;
+  results.reserve(n);
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+}  // namespace df3::util

@@ -1,0 +1,154 @@
+#pragma once
+/// \file units.hpp
+/// \brief Strong physical-unit types used throughout df3sim.
+///
+/// The simulator mixes thermal, electrical and timing quantities; mixing up
+/// a Watt with a Joule (or a Celsius with a Kelvin-difference) is the classic
+/// building-physics bug. Each quantity below is a distinct arithmetic strong
+/// type with only physically meaningful operators defined:
+///
+///   Watts * Seconds  -> Joules          (energy = power x time)
+///   Joules / Seconds -> Watts
+///   Celsius - Celsius -> KelvinDelta    (absolute temps subtract to a delta)
+///   Celsius + KelvinDelta -> Celsius
+///
+/// All quantities store `double` in SI base units (W, J, s, degC, Hz, bytes,
+/// bit/s) and are trivially copyable.
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace df3::util {
+
+/// CRTP base for a double-backed strong unit with additive group structure
+/// and scalar multiplication. Derived types opt into cross-unit operators.
+template <class Derived>
+struct Quantity {
+  double v{0.0};
+
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double value) : v(value) {}
+
+  /// Raw value in the SI base unit of the derived quantity.
+  [[nodiscard]] constexpr double value() const { return v; }
+
+  friend constexpr Derived operator+(Derived a, Derived b) { return Derived{a.v + b.v}; }
+  friend constexpr Derived operator-(Derived a, Derived b) { return Derived{a.v - b.v}; }
+  friend constexpr Derived operator-(Derived a) { return Derived{-a.v}; }
+  friend constexpr Derived operator*(Derived a, double s) { return Derived{a.v * s}; }
+  friend constexpr Derived operator*(double s, Derived a) { return Derived{a.v * s}; }
+  friend constexpr Derived operator/(Derived a, double s) { return Derived{a.v / s}; }
+  /// Ratio of two like quantities is dimensionless.
+  friend constexpr double operator/(Derived a, Derived b) { return a.v / b.v; }
+  friend constexpr auto operator<=>(Derived a, Derived b) { return a.v <=> b.v; }
+  friend constexpr bool operator==(Derived a, Derived b) { return a.v == b.v; }
+
+  constexpr Derived& operator+=(Derived o) {
+    v += o.v;
+    return static_cast<Derived&>(*this);
+  }
+  constexpr Derived& operator-=(Derived o) {
+    v -= o.v;
+    return static_cast<Derived&>(*this);
+  }
+  constexpr Derived& operator*=(double s) {
+    v *= s;
+    return static_cast<Derived&>(*this);
+  }
+};
+
+/// Electrical or thermal power, in watts. In a data-furnace server these are
+/// the *same number*: electrical power drawn is heat emitted (free cooling,
+/// no fans doing outside work).
+struct Watts : Quantity<Watts> {
+  using Quantity::Quantity;
+};
+
+/// Energy, in joules.
+struct Joules : Quantity<Joules> {
+  using Quantity::Quantity;
+  [[nodiscard]] constexpr double kwh() const { return v / 3.6e6; }
+};
+
+/// Duration, in seconds (simulation time is also kept in seconds).
+struct Seconds : Quantity<Seconds> {
+  using Quantity::Quantity;
+};
+
+/// Absolute temperature in degrees Celsius. Subtraction yields KelvinDelta.
+struct Celsius {
+  double v{0.0};
+  constexpr Celsius() = default;
+  constexpr explicit Celsius(double value) : v(value) {}
+  [[nodiscard]] constexpr double value() const { return v; }
+  friend constexpr auto operator<=>(Celsius a, Celsius b) { return a.v <=> b.v; }
+  friend constexpr bool operator==(Celsius a, Celsius b) { return a.v == b.v; }
+};
+
+/// Temperature difference in kelvin (== difference in Celsius degrees).
+struct KelvinDelta : Quantity<KelvinDelta> {
+  using Quantity::Quantity;
+};
+
+constexpr KelvinDelta operator-(Celsius a, Celsius b) { return KelvinDelta{a.v - b.v}; }
+constexpr Celsius operator+(Celsius a, KelvinDelta d) { return Celsius{a.v + d.v}; }
+constexpr Celsius operator+(KelvinDelta d, Celsius a) { return Celsius{a.v + d.v}; }
+constexpr Celsius operator-(Celsius a, KelvinDelta d) { return Celsius{a.v - d.v}; }
+
+/// Clock frequency, in hertz.
+struct Hertz : Quantity<Hertz> {
+  using Quantity::Quantity;
+  [[nodiscard]] constexpr double ghz() const { return v / 1e9; }
+};
+
+/// Data size, in bytes.
+struct Bytes : Quantity<Bytes> {
+  using Quantity::Quantity;
+};
+
+/// Data rate, in bits per second.
+struct BitsPerSecond : Quantity<BitsPerSecond> {
+  using Quantity::Quantity;
+};
+
+// --- cross-unit physics ---
+constexpr Joules operator*(Watts p, Seconds t) { return Joules{p.v * t.v}; }
+constexpr Joules operator*(Seconds t, Watts p) { return Joules{p.v * t.v}; }
+constexpr Watts operator/(Joules e, Seconds t) { return Watts{e.v / t.v}; }
+constexpr Seconds operator/(Joules e, Watts p) { return Seconds{e.v / p.v}; }
+
+/// Serialization delay of `b` bytes over rate `r`.
+constexpr Seconds transmission_time(Bytes b, BitsPerSecond r) {
+  return Seconds{(b.v * 8.0) / r.v};
+}
+
+// --- literals-style helpers (plain functions; real UDLs would need a
+// namespace ceremony the call sites don't benefit from) ---
+constexpr Watts watts(double w) { return Watts{w}; }
+constexpr Watts kilowatts(double kw) { return Watts{kw * 1e3}; }
+constexpr Joules joules(double j) { return Joules{j}; }
+constexpr Joules kilowatt_hours(double kwh) { return Joules{kwh * 3.6e6}; }
+constexpr Seconds seconds(double s) { return Seconds{s}; }
+constexpr Seconds minutes(double m) { return Seconds{m * 60.0}; }
+constexpr Seconds hours(double h) { return Seconds{h * 3600.0}; }
+constexpr Seconds days(double d) { return Seconds{d * 86400.0}; }
+constexpr Celsius celsius(double c) { return Celsius{c}; }
+constexpr KelvinDelta kelvin(double k) { return KelvinDelta{k}; }
+constexpr Hertz ghz(double g) { return Hertz{g * 1e9}; }
+constexpr Bytes bytes(double b) { return Bytes{b}; }
+constexpr Bytes kibibytes(double k) { return Bytes{k * 1024.0}; }
+constexpr Bytes mebibytes(double m) { return Bytes{m * 1024.0 * 1024.0}; }
+constexpr BitsPerSecond bps(double b) { return BitsPerSecond{b}; }
+constexpr BitsPerSecond kbps(double k) { return BitsPerSecond{k * 1e3}; }
+constexpr BitsPerSecond mbps(double m) { return BitsPerSecond{m * 1e6}; }
+constexpr BitsPerSecond gbps(double g) { return BitsPerSecond{g * 1e9}; }
+
+inline std::ostream& operator<<(std::ostream& os, Watts w) { return os << w.v << " W"; }
+inline std::ostream& operator<<(std::ostream& os, Joules j) { return os << j.v << " J"; }
+inline std::ostream& operator<<(std::ostream& os, Seconds s) { return os << s.v << " s"; }
+inline std::ostream& operator<<(std::ostream& os, Celsius c) { return os << c.v << " degC"; }
+inline std::ostream& operator<<(std::ostream& os, KelvinDelta d) { return os << d.v << " K"; }
+
+}  // namespace df3::util

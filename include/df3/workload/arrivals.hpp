@@ -1,0 +1,114 @@
+#pragma once
+/// \file arrivals.hpp
+/// \brief Arrival processes for the request flows.
+///
+/// The paper's central operational difficulty (section II-C) is that the
+/// arrival laws of the flows "do not necessarily depend on the same
+/// parameters": heating demand follows the seasons, Internet demand follows
+/// business opportunity, edge demand follows local human activity. We model
+/// each with an appropriate point process:
+///
+///  * `PoissonArrivals`        — homogeneous, for steady edge streams;
+///  * `MmppArrivals`           — 2-state Markov-modulated Poisson (bursts);
+///  * `ModulatedArrivals`      — nonhomogeneous Poisson with an arbitrary
+///                               rate function, sampled by thinning; helpers
+///                               provide business-hours and diurnal shapes.
+///
+/// All processes draw from a caller-owned RngStream, so common-random-
+/// number experiments stay paired across policies.
+
+#include <functional>
+#include <memory>
+
+#include "df3/sim/engine.hpp"
+#include "df3/util/rng.hpp"
+
+namespace df3::workload {
+
+/// A point process generating arrival instants.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// The first arrival strictly after `t`.
+  [[nodiscard]] virtual sim::Time next_after(sim::Time t, util::RngStream& rng) = 0;
+
+  /// Long-run mean rate (arrivals/second), for sizing and reporting.
+  [[nodiscard]] virtual double mean_rate() const = 0;
+};
+
+/// Homogeneous Poisson process with rate `lambda` (arrivals/second).
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  explicit PoissonArrivals(double rate_per_s);
+  [[nodiscard]] sim::Time next_after(sim::Time t, util::RngStream& rng) override;
+  [[nodiscard]] double mean_rate() const override { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// Two-state Markov-modulated Poisson process: alternates between a quiet
+/// state (rate_low) and a burst state (rate_high) with exponential sojourn
+/// times. Captures DCC request peaks (paper section III-B, "management of
+/// requests peak").
+class MmppArrivals final : public ArrivalProcess {
+ public:
+  MmppArrivals(double rate_low, double rate_high, double mean_low_sojourn_s,
+               double mean_high_sojourn_s);
+  [[nodiscard]] sim::Time next_after(sim::Time t, util::RngStream& rng) override;
+  [[nodiscard]] double mean_rate() const override;
+
+  [[nodiscard]] bool in_burst() const { return in_high_; }
+
+ private:
+  void advance_state(sim::Time t, util::RngStream& rng);
+
+  double rate_low_, rate_high_;
+  double mean_low_s_, mean_high_s_;
+  bool in_high_ = false;
+  sim::Time state_until_ = 0.0;
+  bool initialised_ = false;
+};
+
+/// Nonhomogeneous Poisson process sampled by Lewis-Shedler thinning.
+/// `rate_fn(t)` must never exceed `rate_max`.
+class ModulatedArrivals final : public ArrivalProcess {
+ public:
+  ModulatedArrivals(std::function<double(sim::Time)> rate_fn, double rate_max,
+                    double mean_rate_hint);
+  [[nodiscard]] sim::Time next_after(sim::Time t, util::RngStream& rng) override;
+  [[nodiscard]] double mean_rate() const override { return mean_rate_hint_; }
+
+ private:
+  std::function<double(sim::Time)> rate_fn_;
+  double rate_max_;
+  double mean_rate_hint_;
+};
+
+/// Deterministic fixed-period arrivals — sensor telemetry and other
+/// sense-compute-actuate loops sample on a clock, not a Poisson process
+/// (paper §III-B: "we must consider the sense-compute-actuate paradigm
+/// that implies to frequently collect data").
+class FixedIntervalArrivals final : public ArrivalProcess {
+ public:
+  explicit FixedIntervalArrivals(double period_s, double phase_s = 0.0);
+  [[nodiscard]] sim::Time next_after(sim::Time t, util::RngStream& rng) override;
+  [[nodiscard]] double mean_rate() const override { return 1.0 / period_; }
+
+ private:
+  double period_;
+  double phase_;
+};
+
+/// Rate function: `base_rate` multiplied by `business_factor` during
+/// Mon-Fri 08:00-18:00 (cloud/DCC demand follows office hours).
+[[nodiscard]] std::unique_ptr<ModulatedArrivals> business_hours_arrivals(double base_rate,
+                                                                         double business_factor);
+
+/// Rate function: sinusoidal diurnal shape peaking at `peak_hour`, between
+/// `base_rate*(1-depth)` and `base_rate*(1+depth)` (edge/human activity).
+[[nodiscard]] std::unique_ptr<ModulatedArrivals> diurnal_arrivals(double base_rate, double depth,
+                                                                  double peak_hour = 19.0);
+
+}  // namespace df3::workload

@@ -1,0 +1,99 @@
+#pragma once
+/// \file generators.hpp
+/// \brief Request factories and self-scheduling workload sources.
+///
+/// Factories build `Request` objects for the application families the paper
+/// names: in-situ alarm-sound detection (Durand et al. 2017 — the paper's
+/// proof that near-real-time audio workloads run on digital heaters),
+/// location-based edge services (map serving, traffic estimation, per Liu
+/// et al.'s "low-bandwidth neighborhood" class), and the Qarnot rendering
+/// platform's batch jobs. A `WorkloadSource` couples an arrival process to
+/// a factory and pushes requests into a sink as simulation events.
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "df3/sim/engine.hpp"
+#include "df3/util/rng.hpp"
+#include "df3/workload/arrivals.hpp"
+#include "df3/workload/request.hpp"
+
+namespace df3::workload {
+
+/// Builds one request; the arrival time and id are filled in by the caller.
+using RequestFactory = std::function<Request(util::RngStream&)>;
+
+// --- edge application families --------------------------------------------
+
+/// Audio-alarm detection inference: one ~1 s audio frame, a small CNN pass.
+/// Work ~0.5-1.5 Gcycles, deadline ~2 s (near-real-time alert).
+[[nodiscard]] RequestFactory alarm_detection_factory(Flow flow = Flow::kEdgeIndirect);
+
+/// Map-tile serving: lookup + render of a tile. Work ~0.2-0.6 Gcycles,
+/// ~100 KiB out, deadline 1 s.
+[[nodiscard]] RequestFactory map_serving_factory(Flow flow = Flow::kEdgeIndirect);
+
+/// Traffic estimation over recent sensor windows: ~2-6 Gcycles, deadline
+/// 5 s; inputs from many sensors (larger payload in).
+[[nodiscard]] RequestFactory traffic_estimation_factory(Flow flow = Flow::kEdgeIndirect);
+
+/// Fall-detection (wearable) event classification: tiny work, tight 500 ms
+/// deadline, privacy-sensitive (never offloaded vertically).
+[[nodiscard]] RequestFactory fall_detection_factory(Flow flow = Flow::kEdgeDirect);
+
+/// Periodic sensor telemetry sample (temperature/humidity/presence frame):
+/// tiny payload, light aggregation work, soft freshness deadline.
+[[nodiscard]] RequestFactory telemetry_factory(Flow flow = Flow::kEdgeIndirect);
+
+// --- cloud / DCC application families --------------------------------------
+
+/// 3D rendering batch: `frames` tasks of heavy-tailed per-frame work
+/// (bounded Pareto, minutes to ~2 h on one core at nominal clocks).
+[[nodiscard]] RequestFactory render_batch_factory(int min_frames = 8, int max_frames = 64);
+
+/// Financial risk simulation (the paper's bank customers): wide batch of
+/// independent Monte-Carlo tasks, moderate per-task work.
+[[nodiscard]] RequestFactory risk_simulation_factory();
+
+/// Tightly coupled iterative solver: parallel tasks with a synchronous
+/// all-to-all communication fraction — the app class the paper predicts
+/// data furnace handles poorly (section VI).
+[[nodiscard]] RequestFactory coupled_solver_factory(int tasks = 16, double comm_fraction = 0.35);
+
+/// Storage-style request: negligible compute, large data movement. Produces
+/// almost no heat — the paper's argument why storage is uninteresting for
+/// data furnace.
+[[nodiscard]] RequestFactory storage_request_factory();
+
+// --- source ----------------------------------------------------------------
+
+/// Emits requests from `factory` at instants from `arrivals` into `sink`.
+/// Owns its RNG stream; distinct sources never share draws.
+class WorkloadSource : public sim::Entity {
+ public:
+  using Sink = std::function<void(Request)>;
+
+  WorkloadSource(sim::Simulation& sim, std::string name, std::uint64_t seed,
+                 std::unique_ptr<ArrivalProcess> arrivals, RequestFactory factory, Sink sink);
+
+  /// Begin emitting from the current simulation time; idempotent.
+  void start();
+  /// Stop emitting; the pending arrival (if any) is cancelled.
+  void stop();
+
+  [[nodiscard]] std::uint64_t emitted() const { return emitted_; }
+
+ private:
+  void arm(sim::Time from);
+
+  util::RngStream rng_;
+  std::unique_ptr<ArrivalProcess> arrivals_;
+  RequestFactory factory_;
+  Sink sink_;
+  sim::EventHandle next_;
+  bool running_ = false;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace df3::workload

@@ -1,0 +1,65 @@
+#pragma once
+/// \file trace.hpp
+/// \brief Request trace record / persist / replay.
+///
+/// Traces let experiments run the *identical* request sequence against
+/// different platforms or policies (paired comparison), and let users feed
+/// df3sim with externally produced workloads. The on-disk format is a plain
+/// CSV with one request per row.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "df3/sim/engine.hpp"
+#include "df3/workload/request.hpp"
+
+namespace df3::workload {
+
+/// An ordered collection of requests (nondecreasing arrival time).
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<Request> requests);
+
+  /// Append a request; arrival must be >= the last request's arrival.
+  void add(Request r);
+
+  [[nodiscard]] const std::vector<Request>& requests() const { return requests_; }
+  [[nodiscard]] std::size_t size() const { return requests_.size(); }
+  [[nodiscard]] bool empty() const { return requests_.empty(); }
+
+  /// Total gigacycles across all requests and tasks.
+  [[nodiscard]] double total_work() const;
+
+  /// Serialize to CSV (header + one row per request).
+  void save(std::ostream& os) const;
+
+  /// Parse a CSV previously produced by `save`. Throws on malformed input.
+  [[nodiscard]] static Trace load(std::istream& is);
+
+ private:
+  std::vector<Request> requests_;
+};
+
+/// Replays a trace into a sink as simulation events. Requests whose arrival
+/// precedes the current simulation time are emitted immediately.
+class TraceReplayer : public sim::Entity {
+ public:
+  using Sink = std::function<void(Request)>;
+
+  TraceReplayer(sim::Simulation& sim, std::string name, Trace trace, Sink sink);
+
+  /// Schedule every request for delivery. Call once.
+  void start();
+
+  [[nodiscard]] std::size_t remaining() const { return remaining_; }
+
+ private:
+  Trace trace_;
+  Sink sink_;
+  std::size_t remaining_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace df3::workload

@@ -1,0 +1,98 @@
+#include "df3/analytics/forecaster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "df3/thermal/calendar.hpp"
+
+namespace df3::analytics {
+
+ThermosensitivityAnalyzer::ThermosensitivityAnalyzer(double heating_reference_c)
+    : reference_c_(heating_reference_c) {}
+
+void ThermosensitivityAnalyzer::observe(double t, util::Celsius outdoor,
+                                        util::Watts heat_power) {
+  const auto day = static_cast<long long>(std::floor(t / thermal::kSecondsPerDay));
+  if (first_day_ < 0) first_day_ = day;
+  if (day < first_day_) throw std::invalid_argument("observe: time went backwards");
+  const auto idx = static_cast<std::size_t>(day - first_day_);
+  if (idx >= days_.size()) days_.resize(idx + 1);
+  days_[idx].outdoor.add(outdoor.value());
+  days_[idx].power.add(heat_power.value());
+}
+
+std::size_t ThermosensitivityAnalyzer::days() const {
+  std::size_t n = 0;
+  for (const auto& d : days_) {
+    if (d.power.count() > 0) ++n;
+  }
+  return n;
+}
+
+util::LinearFit ThermosensitivityAnalyzer::fit() const {
+  std::vector<double> hdd, power;
+  for (const auto& d : days_) {
+    if (d.power.count() == 0) continue;
+    hdd.push_back(std::max(0.0, reference_c_ - d.outdoor.mean()));
+    power.push_back(d.power.mean());
+  }
+  if (hdd.size() < 2) throw std::logic_error("ThermosensitivityAnalyzer: need >= 2 days");
+  return util::fit_linear(hdd, power);
+}
+
+double ThermosensitivityAnalyzer::correlation() const {
+  std::vector<double> hdd, power;
+  for (const auto& d : days_) {
+    if (d.power.count() == 0) continue;
+    hdd.push_back(std::max(0.0, reference_c_ - d.outdoor.mean()));
+    power.push_back(d.power.mean());
+  }
+  return util::pearson(hdd, power);
+}
+
+util::Watts ThermosensitivityAnalyzer::predict(util::Celsius outdoor) const {
+  const auto model = fit();
+  const double hdd = std::max(0.0, reference_c_ - outdoor.value());
+  return util::Watts{std::max(0.0, model.predict(hdd))};
+}
+
+std::vector<util::Watts> HeatDemandForecaster::forecast(
+    const std::vector<util::Celsius>& outdoor_forecast) const {
+  std::vector<util::Watts> out;
+  out.reserve(outdoor_forecast.size());
+  for (const auto c : outdoor_forecast) out.push_back(analyzer_->predict(c));
+  return out;
+}
+
+util::Watts HeatDemandForecaster::mean_forecast(
+    const std::vector<util::Celsius>& outdoor_forecast) const {
+  if (outdoor_forecast.empty()) return util::Watts{0.0};
+  util::Watts total{0.0};
+  for (const auto c : outdoor_forecast) total += analyzer_->predict(c);
+  return total / static_cast<double>(outdoor_forecast.size());
+}
+
+CapacityPlanner::CapacityPlanner(double idle_power_w, double max_power_w, int total_cores)
+    : idle_w_(idle_power_w), max_w_(max_power_w), total_cores_(total_cores) {
+  if (total_cores_ <= 0) throw std::invalid_argument("CapacityPlanner: cores must be positive");
+  if (max_w_ <= idle_w_ || idle_w_ < 0.0) {
+    throw std::invalid_argument("CapacityPlanner: need 0 <= idle < max power");
+  }
+}
+
+int CapacityPlanner::cores_for_demand(util::Watts demand) const {
+  const double frac = (demand.value() - idle_w_) / (max_w_ - idle_w_);
+  const double cores = std::clamp(frac, 0.0, 1.0) * total_cores_;
+  return static_cast<int>(std::floor(cores));
+}
+
+double CapacityPlanner::core_hours(const std::vector<util::Watts>& demand_forecast,
+                                   double interval_s) const {
+  if (interval_s <= 0.0) throw std::invalid_argument("core_hours: interval must be positive");
+  double total = 0.0;
+  for (const auto d : demand_forecast) total += cores_for_demand(d) * interval_s / 3600.0;
+  return total;
+}
+
+}  // namespace df3::analytics

@@ -1,0 +1,82 @@
+#include "df3/analytics/pricing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace df3::analytics {
+
+SpotPriceModel::SpotPriceModel(SpotPriceConfig config) : config_(config) {
+  if (config_.dc_price <= 0.0 || config_.floor_price < 0.0 ||
+      config_.floor_price > config_.dc_price) {
+    throw std::invalid_argument("SpotPriceModel: need 0 <= floor <= dc_price, dc_price > 0");
+  }
+  if (config_.elasticity <= 0.0) {
+    throw std::invalid_argument("SpotPriceModel: elasticity must be positive");
+  }
+}
+
+double SpotPriceModel::price(double supply_cores, double demand_cores) const {
+  if (supply_cores < 0.0 || demand_cores < 0.0) {
+    throw std::invalid_argument("SpotPriceModel::price: negative inputs");
+  }
+  if (supply_cores <= 0.0) return config_.dc_price;  // nothing to sell: DC price rules
+  const double ratio = demand_cores / supply_cores;
+  const double raw = config_.floor_price +
+                     (config_.dc_price - config_.floor_price) * std::pow(ratio, config_.elasticity);
+  return std::clamp(raw, config_.floor_price, config_.dc_price);
+}
+
+SpotMarketResult run_spot_market(const SpotPriceModel& model,
+                                 const util::TimeSeries& supply_cores,
+                                 const util::TimeSeries& demand_cores, double interval_s) {
+  if (supply_cores.size() != demand_cores.size()) {
+    throw std::invalid_argument("run_spot_market: series size mismatch");
+  }
+  if (interval_s <= 0.0) throw std::invalid_argument("run_spot_market: bad interval");
+  SpotMarketResult out;
+  const double hours = interval_s / 3600.0;
+  for (std::size_t i = 0; i < supply_cores.size(); ++i) {
+    const double supply = supply_cores.values[i];
+    const double demand = demand_cores.values[i];
+    const double p = model.price(supply, demand);
+    out.price.add(supply_cores.times[i], p);
+    const double served = std::min(supply, demand);
+    out.revenue += served * hours * p;
+    out.served_core_hours += served * hours;
+    out.unserved_core_hours += std::max(0.0, demand - supply) * hours;
+  }
+  return out;
+}
+
+SlaResult run_sla_portfolio(const SlaConfig& config, const util::TimeSeries& supply_cores,
+                            const util::TimeSeries& guaranteed_demand,
+                            const util::TimeSeries& seasonal_demand, double interval_s) {
+  if (supply_cores.size() != guaranteed_demand.size() ||
+      supply_cores.size() != seasonal_demand.size()) {
+    throw std::invalid_argument("run_sla_portfolio: series size mismatch");
+  }
+  if (interval_s <= 0.0) throw std::invalid_argument("run_sla_portfolio: bad interval");
+  SlaResult out;
+  const double hours = interval_s / 3600.0;
+  double seasonal_asked = 0.0, seasonal_served = 0.0;
+  for (std::size_t i = 0; i < supply_cores.size(); ++i) {
+    const double supply = supply_cores.values[i];
+    const double guaranteed = guaranteed_demand.values[i];
+    const double seasonal = seasonal_demand.values[i];
+    // Guaranteed class is always billed; shortfall is bought from the DC.
+    out.revenue += guaranteed * hours * config.guaranteed_price;
+    const double df_for_guaranteed = std::min(supply, guaranteed);
+    out.backstop_cost += (guaranteed - df_for_guaranteed) * hours * config.dc_backstop_cost;
+    // Seasonal class gets the leftovers, or is shed.
+    const double leftover = supply - df_for_guaranteed;
+    const double served = std::min(leftover, seasonal);
+    out.revenue += served * hours * config.seasonal_price;
+    seasonal_asked += seasonal * hours;
+    seasonal_served += served * hours;
+  }
+  out.seasonal_availability = seasonal_asked > 0.0 ? seasonal_served / seasonal_asked : 1.0;
+  return out;
+}
+
+}  // namespace df3::analytics

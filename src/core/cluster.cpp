@@ -1,0 +1,357 @@
+#include "df3/core/cluster.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace df3::core {
+
+Cluster::Cluster(sim::Simulation& sim, std::string name, ClusterConfig config,
+                 net::Network& network, net::NodeId gateway_node, CompletionSink sink)
+    : sim::Entity(sim, std::move(name)),
+      config_(std::move(config)),
+      network_(network),
+      gateway_node_(gateway_node),
+      sink_(std::move(sink)),
+      queue_(config_.discipline) {
+  if (!sink_) throw std::invalid_argument("Cluster: null completion sink");
+  if (config_.dedicated_edge_workers < 0) {
+    throw std::invalid_argument("Cluster: negative dedicated_edge_workers");
+  }
+  if (config_.fabric_gbps <= 0.0 || config_.reference_fabric_gbps <= 0.0) {
+    throw std::invalid_argument("Cluster: fabric bandwidths must be positive");
+  }
+  if (config_.preemption_overhead_gc < 0.0) {
+    throw std::invalid_argument("Cluster: negative preemption overhead");
+  }
+}
+
+std::size_t Cluster::add_worker(hw::ServerSpec spec, net::NodeId node) {
+  const auto idx = workers_.size();
+  workers_.push_back(std::make_unique<Worker>(
+      sim(), name() + "/w" + std::to_string(idx), std::move(spec), node,
+      [this](Task t) { on_task_done(std::move(t)); }));
+  return idx;
+}
+
+int Cluster::usable_cores() const {
+  int n = 0;
+  for (const auto& w : workers_) n += w->server().usable_cores();
+  return n;
+}
+
+int Cluster::free_cores() const {
+  int n = 0;
+  for (const auto& w : workers_) n += w->free_cores();
+  return n;
+}
+
+double Cluster::slowdown_for(const workload::Request& r) const {
+  if (r.comm_fraction <= 0.0 || r.tasks <= 1) return 1.0;
+  // A coupled app written for the reference fabric spends comm_fraction of
+  // its time communicating there; on our fabric that part stretches by the
+  // bandwidth ratio.
+  const double stretch = config_.reference_fabric_gbps / config_.fabric_gbps;
+  return (1.0 - r.comm_fraction) + r.comm_fraction * stretch;
+}
+
+void Cluster::submit(workload::Request r, net::NodeId origin) {
+  (workload::is_edge(r.flow) ? stats_.received_edge : stats_.received_cloud)++;
+  // Hybrid-infrastructure relief valve: deep cloud backlog goes straight to
+  // the datacenter (Qarnot processes surplus Internet requests in classic
+  // datacenter nodes when heaters cannot absorb them).
+  if (!workload::is_edge(r.flow) && datacenter_ != nullptr && !r.privacy_sensitive) {
+    const int cores = std::max(1, usable_cores());
+    const double backlog_per_core =
+        (queue_.backlog_gigacycles() + r.total_work()) / static_cast<double>(cores);
+    if (backlog_per_core > config_.cloud_offload_backlog_gc_per_core) {
+      ++stats_.offloaded_vertical;
+      datacenter_->submit(std::move(r), origin, sink_);
+      return;
+    }
+  }
+  stage_and_enqueue(std::move(r), origin, SIZE_MAX, /*foreign=*/false, sink_);
+}
+
+void Cluster::submit_direct(workload::Request r, net::NodeId origin, std::size_t widx) {
+  if (widx >= workers_.size()) throw std::out_of_range("submit_direct: bad worker index");
+  ++stats_.received_edge;
+  // The device talked to the worker directly; input is already on it.
+  auto state = std::make_shared<RequestState>(std::move(r));
+  auto p = std::make_shared<Pending>();
+  p->state = state;
+  p->origin = origin;
+  p->preferred_worker = widx;
+  p->sink = sink_;
+  pending_.emplace(state.get(), p);
+  enqueue_ready(p);
+}
+
+void Cluster::run_pinned(workload::Request r, std::size_t widx, CompletionSink done) {
+  if (widx >= workers_.size()) throw std::out_of_range("run_pinned: bad worker index");
+  if (!done) throw std::invalid_argument("run_pinned: null completion callback");
+  auto state = std::make_shared<RequestState>(std::move(r));
+  auto p = std::make_shared<Pending>();
+  p->state = state;
+  p->origin = workers_[widx]->node();
+  p->preferred_worker = widx;
+  p->local_only = true;
+  p->sink = std::move(done);
+  pending_.emplace(state.get(), p);
+  enqueue_ready(p);
+}
+
+void Cluster::submit_offloaded(workload::Request r, net::NodeId origin,
+                               CompletionSink peer_sink) {
+  ++stats_.offloaded_horizontal_in;
+  stage_and_enqueue(std::move(r), origin, SIZE_MAX, /*foreign=*/true, std::move(peer_sink));
+}
+
+void Cluster::stage_and_enqueue(workload::Request r, net::NodeId origin, std::size_t preferred,
+                                bool foreign, CompletionSink sink) {
+  if (workers_.empty()) {
+    ++stats_.rejected;
+    workload::CompletionRecord rec;
+    rec.request = std::move(r);
+    rec.outcome = workload::Outcome::kRejected;
+    rec.completed_at = now();
+    rec.served_by = name() + ":no-workers";
+    sink(std::move(rec));
+    return;
+  }
+  auto state = std::make_shared<RequestState>(std::move(r));
+  auto p = std::make_shared<Pending>();
+  p->state = state;
+  p->origin = origin;
+  p->preferred_worker = preferred;
+  p->foreign = foreign;
+  p->sink = std::move(sink);
+  pending_.emplace(state.get(), p);
+  // Stage the input from the gateway to the storage-head worker over the
+  // cluster LAN; shards become schedulable on delivery.
+  const net::NodeId staging =
+      workers_[preferred == SIZE_MAX ? 0 : preferred]->node();
+  network_.send(
+      net::Message{gateway_node_, staging, state->request.input_size, state->request.id},
+      [this, p](sim::Time) { enqueue_ready(p); },
+      [this, p] {
+        // Partitioned from our own workers: the request is lost.
+        pending_.erase(p->state.get());
+        workload::CompletionRecord rec;
+        rec.request = p->state->request;
+        rec.outcome = workload::Outcome::kDropped;
+        rec.completed_at = now();
+        rec.served_by = name() + ":partition";
+        p->sink(std::move(rec));
+      });
+}
+
+void Cluster::enqueue_ready(const std::shared_ptr<Pending>& p) {
+  for (Task& t : make_tasks(p->state, slowdown_for(p->state->request))) {
+    queue_.push(std::move(t));
+  }
+  pump();
+}
+
+bool Cluster::worker_eligible(std::size_t widx, Priority p) const {
+  if (p == Priority::kEdge) return true;
+  return widx >= static_cast<std::size_t>(config_.dedicated_edge_workers);
+}
+
+bool Cluster::place(Task& t) {
+  const Priority prio = t.priority();
+  // Honor direct-request affinity first.
+  const auto it = pending_.find(t.request.get());
+  if (it != pending_.end() && it->second->preferred_worker != SIZE_MAX) {
+    const std::size_t w = it->second->preferred_worker;
+    if (w < workers_.size() && workers_[w]->available() && workers_[w]->try_start(t)) return true;
+  }
+  // Edge shards scan from the dedicated pool up; cloud shards only the
+  // shared pool.
+  const std::size_t start =
+      prio == Priority::kEdge ? 0 : static_cast<std::size_t>(config_.dedicated_edge_workers);
+  for (std::size_t w = start; w < workers_.size(); ++w) {
+    if (!worker_eligible(w, prio)) continue;
+    if (workers_[w]->available() && workers_[w]->try_start(t)) return true;
+  }
+  return false;
+}
+
+bool Cluster::handle_unplaceable_edge(Task t) {
+  for (const PeakAction action : config_.edge_peak_ladder) {
+    switch (action) {
+      case PeakAction::kPreempt: {
+        for (auto& w : workers_) {
+          if (w->running_below(Priority::kEdge) == 0) continue;
+          auto victim = w->preempt_one(Priority::kEdge);
+          if (!victim) continue;
+          ++stats_.preemptions;
+          victim->remaining_gigacycles += config_.preemption_overhead_gc;
+          queue_.push_front(std::move(*victim));
+          if (w->try_start(t)) return true;
+          // Freed core vanished (thermal gating race): wait instead.
+          queue_.push_front(std::move(t));
+          return false;
+        }
+        break;  // nothing preemptible: next rung of the ladder
+      }
+      case PeakAction::kHorizontal: {
+        const auto it = pending_.find(t.request.get());
+        if (peer_ == nullptr || it == pending_.end() || it->second->foreign) break;
+        if (t.request->request.tasks != 1) break;  // only whole single-shard requests move
+        auto p = it->second;
+        pending_.erase(it);
+        ++stats_.offloaded_horizontal_out;
+        const std::string via = "horizontal:" + peer_->name();
+        auto wrap = [sink = p->sink, via](workload::CompletionRecord rec) {
+          rec.served_by = via;
+          sink(std::move(rec));
+        };
+        // Pay the gateway-to-gateway hop, then hand over.
+        workload::Request moved = p->state->request;
+        moved.work_gigacycles = t.remaining_gigacycles;  // keep any progress
+        network_.send(
+            net::Message{gateway_node_, peer_->gateway_node(), moved.input_size, moved.id},
+            [peer = peer_, moved, origin = p->origin, wrap](sim::Time) mutable {
+              peer->submit_offloaded(std::move(moved), origin, wrap);
+            },
+            [this, moved, wrap]() mutable {
+              ++stats_.rejected;
+              workload::CompletionRecord rec;
+              rec.request = std::move(moved);
+              rec.outcome = workload::Outcome::kDropped;
+              rec.completed_at = now();
+              rec.served_by = name() + ":partition";
+              wrap(std::move(rec));
+            });
+        return true;
+      }
+      case PeakAction::kVertical: {
+        const auto it = pending_.find(t.request.get());
+        if (datacenter_ == nullptr || it == pending_.end()) break;
+        if (t.request->request.privacy_sensitive) break;  // must stay local
+        if (t.request->request.tasks != 1) break;
+        auto p = it->second;
+        pending_.erase(it);
+        ++stats_.offloaded_vertical;
+        workload::Request moved = p->state->request;
+        moved.work_gigacycles = t.remaining_gigacycles;
+        datacenter_->submit(std::move(moved), p->origin, p->sink);
+        return true;
+      }
+      case PeakAction::kDelay:
+        queue_.push_front(std::move(t));
+        return false;
+    }
+  }
+  // Ladder exhausted: the request waits anyway (equivalent to kDelay).
+  queue_.push_front(std::move(t));
+  return false;
+}
+
+void Cluster::pump() {
+  if (pumping_) return;  // completions re-enter; the outer loop continues
+  pumping_ = true;
+  while (!queue_.empty()) {
+    Task t = *queue_.pop();
+    // Abandon expired real-time work at dispatch: running an alarm whose
+    // deadline passed wastes a core and hides the miss from the metrics.
+    if (t.priority() == Priority::kEdge && t.request->request.tasks == 1) {
+      const auto dl = t.deadline();
+      if (dl && *dl < now()) {
+        abandon_expired(std::move(t));
+        continue;
+      }
+    }
+    if (place(t)) continue;
+    if (t.priority() == Priority::kEdge) {
+      // Returns false when the shard ended up waiting in the queue — no
+      // capacity exists anywhere, so stop scanning.
+      if (!handle_unplaceable_edge(std::move(t))) break;
+      continue;
+    }
+    // Cloud shard and no shared core free: wait for a completion.
+    queue_.push_front(std::move(t));
+    break;
+  }
+  pumping_ = false;
+}
+
+void Cluster::abandon_expired(Task t) {
+  const auto it = pending_.find(t.request.get());
+  if (it == pending_.end()) return;  // already resolved elsewhere
+  auto p = it->second;
+  pending_.erase(it);
+  auto state = t.request;
+  sim().schedule_in(0.0, [p, state, this] {
+    workload::CompletionRecord rec;
+    rec.request = state->request;
+    rec.completed_at = now();
+    rec.outcome = workload::Outcome::kDeadlineMissed;
+    rec.served_by = name() + ":expired";
+    p->sink(std::move(rec));
+  });
+}
+
+void Cluster::on_task_done(Task t) {
+  auto state = t.request;
+  --state->shards_remaining;
+  if (state->shards_remaining == 0) complete(state);
+  pump();
+}
+
+void Cluster::complete(const std::shared_ptr<RequestState>& state) {
+  const auto it = pending_.find(state.get());
+  if (it == pending_.end()) return;  // already resolved (offloaded mid-flight)
+  auto p = it->second;
+  pending_.erase(it);
+  ++stats_.completed;
+  if (p->foreign) stats_.foreign_gigacycles += state->request.total_work();
+  if (p->local_only) {
+    // Composition stage: the caller owns all transfers.
+    sim().schedule_in(0.0, [p, state, this] {
+      workload::CompletionRecord rec;
+      rec.request = state->request;
+      rec.completed_at = now();
+      const auto deadline = state->request.absolute_deadline();
+      rec.outcome = (deadline && rec.completed_at > *deadline)
+                        ? workload::Outcome::kDeadlineMissed
+                        : workload::Outcome::kCompleted;
+      rec.served_by = name() + ":pinned";
+      p->sink(std::move(rec));
+    });
+    return;
+  }
+  // Ship the result back to the origin: straight from the worker for
+  // direct requests, relayed via the gateway otherwise.
+  const net::NodeId from = (p->preferred_worker != SIZE_MAX && p->preferred_worker < workers_.size())
+                               ? workers_[p->preferred_worker]->node()
+                               : gateway_node_;
+  const std::string via = name() + (p->foreign ? ":foreign" : ":local");
+  network_.send(
+      net::Message{from, p->origin, state->request.output_size, state->request.id},
+      [p, state, via](sim::Time delivered) {
+        workload::CompletionRecord rec;
+        rec.request = state->request;
+        rec.completed_at = delivered;
+        const auto deadline = state->request.absolute_deadline();
+        rec.outcome = (deadline && delivered > *deadline) ? workload::Outcome::kDeadlineMissed
+                                                          : workload::Outcome::kCompleted;
+        rec.served_by = via;
+        p->sink(std::move(rec));
+      },
+      [p, state, via, this] {
+        workload::CompletionRecord rec;
+        rec.request = state->request;
+        rec.completed_at = now();
+        rec.outcome = workload::Outcome::kDropped;
+        rec.served_by = via + ":return-partition";
+        p->sink(std::move(rec));
+      });
+}
+
+void Cluster::sync_workers() {
+  for (auto& w : workers_) w->sync_speed();
+  pump();
+}
+
+}  // namespace df3::core

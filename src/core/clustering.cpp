@@ -1,0 +1,290 @@
+#include "df3/core/clustering.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "df3/util/rng.hpp"
+
+namespace df3::core {
+
+namespace {
+
+double dist(const ServerSite& a, const ServerSite& b) {
+  const double dx = a.x_m - b.x_m;
+  const double dy = a.y_m - b.y_m;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double dist_to(const ServerSite& a, double x, double y) {
+  const double dx = a.x_m - x;
+  const double dy = a.y_m - y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+ClusteringQuality evaluate(const std::vector<ServerSite>& sites,
+                           const ClusterAssignment& assignment) {
+  if (assignment.cluster_of.size() != sites.size()) {
+    throw std::invalid_argument("evaluate: assignment size mismatch");
+  }
+  const std::size_t k = assignment.cluster_count();
+  if (k == 0) throw std::invalid_argument("evaluate: no clusters");
+  std::vector<double> cores(k, 0.0);
+  double sum_d = 0.0, max_d = 0.0;
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const std::size_t c = assignment.cluster_of[i];
+    if (c >= k) throw std::invalid_argument("evaluate: cluster id out of range");
+    const std::size_t head = assignment.head_site[c];
+    if (head >= sites.size()) throw std::invalid_argument("evaluate: head out of range");
+    if (assignment.cluster_of[head] != c) {
+      throw std::invalid_argument("evaluate: head not a member of its cluster");
+    }
+    const double d = dist(sites[i], sites[head]);
+    sum_d += d;
+    max_d = std::max(max_d, d);
+    cores[c] += sites[i].cores;
+  }
+  double total_cores = 0.0, max_cores = 0.0;
+  for (double c : cores) {
+    total_cores += c;
+    max_cores = std::max(max_cores, c);
+  }
+  ClusteringQuality q;
+  q.clusters = k;
+  q.mean_head_distance_m = sum_d / static_cast<double>(sites.size());
+  q.max_head_distance_m = max_d;
+  const double mean_cores = total_cores / static_cast<double>(k);
+  q.core_imbalance = mean_cores > 0.0 ? max_cores / mean_cores : 1.0;
+  return q;
+}
+
+ClusterAssignment grid_clusters(const std::vector<ServerSite>& sites, double cell_m) {
+  if (sites.empty()) throw std::invalid_argument("grid_clusters: no sites");
+  if (cell_m <= 0.0) throw std::invalid_argument("grid_clusters: cell must be positive");
+  std::unordered_map<std::uint64_t, std::size_t> cell_to_cluster;
+  ClusterAssignment out;
+  out.cluster_of.resize(sites.size());
+  std::vector<std::vector<std::size_t>> members;
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const auto cx = static_cast<std::int64_t>(std::floor(sites[i].x_m / cell_m));
+    const auto cy = static_cast<std::int64_t>(std::floor(sites[i].y_m / cell_m));
+    const std::uint64_t key = (static_cast<std::uint64_t>(cx) << 32) ^
+                              (static_cast<std::uint64_t>(cy) & 0xffffffffULL);
+    auto [it, fresh] = cell_to_cluster.try_emplace(key, members.size());
+    if (fresh) members.emplace_back();
+    out.cluster_of[i] = it->second;
+    members[it->second].push_back(i);
+  }
+  // Head: the member closest to its cell's member centroid.
+  out.head_site.resize(members.size());
+  for (std::size_t c = 0; c < members.size(); ++c) {
+    double cx = 0.0, cy = 0.0;
+    for (const auto i : members[c]) {
+      cx += sites[i].x_m;
+      cy += sites[i].y_m;
+    }
+    cx /= static_cast<double>(members[c].size());
+    cy /= static_cast<double>(members[c].size());
+    std::size_t best = members[c].front();
+    for (const auto i : members[c]) {
+      if (dist_to(sites[i], cx, cy) < dist_to(sites[best], cx, cy)) best = i;
+    }
+    out.head_site[c] = best;
+  }
+  return out;
+}
+
+namespace {
+ClusterAssignment kmeans_once(const std::vector<ServerSite>& sites, std::size_t k,
+                              std::uint64_t seed, int iterations);
+}  // namespace
+
+ClusterAssignment kmeans_clusters(const std::vector<ServerSite>& sites, std::size_t k,
+                                  std::uint64_t seed, int iterations) {
+  if (sites.empty()) throw std::invalid_argument("kmeans_clusters: no sites");
+  if (k == 0 || k > sites.size()) throw std::invalid_argument("kmeans_clusters: bad k");
+  // Lloyd's algorithm is sensitive to its random start: take the best of a
+  // few restarts (standard practice) by mean member->head distance.
+  constexpr int kRestarts = 5;
+  ClusterAssignment best;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < kRestarts; ++r) {
+    auto candidate = kmeans_once(sites, k, seed + static_cast<std::uint64_t>(r) * std::uint64_t{0x9e37},
+                                 iterations);
+    const double score = evaluate(sites, candidate).mean_head_distance_m;
+    if (score < best_score) {
+      best_score = score;
+      best = std::move(candidate);
+    }
+  }
+  return best;
+}
+
+namespace {
+ClusterAssignment kmeans_once(const std::vector<ServerSite>& sites, std::size_t k,
+                              std::uint64_t seed, int iterations) {
+  util::RngStream rng(seed, "kmeans");
+  // Seed centroids on distinct random sites.
+  std::vector<std::size_t> order(sites.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1],
+              order[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1))]);
+  }
+  std::vector<double> cx(k), cy(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    cx[c] = sites[order[c]].x_m;
+    cy[c] = sites[order[c]].y_m;
+  }
+
+  ClusterAssignment out;
+  out.cluster_of.assign(sites.size(), 0);
+  for (int iter = 0; iter < iterations; ++iter) {
+    // Assign.
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      std::size_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = dist_to(sites[i], cx[c], cy[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      out.cluster_of[i] = best;
+    }
+    // Update (core-weighted); re-seed empty clusters on the worst outlier.
+    std::vector<double> sx(k, 0.0), sy(k, 0.0), w(k, 0.0);
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      const std::size_t c = out.cluster_of[i];
+      const double weight = std::max(1, sites[i].cores);
+      sx[c] += sites[i].x_m * weight;
+      sy[c] += sites[i].y_m * weight;
+      w[c] += weight;
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (w[c] > 0.0) {
+        cx[c] = sx[c] / w[c];
+        cy[c] = sy[c] / w[c];
+      } else {
+        std::size_t worst = 0;
+        double worst_d = -1.0;
+        for (std::size_t i = 0; i < sites.size(); ++i) {
+          const double d = dist_to(sites[i], cx[out.cluster_of[i]], cy[out.cluster_of[i]]);
+          if (d > worst_d) {
+            worst_d = d;
+            worst = i;
+          }
+        }
+        cx[c] = sites[worst].x_m;
+        cy[c] = sites[worst].y_m;
+      }
+    }
+  }
+  // Heads: member nearest the centroid. Guarantee non-empty clusters by
+  // compacting empty ones away.
+  std::vector<std::vector<std::size_t>> members(k);
+  for (std::size_t i = 0; i < sites.size(); ++i) members[out.cluster_of[i]].push_back(i);
+  ClusterAssignment compact;
+  compact.cluster_of.assign(sites.size(), 0);
+  for (std::size_t c = 0; c < k; ++c) {
+    if (members[c].empty()) continue;
+    const std::size_t id = compact.head_site.size();
+    std::size_t best = members[c].front();
+    for (const auto i : members[c]) {
+      if (dist_to(sites[i], cx[c], cy[c]) < dist_to(sites[best], cx[c], cy[c])) best = i;
+    }
+    compact.head_site.push_back(best);
+    for (const auto i : members[c]) compact.cluster_of[i] = id;
+  }
+  return compact;
+}
+}  // namespace
+
+ClusterAssignment leach_clusters(const std::vector<ServerSite>& sites, double head_fraction,
+                                 std::uint64_t round, std::uint64_t seed) {
+  if (sites.empty()) throw std::invalid_argument("leach_clusters: no sites");
+  if (head_fraction <= 0.0 || head_fraction > 1.0) {
+    throw std::invalid_argument("leach_clusters: head_fraction outside (0,1]");
+  }
+  // LEACH's rotation guarantee, realized as a distributed schedule: every
+  // site hashes itself to a phase in the 1/head_fraction-round epoch and
+  // leads exactly when the round hits its phase — so each round elects
+  // ~head_fraction of the fleet and every site leads once per epoch
+  // (LEACH's "has not been head for the last 1/P rounds" rule).
+  const auto period =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::llround(1.0 / head_fraction)));
+  std::vector<std::size_t> heads;
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    std::uint64_t s = seed ^ (i * 0xbf58476d1ce4e5b9ULL);
+    const std::uint64_t phase = util::splitmix64(s) % period;
+    if (phase == round % period) heads.push_back(i);
+  }
+  if (heads.empty()) {
+    // Deterministic fallback: the site hashed lowest this round leads.
+    std::size_t best = 0;
+    std::uint64_t best_h = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      std::uint64_t s = seed ^ (round * 0x2545f4914f6cdd1dULL) ^ i;
+      const std::uint64_t h = util::splitmix64(s);
+      if (h < best_h) {
+        best_h = h;
+        best = i;
+      }
+    }
+    heads.push_back(best);
+  }
+  ClusterAssignment out;
+  out.head_site = heads;
+  out.cluster_of.resize(sites.size());
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    std::size_t best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < heads.size(); ++c) {
+      const double d = dist(sites[i], sites[heads[c]]);
+      if (d < best_d) {
+        best_d = d;
+        best = c;
+      }
+    }
+    out.cluster_of[i] = best;
+  }
+  // Heads must belong to their own cluster (nearest head of a head is
+  // itself at distance 0, so this already holds).
+  return out;
+}
+
+std::vector<ServerSite> synthetic_city(std::size_t n, double side_m, int hotspots,
+                                       std::uint64_t seed) {
+  if (n == 0 || side_m <= 0.0) throw std::invalid_argument("synthetic_city: bad parameters");
+  util::RngStream rng(seed, "city");
+  std::vector<ServerSite> sites;
+  sites.reserve(n);
+  std::vector<std::pair<double, double>> centres;
+  for (int h = 0; h < hotspots; ++h) {
+    centres.emplace_back(rng.uniform(0.15 * side_m, 0.85 * side_m),
+                         rng.uniform(0.15 * side_m, 0.85 * side_m));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    ServerSite s;
+    if (centres.empty()) {
+      s.x_m = rng.uniform(0.0, side_m);
+      s.y_m = rng.uniform(0.0, side_m);
+    } else {
+      const auto& [cx, cy] =
+          centres[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(centres.size()) - 1))];
+      s.x_m = std::clamp(cx + rng.normal(0.0, side_m * 0.05), 0.0, side_m);
+      s.y_m = std::clamp(cy + rng.normal(0.0, side_m * 0.05), 0.0, side_m);
+    }
+    s.cores = static_cast<int>(rng.uniform_int(8, 32));
+    s.name = "site-" + std::to_string(i);
+    sites.push_back(std::move(s));
+  }
+  return sites;
+}
+
+}  // namespace df3::core

@@ -1,0 +1,357 @@
+#include "df3/core/platform.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "df3/thermal/calendar.hpp"
+
+namespace df3::core {
+
+namespace {
+/// Network/PSU overhead attributed to DF servers, as a fraction of IT
+/// energy. Calibrated so an always-busy DF fleet reports PUE ~1.026, the
+/// figure CloudandHeat claims and the paper cites (section II-A).
+constexpr double kDfOverheadFraction = 0.026;
+}  // namespace
+
+Df3Platform::Df3Platform(PlatformConfig config)
+    : config_(std::move(config)), weather_(config_.climate, config_.seed ^ 0x5ca1ab1eULL) {
+  if (config_.tick_s <= 0.0) throw std::invalid_argument("Df3Platform: tick must be positive");
+  network_ = std::make_unique<net::Network>(sim_, "city-net");
+  internet_node_ = network_->add_node("internet");
+  if (config_.with_datacenter) {
+    datacenter_ = std::make_unique<baselines::Datacenter>(sim_, config_.datacenter);
+  }
+  if (config_.start_time > 0.0) sim_.run_until(config_.start_time);
+}
+
+std::size_t Df3Platform::add_building(const BuildingConfig& cfg) {
+  if (cfg.rooms <= 0) throw std::invalid_argument("add_building: rooms must be positive");
+  auto b = std::make_unique<Building>();
+  b->cfg = cfg;
+  b->gateway_node = network_->add_node(cfg.name + "/gw");
+  b->device_node = network_->add_node(cfg.name + "/dev");
+  b->wifi_node = network_->add_node(cfg.name + "/wifi");
+  network_->add_link(b->device_node, b->gateway_node, cfg.device_link);
+  network_->add_link(b->wifi_node, b->gateway_node, cfg.wifi_link);
+  network_->add_link(b->gateway_node, internet_node_, cfg.uplink);
+
+  ClusterConfig ccfg = config_.cluster;
+  ccfg.fabric_gbps = cfg.lan.bandwidth.value() / 1e9;
+  b->cluster = std::make_unique<Cluster>(
+      sim_, cfg.name, ccfg, *network_, b->gateway_node,
+      [this](workload::CompletionRecord rec) { flow_metrics_.record(rec); });
+  if (datacenter_) b->cluster->set_datacenter(datacenter_.get());
+
+  const util::Watts rating = cfg.server.rated_power();
+  if (cfg.water_tank) {
+    // Digital-boiler plant: one chassis charging the hot-water store.
+    const net::NodeId node = network_->add_node(cfg.name + "/boiler");
+    network_->add_link(b->gateway_node, node, cfg.lan);
+    const std::size_t widx = b->cluster->add_worker(cfg.server, node);
+    thermal::WaterTank tank(*cfg.water_tank, cfg.water_tank->setpoint);
+    b->tank_unit.emplace(std::move(tank), HeatRegulator(config_.regulator), widx);
+    b->cluster->worker(widx).server().set_inlet_temperature(cfg.water_tank->setpoint);
+    buildings_.push_back(std::move(b));
+    const std::size_t n_tank = buildings_.size();
+    if (n_tank > 1) {
+      for (std::size_t i = 0; i < n_tank; ++i) {
+        buildings_[i]->cluster->set_peer(buildings_[(i + 1) % n_tank]->cluster.get());
+      }
+    }
+    return n_tank - 1;
+  }
+  for (int i = 0; i < cfg.rooms; ++i) {
+    const net::NodeId node = network_->add_node(cfg.name + "/srv" + std::to_string(i));
+    network_->add_link(b->gateway_node, node, cfg.lan);
+    if (i == 0) {
+      network_->add_link(b->device_node, node, cfg.device_link);
+      network_->add_link(b->wifi_node, node, cfg.wifi_link);
+    }
+    const std::size_t widx = b->cluster->add_worker(cfg.server, node);
+    thermal::AnyRoom room =
+        cfg.high_fidelity_rooms
+            ? thermal::AnyRoom(thermal::Room2R2C(cfg.room_2r2c, cfg.initial_temperature))
+            : thermal::AnyRoom(thermal::Room(cfg.room, cfg.initial_temperature));
+    thermal::ModulatingThermostat thermostat(cfg.comfort.day_target, cfg.thermostat_gain_w_per_k,
+                                             rating);
+    b->rooms.emplace_back(std::move(room), thermostat, HeatRegulator(config_.regulator), widx);
+    // Servers start cold-set: inlet = initial room temperature.
+    b->cluster->worker(widx).server().set_inlet_temperature(cfg.initial_temperature);
+  }
+  buildings_.push_back(std::move(b));
+
+  // Horizontal-offload ring: each cluster's peer is the next one.
+  const std::size_t n = buildings_.size();
+  if (n > 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      buildings_[i]->cluster->set_peer(buildings_[(i + 1) % n]->cluster.get());
+    }
+  }
+  return n - 1;
+}
+
+void Df3Platform::add_edge_source(std::size_t b, workload::RequestFactory factory,
+                                  double rate_per_s, bool direct, bool via_wifi) {
+  add_edge_source(b, std::move(factory), std::make_unique<workload::PoissonArrivals>(rate_per_s),
+                  direct, via_wifi);
+}
+
+void Df3Platform::add_edge_source(std::size_t b, workload::RequestFactory factory,
+                                  std::unique_ptr<workload::ArrivalProcess> arrivals,
+                                  bool direct, bool via_wifi) {
+  if (b >= buildings_.size()) throw std::out_of_range("add_edge_source: bad building");
+  const auto name = "edge-src-" + std::to_string(source_counter_++);
+  sources_.push_back(std::make_unique<workload::WorkloadSource>(
+      sim_, name, config_.seed, std::move(arrivals), std::move(factory),
+      [this, b, direct, via_wifi](workload::Request r) {
+        r.flow = direct ? workload::Flow::kEdgeDirect : workload::Flow::kEdgeIndirect;
+        deliver_to_cluster(std::move(r), b, direct, via_wifi);
+      }));
+  sources_.back()->start();
+}
+
+void Df3Platform::add_cloud_source(workload::RequestFactory factory, double rate_per_s) {
+  add_cloud_source(std::move(factory), std::make_unique<workload::PoissonArrivals>(rate_per_s));
+}
+
+void Df3Platform::add_cloud_source(workload::RequestFactory factory,
+                                   std::unique_ptr<workload::ArrivalProcess> arrivals) {
+  const auto name = "cloud-src-" + std::to_string(source_counter_++);
+  sources_.push_back(std::make_unique<workload::WorkloadSource>(
+      sim_, name, config_.seed, std::move(arrivals), std::move(factory),
+      [this](workload::Request r) {
+        r.flow = workload::Flow::kCloud;
+        Cluster* target = route_cloud_target();
+        if (target == nullptr) {
+          if (!datacenter_) {
+            workload::CompletionRecord rec;
+            rec.request = std::move(r);
+            rec.outcome = workload::Outcome::kRejected;
+            rec.completed_at = sim_.now();
+            rec.served_by = "nowhere";
+            flow_metrics_.record(rec);
+            return;
+          }
+          datacenter_->submit(std::move(r), internet_node_,
+                              [this](workload::CompletionRecord rec) {
+                                flow_metrics_.record(rec);
+                              });
+          return;
+        }
+        // Pay the Internet -> gateway transport, then hand to the cluster.
+        const auto gw = target->gateway_node();
+        network_->send(
+            net::Message{internet_node_, gw, r.input_size, r.id},
+            [target, r, this](sim::Time) mutable { target->submit(std::move(r), internet_node_); },
+            [this, r]() mutable {
+              workload::CompletionRecord rec;
+              rec.request = std::move(r);
+              rec.outcome = workload::Outcome::kDropped;
+              rec.completed_at = sim_.now();
+              rec.served_by = "uplink-partition";
+              flow_metrics_.record(rec);
+            });
+      }));
+  sources_.back()->start();
+}
+
+Cluster* Df3Platform::route_cloud_target() {
+  if (buildings_.empty()) return nullptr;
+  switch (cloud_routing_) {
+    case CloudRouting::kDatacenterOnly:
+      return nullptr;
+    case CloudRouting::kSeasonAware: {
+      const auto seasonal = weather_.seasonal_component(sim_.now());
+      const auto cutoff = buildings_.front()->cfg.comfort.heating_cutoff_outdoor;
+      if (seasonal >= cutoff && datacenter_) return nullptr;
+      break;
+    }
+    case CloudRouting::kDfFirst:
+      break;
+  }
+  Cluster* c = buildings_[rr_next_ % buildings_.size()]->cluster.get();
+  ++rr_next_;
+  return c;
+}
+
+void Df3Platform::deliver_to_cluster(workload::Request r, std::size_t b, bool direct,
+                                     bool via_wifi) {
+  Building& building = *buildings_[b];
+  const net::NodeId origin = via_wifi ? building.wifi_node : building.device_node;
+  const net::NodeId entry =
+      direct ? building.cluster->worker(0).node() : building.cluster->gateway_node();
+  network_->send(
+      net::Message{origin, entry, r.input_size, r.id},
+      [this, b, direct, origin, r](sim::Time) mutable {
+        Building& bd = *buildings_[b];
+        if (direct) {
+          bd.cluster->submit_direct(std::move(r), origin, 0);
+        } else {
+          bd.cluster->submit(std::move(r), origin);
+        }
+      },
+      [this, r]() mutable {
+        workload::CompletionRecord rec;
+        rec.request = std::move(r);
+        rec.outcome = workload::Outcome::kDropped;
+        rec.completed_at = sim_.now();
+        rec.served_by = "lan-partition";
+        flow_metrics_.record(rec);
+      });
+}
+
+void Df3Platform::tick(sim::Time t) {
+  const double dt = config_.tick_s;
+  const util::Celsius t_out = weather_.outdoor_temperature(t);
+  const util::Celsius seasonal = weather_.seasonal_component(t);
+  const double hour = thermal::hour_of_day(t);
+
+  double city_demand_w = 0.0;
+  double city_cores = 0.0;
+  double temp_sum = 0.0;
+  std::size_t room_count = 0;
+
+  for (auto& bptr : buildings_) {
+    Building& b = *bptr;
+    const bool heating_season = seasonal < b.cfg.comfort.heating_cutoff_outdoor;
+    const util::Celsius target = b.cfg.comfort.target_at_hour(hour);
+    for (auto& unit : b.rooms) {
+      Worker& worker = b.cluster->worker(unit.worker_index);
+      hw::DfServer& server = worker.server();
+
+      // 1. Integrate the interval that just elapsed at the server's current
+      //    operating point (piecewise-constant approximation at tick scale).
+      server.advance(util::Seconds{dt}, unit.last_season);
+      const util::Joules delta{server.energy_consumed().value() - unit.energy_mark.value()};
+      unit.energy_mark = server.energy_consumed();
+
+      // 2. Heat the room with what was actually emitted indoors.
+      const util::Watts emitted{delta.value() / dt};
+      const bool indoors = server.spec().routing != hw::HeatRouting::kDualPipe ||
+                           unit.last_season;
+      // Solar/occupancy gains ramp with the season (zero in deep winter).
+      const double solar_frac = std::clamp((seasonal.value() - 5.0) / 12.0, 0.0, 1.0);
+      const util::Watts solar{b.cfg.solar_gain_peak_w * solar_frac};
+      unit.room.advance(util::Seconds{dt},
+                        (indoors ? emitted : util::Watts{0.0}) + solar, t_out);
+
+      // 3. Account energy and regulation fidelity.
+      df_energy_.add_it(delta);
+      df_energy_.add_overhead(delta * kDfOverheadFraction);
+      const util::Joules wanted = unit.last_demand * util::Seconds{dt};
+      const util::Joules useful{std::min(delta.value(), wanted.value())};
+      if (indoors) {
+        df_energy_.add_useful_heat(useful);
+        df_energy_.add_waste_heat(delta - useful);
+      } else {
+        df_energy_.add_waste_heat(delta);
+      }
+      unit.regulator.record(util::Seconds{dt}, emitted, unit.last_demand);
+      b.comfort_metrics.sample(t, unit.room.temperature(), target);
+
+      // 4. Close the control loop for the next interval.
+      unit.thermostat.set_target(target);
+      thermal::HeatDemand demand{util::Watts{0.0}, false};
+      if (heating_season) {
+        demand = unit.thermostat.demand(unit.room.temperature(),
+                                        unit.room.holding_power(target, t_out));
+      }
+      unit.regulator.regulate(server, demand);
+      server.set_inlet_temperature(unit.room.temperature());
+      unit.last_demand = demand.power;
+      unit.last_season = heating_season;
+
+      city_demand_w += demand.power.value();
+      temp_sum += unit.room.temperature().value();
+      ++room_count;
+    }
+    if (b.tank_unit) {
+      // Digital-boiler plant: the hot-water store is the "thermostat" and
+      // it wants heat in every season.
+      TankUnit& tu = *b.tank_unit;
+      Worker& worker = b.cluster->worker(tu.worker_index);
+      hw::DfServer& server = worker.server();
+      server.advance(util::Seconds{dt}, /*heating_season=*/true);
+      const util::Joules delta{server.energy_consumed().value() - tu.energy_mark.value()};
+      tu.energy_mark = server.energy_consumed();
+      const util::Watts emitted{delta.value() / dt};
+      const double draw = thermal::hot_water_draw_lps(t, b.cfg.daily_hot_water_l);
+      tu.tank.advance(util::Seconds{dt}, emitted, draw);
+      df_energy_.add_it(delta);
+      df_energy_.add_overhead(delta * kDfOverheadFraction);
+      const util::Joules wanted = tu.last_demand * util::Seconds{dt};
+      const util::Joules useful{std::min(delta.value(), wanted.value())};
+      df_energy_.add_useful_heat(useful);
+      df_energy_.add_waste_heat(delta - useful);
+      tu.regulator.record(util::Seconds{dt}, emitted, tu.last_demand);
+      b.comfort_metrics.sample(t, tu.tank.temperature(), tu.tank.params().setpoint);
+      const auto demand = tu.tank.demand(draw, b.cfg.server.rated_power());
+      tu.regulator.regulate(server, demand);
+      // The immersion oil returns cooled from the tank heat exchanger:
+      // inlet sits a design approach (~15 K) below the store, so a store
+      // at setpoint keeps the boiler inside its thermal envelope while an
+      // overheating store still triggers the throttle.
+      server.set_inlet_temperature(util::Celsius{tu.tank.temperature().value() - 15.0});
+      tu.last_demand = demand.power;
+      city_demand_w += demand.power.value();
+    }
+    b.cluster->sync_workers();
+    city_cores += b.cluster->usable_cores();
+  }
+
+  if (room_count > 0) temp_series_.add(t, temp_sum / static_cast<double>(room_count));
+  capacity_series_.add(t, city_cores);
+  demand_series_.add(t, city_demand_w);
+  outdoor_series_.add(t, t_out.value());
+}
+
+void Df3Platform::run(util::Seconds duration) {
+  if (duration.value() < 0.0) throw std::invalid_argument("run: negative duration");
+  if (!physics_) {
+    physics_ = std::make_unique<sim::PeriodicProcess>(
+        sim_, sim_.now() + config_.tick_s, config_.tick_s, [this](sim::Time t) { tick(t); });
+  }
+  sim_.run_until(sim_.now() + duration.value());
+}
+
+double Df3Platform::regulator_relative_error() const {
+  double err = 0.0, req = 0.0;
+  for (const auto& b : buildings_) {
+    for (const auto& unit : b->rooms) {
+      req += unit.regulator.requested_total().value();
+      err += unit.regulator.relative_error() * unit.regulator.requested_total().value();
+    }
+  }
+  return req <= 0.0 ? 0.0 : err / req;
+}
+
+std::uint64_t Df3Platform::total_preemptions() const {
+  std::uint64_t n = 0;
+  for (const auto& b : buildings_) n += b->cluster->stats().preemptions;
+  return n;
+}
+
+util::Celsius Df3Platform::room_temperature(std::size_t b, std::size_t r) const {
+  return buildings_.at(b)->rooms.at(r).room.temperature();
+}
+
+void Df3Platform::export_series_csv(std::ostream& os) const {
+  os << "time_s,room_mean_c,usable_cores,heat_demand_w,outdoor_c\n";
+  const auto old_precision = os.precision(10);
+  for (std::size_t i = 0; i < capacity_series_.size(); ++i) {
+    const double room = i < temp_series_.size() ? temp_series_.values[i] : 0.0;
+    os << capacity_series_.times[i] << ',' << room << ',' << capacity_series_.values[i] << ','
+       << demand_series_.values[i] << ',' << outdoor_series_.values[i] << '\n';
+  }
+  os.precision(old_precision);
+}
+
+util::Celsius Df3Platform::tank_temperature(std::size_t b) const {
+  const auto& unit = buildings_.at(b)->tank_unit;
+  if (!unit) throw std::logic_error("tank_temperature: not a boiler building");
+  return unit->tank.temperature();
+}
+
+}  // namespace df3::core

@@ -1,0 +1,83 @@
+#include "df3/core/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace df3::core {
+
+namespace {
+/// EDF key: absolute deadline, +infinity for deadline-less shards.
+double edf_key(const Task& t) {
+  const auto d = t.deadline();
+  return d ? *d : std::numeric_limits<double>::infinity();
+}
+}  // namespace
+
+void TaskQueue::insert_by_discipline(std::deque<Task>& q, Task t) {
+  if (discipline_ == QueueDiscipline::kFcfs) {
+    q.push_back(std::move(t));
+    return;
+  }
+  // EDF: stable insert before the first entry with a later deadline. The
+  // lane is always sorted, so binary search finds the spot in O(log n) —
+  // and the dominant case (deadline-less cloud shards, key = +inf, which
+  // land at the back) degenerates to an O(1) push_back instead of a full
+  // scan per shard.
+  const double key = edf_key(t);
+  if (q.empty() || edf_key(q.back()) <= key) {
+    q.push_back(std::move(t));
+    return;
+  }
+  const auto it = std::upper_bound(
+      q.begin(), q.end(), key, [](double k, const Task& other) { return k < edf_key(other); });
+  q.insert(it, std::move(t));
+}
+
+void TaskQueue::push(Task t) {
+  // Evaluate the lane before moving `t` into the parameter: function
+  // argument evaluation order is unspecified.
+  auto& q = lane(t.priority());
+  insert_by_discipline(q, std::move(t));
+}
+
+void TaskQueue::push_front(Task t) {
+  auto& q = lane(t.priority());
+  q.push_front(std::move(t));
+}
+
+std::optional<Task> TaskQueue::pop() {
+  if (!edge_.empty()) {
+    Task t = std::move(edge_.front());
+    edge_.pop_front();
+    return t;
+  }
+  if (!cloud_.empty()) {
+    Task t = std::move(cloud_.front());
+    cloud_.pop_front();
+    return t;
+  }
+  return std::nullopt;
+}
+
+std::optional<Task> TaskQueue::pop_class(Priority p) {
+  auto& q = lane(p);
+  if (q.empty()) return std::nullopt;
+  Task t = std::move(q.front());
+  q.pop_front();
+  return t;
+}
+
+const Task* TaskQueue::peek() const {
+  if (!edge_.empty()) return &edge_.front();
+  if (!cloud_.empty()) return &cloud_.front();
+  return nullptr;
+}
+
+double TaskQueue::backlog_gigacycles() const {
+  double total = 0.0;
+  for (const auto& t : edge_) total += t.remaining_gigacycles;
+  for (const auto& t : cloud_) total += t.remaining_gigacycles;
+  return total;
+}
+
+}  // namespace df3::core

@@ -1,0 +1,25 @@
+#include "df3/core/task.hpp"
+
+#include <stdexcept>
+
+namespace df3::core {
+
+std::vector<Task> make_tasks(workload::Request r, double slowdown) {
+  if (r.tasks <= 0) throw std::invalid_argument("make_tasks: request has no tasks");
+  if (slowdown < 1.0) throw std::invalid_argument("make_tasks: slowdown must be >= 1");
+  return make_tasks(std::make_shared<RequestState>(std::move(r)), slowdown);
+}
+
+std::vector<Task> make_tasks(std::shared_ptr<RequestState> state, double slowdown) {
+  if (!state) throw std::invalid_argument("make_tasks: null state");
+  if (state->request.tasks <= 0) throw std::invalid_argument("make_tasks: request has no tasks");
+  if (slowdown < 1.0) throw std::invalid_argument("make_tasks: slowdown must be >= 1");
+  std::vector<Task> out;
+  out.reserve(static_cast<std::size_t>(state->request.tasks));
+  for (int i = 0; i < state->request.tasks; ++i) {
+    out.push_back(Task{state, i, state->request.work_gigacycles, slowdown});
+  }
+  return out;
+}
+
+}  // namespace df3::core

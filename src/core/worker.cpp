@@ -1,0 +1,131 @@
+#include "df3/core/worker.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace df3::core {
+
+Worker::Worker(sim::Simulation& sim, std::string name, hw::ServerSpec spec, net::NodeId node,
+               TaskDone on_task_done)
+    : sim::Entity(sim, std::move(name)),
+      server_(std::move(spec)),
+      node_(node),
+      on_task_done_(std::move(on_task_done)) {
+  if (!on_task_done_) throw std::invalid_argument("Worker: null completion callback");
+}
+
+int Worker::free_cores() const {
+  return std::max(0, server_.usable_cores() - busy_cores());
+}
+
+double Worker::busy_core_seconds() const {
+  return busy_core_seconds_ + busy_cores() * (now() - busy_accum_mark_);
+}
+
+void Worker::settle(Running& r) {
+  const double elapsed = now() - r.started_at;
+  if (elapsed > 0.0 && r.speed_gcps > 0.0) {
+    const double progressed = elapsed * r.speed_gcps / r.task.slowdown;
+    r.task.remaining_gigacycles = std::max(0.0, r.task.remaining_gigacycles - progressed);
+  }
+  r.started_at = now();
+}
+
+void Worker::arm_completion(Running& r) {
+  r.completion.cancel();
+  if (r.speed_gcps <= 0.0) return;  // paused: gated off or thermally shut down
+  const double duration = r.task.remaining_gigacycles * r.task.slowdown / r.speed_gcps;
+  const int shard = r.task.shard_index;
+  const auto* state = r.task.request.get();
+  r.completion = sim().schedule_in(duration, [this, state, shard] {
+    for (std::size_t i = 0; i < running_.size(); ++i) {
+      if (running_[i].task.request.get() == state && running_[i].task.shard_index == shard) {
+        finish(i);
+        return;
+      }
+    }
+  });
+}
+
+bool Worker::try_start(Task task) {
+  if (free_cores() <= 0) return false;
+  busy_core_seconds_ = busy_core_seconds();
+  busy_accum_mark_ = now();
+  Running r;
+  r.task = std::move(task);
+  r.started_at = now();
+  r.speed_gcps = server_.core_speed_gcps();
+  running_.push_back(std::move(r));
+  server_.set_busy_cores(busy_cores());
+  if (running_.back().task.request->first_dispatch < 0.0) {
+    running_.back().task.request->first_dispatch = now();
+  }
+  arm_completion(running_.back());
+  return true;
+}
+
+void Worker::finish(std::size_t idx) {
+  busy_core_seconds_ = busy_core_seconds();
+  busy_accum_mark_ = now();
+  Running r = std::move(running_[idx]);
+  running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(idx));
+  settle(r);
+  r.task.remaining_gigacycles = 0.0;
+  if (server_.usable_cores() > 0) server_.set_busy_cores(busy_cores());
+  ++completed_;
+  on_task_done_(std::move(r.task));
+}
+
+std::optional<Task> Worker::preempt_one(Priority min_keep) {
+  std::size_t best = running_.size();
+  double most_remaining = -1.0;
+  for (std::size_t i = 0; i < running_.size(); ++i) {
+    Running& r = running_[i];
+    if (r.task.priority() >= min_keep || !r.task.preemptible()) continue;
+    settle(r);  // refresh remaining work before comparing
+    if (r.task.remaining_gigacycles > most_remaining) {
+      most_remaining = r.task.remaining_gigacycles;
+      best = i;
+    }
+  }
+  if (best == running_.size()) return std::nullopt;
+  busy_core_seconds_ = busy_core_seconds();
+  busy_accum_mark_ = now();
+  Running victim = std::move(running_[best]);
+  running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(best));
+  victim.completion.cancel();
+  settle(victim);
+  if (server_.usable_cores() > 0) server_.set_busy_cores(busy_cores());
+  ++preempted_;
+  return std::move(victim.task);
+}
+
+int Worker::running_below(Priority p) const {
+  int n = 0;
+  for (const auto& r : running_) {
+    if (r.task.priority() < p && r.task.preemptible()) ++n;
+  }
+  return n;
+}
+
+void Worker::sync_speed() {
+  const double new_speed = server_.core_speed_gcps();
+  for (auto& r : running_) {
+    if (r.speed_gcps == new_speed) continue;
+    settle(r);
+    r.speed_gcps = new_speed;
+    arm_completion(r);
+  }
+  // Re-assert busy-core accounting: gating clears it inside the server.
+  if (server_.usable_cores() > 0) {
+    server_.set_busy_cores(std::min(busy_cores(), server_.usable_cores()));
+  }
+}
+
+double Worker::backlog_gigacycles() const {
+  double total = 0.0;
+  for (const auto& r : running_) total += r.task.remaining_gigacycles;
+  return total;
+}
+
+}  // namespace df3::core

@@ -1,0 +1,33 @@
+#include "df3/hw/mining.hpp"
+
+#include <stdexcept>
+
+namespace df3::hw {
+
+double hash_rate(const DfServer& server, const MiningConfig& config) {
+  const double total = server.power().value();
+  const double idle = server.powered() && !server.thermally_shut_down()
+                          ? server.idle_power().value()
+                          : total;
+  const double dynamic_w = std::max(0.0, total - idle);
+  return dynamic_w * config.hashes_per_joule;
+}
+
+MiningLedger::MiningLedger(MiningConfig config) : config_(config) {
+  if (config_.hashes_per_joule <= 0.0 || config_.reward_per_hash < 0.0 ||
+      config_.electricity_per_kwh < 0.0 || config_.heat_value_per_kwh < 0.0) {
+    throw std::invalid_argument("MiningLedger: invalid config");
+  }
+}
+
+void MiningLedger::advance(const DfServer& server, util::Seconds dt, bool heat_wanted) {
+  if (dt.value() < 0.0) throw std::invalid_argument("MiningLedger::advance: negative dt");
+  const double h = hash_rate(server, config_) * dt.value();
+  hashes_ += h;
+  coin_revenue_ += h * config_.reward_per_hash;
+  const util::Joules energy = server.power() * dt;
+  electricity_cost_ += energy.kwh() * config_.electricity_per_kwh;
+  if (heat_wanted) heat_value_ += energy.kwh() * config_.heat_value_per_kwh;
+}
+
+}  // namespace df3::hw

@@ -1,0 +1,208 @@
+#include "df3/hw/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace df3::hw {
+
+util::Watts ServerSpec::rated_power() const {
+  const CpuModel model(cpu);
+  return model.power(cpu.top_pstate(), 1.0) * static_cast<double>(cpu_count);
+}
+
+ServerSpec qrad_spec() {
+  ServerSpec s;
+  s.family = "qrad";
+  s.cpu = qrad_cpu_spec();
+  s.cpu_count = 4;
+  s.standby_power = util::Watts{4.0};
+  s.routing = HeatRouting::kIndoor;
+  return s;
+}
+
+ServerSpec eradiator_spec() {
+  ServerSpec s;
+  s.family = "eradiator";
+  s.cpu = qrad_cpu_spec();
+  s.cpu_count = 8;  // ~1000 W chassis
+  s.standby_power = util::Watts{6.0};
+  s.routing = HeatRouting::kDualPipe;
+  return s;
+}
+
+ServerSpec crypto_heater_spec() {
+  ServerSpec s;
+  s.family = "crypto-heater";
+  s.cpu = crypto_gpu_spec();
+  s.cpu_count = 2;
+  s.standby_power = util::Watts{8.0};
+  s.routing = HeatRouting::kIndoor;
+  return s;
+}
+
+ServerSpec asperitas_boiler_spec() {
+  ServerSpec s;
+  s.family = "asperitas-aic24";
+  s.cpu = boiler_cpu_spec();
+  s.cpu_count = 200;
+  s.standby_power = util::Watts{120.0};
+  s.routing = HeatRouting::kWaterLoop;
+  // Immersion cooling tolerates far hotter loops than room air.
+  s.throttle_start = util::Celsius{45.0};
+  s.shutdown_temp = util::Celsius{55.0};
+  return s;
+}
+
+ServerSpec stimergy_boiler_spec() {
+  ServerSpec s;
+  s.family = "stimergy-boiler";
+  s.cpu = boiler_cpu_spec();
+  s.cpu_count = 40;  // ~4 kW oil bath
+  s.standby_power = util::Watts{40.0};
+  s.routing = HeatRouting::kWaterLoop;
+  s.throttle_start = util::Celsius{45.0};
+  s.shutdown_temp = util::Celsius{55.0};
+  return s;
+}
+
+DfServer::DfServer(ServerSpec spec)
+    : spec_(std::move(spec)), cpu_model_(spec_.cpu), pstate_(spec_.cpu.top_pstate()) {
+  if (spec_.cpu_count <= 0) throw std::invalid_argument("DfServer: cpu_count must be positive");
+  if (spec_.shutdown_temp <= spec_.throttle_start) {
+    throw std::invalid_argument("DfServer: shutdown_temp must exceed throttle_start");
+  }
+}
+
+void DfServer::set_powered(bool on) {
+  powered_ = on;
+  if (!on) {
+    busy_cores_ = 0;
+    filler_cores_ = 0;
+  }
+}
+
+void DfServer::set_pstate(std::size_t ps) {
+  if (ps >= spec_.cpu.pstates.size()) throw std::out_of_range("DfServer::set_pstate");
+  pstate_ = ps;
+}
+
+void DfServer::set_busy_cores(int cores) {
+  if (cores < 0 || cores > spec_.total_cores()) {
+    throw std::invalid_argument("DfServer::set_busy_cores: out of range");
+  }
+  busy_cores_ = cores;
+}
+
+void DfServer::set_filler_cores(int cores) {
+  if (cores < 0 || cores > spec_.total_cores()) {
+    throw std::invalid_argument("DfServer::set_filler_cores: out of range");
+  }
+  filler_cores_ = cores;
+}
+
+int DfServer::loaded_cores() const {
+  if (!powered_ || thermally_shut_down()) return 0;
+  return std::min(spec_.total_cores(), busy_cores_ + filler_cores_);
+}
+
+void DfServer::set_inlet_temperature(util::Celsius t) {
+  inlet_ = t;
+  if (thermally_shut_down()) {
+    busy_cores_ = 0;
+    filler_cores_ = 0;
+  }
+}
+
+bool DfServer::thermally_shut_down() const { return inlet_ >= spec_.shutdown_temp; }
+
+std::size_t DfServer::effective_pstate() const {
+  if (inlet_ <= spec_.throttle_start) return pstate_;
+  if (thermally_shut_down()) return 0;
+  // Linear derating across the throttle window: the available fraction of
+  // the P-state ladder shrinks as the inlet approaches shutdown.
+  const double window = spec_.shutdown_temp.value() - spec_.throttle_start.value();
+  const double excess = inlet_.value() - spec_.throttle_start.value();
+  const double fraction = 1.0 - excess / window;
+  const auto ladder = static_cast<double>(spec_.cpu.pstates.size() - 1);
+  const auto cap = static_cast<std::size_t>(std::floor(ladder * fraction));
+  return std::min(pstate_, cap);
+}
+
+int DfServer::usable_cores() const {
+  if (!powered_ || thermally_shut_down()) return 0;
+  return spec_.total_cores();
+}
+
+double DfServer::core_speed_gcps() const {
+  if (usable_cores() == 0) return 0.0;
+  return cpu_model_.core_speed_gcps(effective_pstate());
+}
+
+util::Watts DfServer::power() const {
+  if (!powered_) return spec_.standby_power;
+  if (thermally_shut_down()) return spec_.standby_power;
+  const double util_frac =
+      static_cast<double>(loaded_cores()) / static_cast<double>(spec_.total_cores());
+  return cpu_model_.power(effective_pstate(), util_frac) * static_cast<double>(spec_.cpu_count);
+}
+
+util::Watts DfServer::max_power_now() const {
+  if (usable_cores() == 0) return spec_.standby_power;
+  return cpu_model_.power(effective_pstate(), 1.0) * static_cast<double>(spec_.cpu_count);
+}
+
+util::Watts DfServer::idle_power() const {
+  if (usable_cores() == 0) return spec_.standby_power;
+  return cpu_model_.power(effective_pstate(), 0.0) * static_cast<double>(spec_.cpu_count);
+}
+
+util::Watts DfServer::apply_power_cap(util::Watts cap, bool allow_gating) {
+  const double per_cpu_cap = cap.value() / static_cast<double>(spec_.cpu_count);
+  std::size_t ps = 0;
+  if (cpu_model_.highest_pstate_within(util::Watts{per_cpu_cap}, ps)) {
+    set_powered(true);
+    set_pstate(ps);
+    return max_power_now();
+  }
+  if (allow_gating) {
+    set_powered(false);
+    return spec_.standby_power;
+  }
+  set_powered(true);
+  set_pstate(0);
+  return max_power_now();
+}
+
+void DfServer::advance(util::Seconds dt, bool heating_season) {
+  if (dt.value() < 0.0) throw std::invalid_argument("DfServer::advance: negative dt");
+  const util::Joules e = power() * dt;
+  energy_ += e;
+  switch (spec_.routing) {
+    case HeatRouting::kIndoor:
+    case HeatRouting::kWaterLoop:
+      heat_indoor_ += e;
+      break;
+    case HeatRouting::kDualPipe:
+      (heating_season ? heat_indoor_ : heat_outdoor_) += e;
+      break;
+  }
+  // Arrhenius-style stress accumulation: doubles per +10 K of junction
+  // temperature over the reference.
+  const double tj = junction_temperature().value();
+  const double accel = std::pow(2.0, (tj - spec_.aging_reference_junction.value()) / 10.0);
+  stress_hours_ += accel * dt.value() / 3600.0;
+}
+
+util::Celsius DfServer::junction_temperature() const {
+  if (usable_cores() == 0 || !powered_) return inlet_;
+  const double util_frac =
+      static_cast<double>(loaded_cores()) / static_cast<double>(spec_.total_cores());
+  // Free-cooled parts run hot: ~25 K rise at idle clocks, up to ~45 K at
+  // full load and top frequency.
+  const double freq_ratio = cpu_model_.core_speed_gcps(effective_pstate()) /
+                            cpu_model_.core_speed_gcps(spec_.cpu.top_pstate());
+  return util::Celsius{inlet_.value() + 25.0 + 20.0 * util_frac * freq_ratio};
+}
+
+}  // namespace df3::hw

@@ -1,0 +1,99 @@
+#include "df3/metrics/collectors.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace df3::metrics {
+
+const FlowMetrics::Slice FlowMetrics::kEmpty{};
+
+namespace {
+void record_into(FlowMetrics::Slice& s, const workload::CompletionRecord& rec) {
+  switch (rec.outcome) {
+    case workload::Outcome::kCompleted:
+      ++s.completed;
+      s.response_s.add(rec.response_time());
+      break;
+    case workload::Outcome::kDeadlineMissed:
+      ++s.deadline_missed;
+      break;
+    case workload::Outcome::kRejected:
+      ++s.rejected;
+      break;
+    case workload::Outcome::kDropped:
+      ++s.dropped;
+      break;
+  }
+}
+}  // namespace
+
+void FlowMetrics::record(const workload::CompletionRecord& rec) {
+  record_into(overall_, rec);
+  record_into(by_flow_[rec.request.flow], rec);
+  record_into(by_app_[rec.request.app], rec);
+  ++served_by_[rec.served_by];
+}
+
+const FlowMetrics::Slice& FlowMetrics::by_flow(workload::Flow f) const {
+  const auto it = by_flow_.find(f);
+  return it == by_flow_.end() ? kEmpty : it->second;
+}
+
+const FlowMetrics::Slice& FlowMetrics::by_app(const std::string& app) const {
+  const auto it = by_app_.find(app);
+  return it == by_app_.end() ? kEmpty : it->second;
+}
+
+std::uint64_t FlowMetrics::served_by_prefix(const std::string& prefix) const {
+  std::uint64_t n = 0;
+  for (const auto& [key, count] : served_by_) {
+    if (key.rfind(prefix, 0) == 0) n += count;
+  }
+  return n;
+}
+
+namespace {
+void add_checked(util::Joules& slot, util::Joules e, const char* what) {
+  if (e.value() < 0.0) throw std::invalid_argument(std::string("EnergyLedger: negative ") + what);
+  slot += e;
+}
+}  // namespace
+
+void EnergyLedger::add_it(util::Joules e) { add_checked(it_, e, "IT energy"); }
+void EnergyLedger::add_overhead(util::Joules e) { add_checked(overhead_, e, "overhead"); }
+void EnergyLedger::add_cooling(util::Joules e) { add_checked(cooling_, e, "cooling"); }
+void EnergyLedger::add_useful_heat(util::Joules e) { add_checked(useful_heat_, e, "useful heat"); }
+void EnergyLedger::add_waste_heat(util::Joules e) { add_checked(waste_heat_, e, "waste heat"); }
+
+double EnergyLedger::pue() const {
+  if (it_.value() <= 0.0) return 1.0;
+  return facility_total().value() / it_.value();
+}
+
+double EnergyLedger::heat_reuse_fraction() const {
+  const double total = facility_total().value();
+  return total <= 0.0 ? 0.0 : useful_heat_.value() / total;
+}
+
+void EnergyLedger::merge(const EnergyLedger& other) {
+  it_ += other.it_;
+  overhead_ += other.overhead_;
+  cooling_ += other.cooling_;
+  useful_heat_ += other.useful_heat_;
+  waste_heat_ += other.waste_heat_;
+}
+
+void ComfortMetrics::sample(double t, util::Celsius room, util::Celsius target) {
+  abs_dev_.record(t, std::abs(room.value() - target.value()));
+  temp_.record(t, room.value());
+}
+
+double ComfortMetrics::mean_abs_deviation_k(double until) const {
+  return abs_dev_.empty() ? 0.0 : abs_dev_.mean_until(until);
+}
+
+double ComfortMetrics::mean_temperature_c(double until) const {
+  return temp_.empty() ? 0.0 : temp_.mean_until(until);
+}
+
+}  // namespace df3::metrics

@@ -1,0 +1,71 @@
+#include "df3/net/protocol.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace df3::net {
+
+util::Seconds LinkProfile::serialization_time(util::Bytes size) const {
+  if (size.value() < 0.0) throw std::invalid_argument("serialization_time: negative size");
+  if (bandwidth.value() <= 0.0) throw std::invalid_argument("LinkProfile: bandwidth <= 0");
+  if (duty_cycle <= 0.0 || duty_cycle > 1.0) {
+    throw std::invalid_argument("LinkProfile: duty_cycle outside (0,1]");
+  }
+  const double frames =
+      size.value() == 0.0 ? 1.0 : std::ceil(size.value() / max_payload.value());
+  const double wire_bytes = size.value() + frames * frame_overhead.value();
+  const double raw_s = wire_bytes * 8.0 / bandwidth.value();
+  // Duty-cycled radios must stay silent (1-d)/d of the air time.
+  return util::Seconds{raw_s / duty_cycle};
+}
+
+util::Seconds LinkProfile::one_hop_delay(util::Bytes size) const {
+  return serialization_time(size) + base_latency;
+}
+
+LinkProfile fiber_wan() {
+  return LinkProfile{"fiber-wan", util::gbps(1.0), util::seconds(0.008),
+                     util::bytes(65536.0), util::bytes(66.0), 1.0};
+}
+
+LinkProfile ethernet_lan() {
+  return LinkProfile{"ethernet-lan", util::gbps(1.0), util::seconds(0.0002),
+                     util::bytes(65536.0), util::bytes(66.0), 1.0};
+}
+
+LinkProfile ethernet_10g() {
+  return LinkProfile{"ethernet-10g", util::gbps(10.0), util::seconds(0.00005),
+                     util::bytes(65536.0), util::bytes(66.0), 1.0};
+}
+
+LinkProfile zigbee() {
+  return LinkProfile{"zigbee", util::kbps(250.0), util::seconds(0.010),
+                     util::bytes(100.0), util::bytes(31.0), 1.0};
+}
+
+LinkProfile wifi() {
+  return LinkProfile{"wifi", util::mbps(50.0), util::seconds(0.003),
+                     util::bytes(1448.0), util::bytes(80.0), 1.0};
+}
+
+LinkProfile lora() {
+  return LinkProfile{"lora", util::bps(5470.0), util::seconds(0.050),
+                     util::bytes(222.0), util::bytes(13.0), 0.01};
+}
+
+LinkProfile sigfox() {
+  return LinkProfile{"sigfox", util::bps(100.0), util::seconds(0.5),
+                     util::bytes(12.0), util::bytes(14.0), 0.01};
+}
+
+LinkProfile enocean() {
+  return LinkProfile{"enocean", util::kbps(125.0), util::seconds(0.005),
+                     util::bytes(14.0), util::bytes(7.0), 1.0};
+}
+
+LinkProfile adsl_wan() {
+  return LinkProfile{"adsl-wan", util::mbps(20.0), util::seconds(0.015),
+                     util::bytes(65536.0), util::bytes(66.0), 1.0};
+}
+
+}  // namespace df3::net

@@ -1,0 +1,105 @@
+#include "df3/sim/engine.hpp"
+
+#include <utility>
+
+namespace df3::sim {
+
+/// Shared state between the calendar and any outstanding handle.
+struct EventHandle::Record {
+  Simulation::Callback callback;
+  bool cancelled = false;
+  bool fired = false;
+  Simulation* owner = nullptr;  // for the cancellation counter
+};
+
+bool EventHandle::pending() const { return rec_ && !rec_->cancelled && !rec_->fired; }
+
+bool EventHandle::cancel() {
+  if (!pending()) return false;
+  rec_->cancelled = true;
+  rec_->callback = nullptr;  // release captured resources eagerly
+  if (rec_->owner != nullptr) ++rec_->owner->cancelled_;
+  return true;
+}
+
+bool Simulation::Compare::operator()(const QueueEntry& a, const QueueEntry& b) const {
+  // priority_queue is a max-heap; invert to pop earliest (time, seq) first.
+  if (a.t != b.t) return a.t > b.t;
+  return a.seq > b.seq;
+}
+
+EventHandle Simulation::schedule_at(Time t, Callback cb) {
+  if (t < now_) throw std::invalid_argument("Simulation::schedule_at: time is in the past");
+  if (!cb) throw std::invalid_argument("Simulation::schedule_at: empty callback");
+  auto rec = std::make_shared<EventHandle::Record>();
+  rec->callback = std::move(cb);
+  rec->owner = this;
+  queue_.push(QueueEntry{t, next_seq_++, rec});
+  ++scheduled_;
+  return EventHandle{std::move(rec)};
+}
+
+bool Simulation::step() {
+  while (!queue_.empty()) {
+    QueueEntry entry = queue_.top();
+    queue_.pop();
+    if (entry.rec->cancelled) continue;  // lazy deletion
+    now_ = entry.t;
+    entry.rec->fired = true;
+    // Move the callback out so the record does not pin captures after firing.
+    Callback cb = std::move(entry.rec->callback);
+    entry.rec->callback = nullptr;
+    ++executed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulation::run(std::size_t max_events) {
+  stop_requested_ = false;
+  std::size_t n = 0;
+  while (n < max_events && !stop_requested_) {
+    if (!step()) break;
+    ++n;
+  }
+  return n;
+}
+
+std::size_t Simulation::run_until(Time t) {
+  if (t < now_) throw std::invalid_argument("Simulation::run_until: time is in the past");
+  stop_requested_ = false;
+  std::size_t n = 0;
+  while (!stop_requested_) {
+    // Peek past cancelled entries to find the next live event.
+    while (!queue_.empty() && queue_.top().rec->cancelled) queue_.pop();
+    if (queue_.empty() || queue_.top().t > t) break;
+    step();
+    ++n;
+  }
+  if (!stop_requested_ && now_ < t) now_ = t;
+  return n;
+}
+
+PeriodicProcess::PeriodicProcess(Simulation& sim, Time start, Time period,
+                                 std::function<void(Time)> tick)
+    : sim_(sim), period_(period), tick_(std::move(tick)) {
+  if (period_ <= 0.0) throw std::invalid_argument("PeriodicProcess: period must be positive");
+  if (!tick_) throw std::invalid_argument("PeriodicProcess: empty tick callback");
+  arm(start);
+}
+
+void PeriodicProcess::arm(Time t) {
+  next_ = sim_.schedule_at(t, [this, t] {
+    if (!running_) return;
+    tick_(t);
+    if (running_) arm(t + period_);
+  });
+}
+
+void PeriodicProcess::stop() {
+  running_ = false;
+  next_.cancel();
+}
+
+}  // namespace df3::sim

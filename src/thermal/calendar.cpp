@@ -1,0 +1,56 @@
+#include "df3/thermal/calendar.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace df3::thermal {
+
+double day_of_year(sim::Time t) {
+  double d = std::fmod(t / kSecondsPerDay, 365.0);
+  if (d < 0.0) d += 365.0;
+  return d;
+}
+
+int month_of(sim::Time t) {
+  const double d = day_of_year(t);
+  constexpr auto starts = month_start_days();
+  for (int m = 11; m >= 0; --m) {
+    if (d >= starts[static_cast<std::size_t>(m)]) return m;
+  }
+  return 0;
+}
+
+double hour_of_day(sim::Time t) {
+  double h = std::fmod(t / 3600.0, 24.0);
+  if (h < 0.0) h += 24.0;
+  return h;
+}
+
+int day_of_week(sim::Time t) {
+  const auto day = static_cast<long long>(std::floor(t / kSecondsPerDay));
+  const long long dow = ((day % 7) + 7) % 7;
+  return static_cast<int>(dow);
+}
+
+bool is_business_hours(sim::Time t) {
+  const int dow = day_of_week(t);
+  if (dow >= 5) return false;  // Sat, Sun
+  const double h = hour_of_day(t);
+  return h >= 8.0 && h < 18.0;
+}
+
+std::string_view month_name(int month_index) {
+  static constexpr std::array<std::string_view, 12> names = {
+      "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+  if (month_index < 0 || month_index > 11) throw std::out_of_range("month_name: bad index");
+  return names[static_cast<std::size_t>(month_index)];
+}
+
+sim::Time start_of_month(int month_index, int year) {
+  if (month_index < 0 || month_index > 11) throw std::out_of_range("start_of_month: bad index");
+  constexpr auto starts = month_start_days();
+  return (static_cast<double>(year) * 365.0 + starts[static_cast<std::size_t>(month_index)]) *
+         kSecondsPerDay;
+}
+
+}  // namespace df3::thermal

@@ -1,0 +1,79 @@
+#include "df3/thermal/pv.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "df3/thermal/calendar.hpp"
+#include "df3/util/rng.hpp"
+
+namespace df3::thermal {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kDegToRad = kPi / 180.0;
+}  // namespace
+
+PvArray::PvArray(PvParams params, std::uint64_t seed) : params_(params), seed_(seed) {
+  if (params_.peak.value() <= 0.0) throw std::invalid_argument("PvArray: peak must be positive");
+  if (params_.mean_cloud_loss < 0.0 || params_.mean_cloud_loss >= 1.0) {
+    throw std::invalid_argument("PvArray: mean_cloud_loss outside [0,1)");
+  }
+  if (params_.cloud_phi < 0.0 || params_.cloud_phi >= 1.0) {
+    throw std::invalid_argument("PvArray: cloud_phi outside [0,1)");
+  }
+}
+
+util::Watts PvArray::clear_sky(sim::Time t) const {
+  // Solar declination (Cooper's formula) and the hour angle give the sine
+  // of the solar elevation; production follows it when positive.
+  const double doy = day_of_year(t);
+  const double declination =
+      23.45 * kDegToRad * std::sin(2.0 * kPi * (284.0 + doy) / 365.0);
+  const double hour_angle = (hour_of_day(t) - 12.0) * 15.0 * kDegToRad;
+  const double lat = params_.latitude_deg * kDegToRad;
+  const double sin_elev = std::sin(lat) * std::sin(declination) +
+                          std::cos(lat) * std::cos(declination) * std::cos(hour_angle);
+  if (sin_elev <= 0.0) return util::Watts{0.0};
+  return params_.peak * sin_elev;
+}
+
+double PvArray::cloudiness(sim::Time t) const {
+  // AR(1) cloud process reconstructed from counter-hashed innovations
+  // (same reproducible-in-any-order construction as the weather noise),
+  // squashed to [0,1] around the configured mean loss.
+  const auto hour = static_cast<std::int64_t>(std::floor(t / 3600.0));
+  const double phi = params_.cloud_phi;
+  constexpr int kWindow = 96;
+  double x = 0.0;
+  double weight = 1.0;
+  for (int k = 0; k < kWindow; ++k) {
+    std::uint64_t s = seed_ ^ (0xc1a0d5eedULL + 0x9e3779b97f4a7c15ULL *
+                                                   static_cast<std::uint64_t>(hour - k + 1));
+    const double u = static_cast<double>(util::splitmix64(s) >> 11) * 0x1.0p-53;
+    x += weight * (u - 0.5);
+    weight *= phi;
+  }
+  const double sigma = std::sqrt((1.0 - phi * phi));
+  // Logistic squash centred on the mean loss.
+  const double z = x * sigma * 6.0;
+  const double base = params_.mean_cloud_loss;
+  const double c = base + (1.0 - base) / (1.0 + std::exp(-z)) - (1.0 - base) * 0.5;
+  return std::clamp(c, 0.0, 1.0);
+}
+
+util::Watts PvArray::production(sim::Time t) const {
+  return clear_sky(t) * (1.0 - cloudiness(t));
+}
+
+util::Joules PvArray::energy(sim::Time t0, sim::Time t1, double step_s) const {
+  if (t1 < t0 || step_s <= 0.0) throw std::invalid_argument("PvArray::energy: bad interval");
+  util::Joules total{0.0};
+  for (double t = t0; t < t1; t += step_s) {
+    const double dt = std::min(step_s, t1 - t);
+    total += production(t + dt / 2.0) * util::Seconds{dt};
+  }
+  return total;
+}
+
+}  // namespace df3::thermal

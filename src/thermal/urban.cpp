@@ -1,0 +1,56 @@
+#include "df3/thermal/urban.hpp"
+
+#include <stdexcept>
+
+namespace df3::thermal {
+
+UrbanHeatLedger::UrbanHeatLedger(double district_area_m2, double uhi_sensitivity_k_per_w_m2)
+    : area_m2_(district_area_m2), sensitivity_(uhi_sensitivity_k_per_w_m2) {
+  if (area_m2_ <= 0.0) throw std::invalid_argument("UrbanHeatLedger: area must be positive");
+  if (sensitivity_ < 0.0) throw std::invalid_argument("UrbanHeatLedger: negative sensitivity");
+}
+
+std::size_t UrbanHeatLedger::add_source(std::string name) {
+  sources_.push_back(UrbanSource{std::move(name)});
+  return sources_.size() - 1;
+}
+
+void UrbanHeatLedger::record_indoor(std::size_t source, util::Joules heat) {
+  if (heat.value() < 0.0) throw std::invalid_argument("record_indoor: negative heat");
+  sources_.at(source).indoor_heat += heat;
+}
+
+void UrbanHeatLedger::record_outdoor(std::size_t source, util::Joules heat) {
+  if (heat.value() < 0.0) throw std::invalid_argument("record_outdoor: negative heat");
+  sources_.at(source).outdoor_heat += heat;
+}
+
+util::Joules UrbanHeatLedger::total_outdoor() const {
+  util::Joules total{0.0};
+  for (const auto& s : sources_) total += s.outdoor_heat;
+  return total;
+}
+
+util::Joules UrbanHeatLedger::total_indoor() const {
+  util::Joules total{0.0};
+  for (const auto& s : sources_) total += s.indoor_heat;
+  return total;
+}
+
+double UrbanHeatLedger::outdoor_flux_w_per_m2(util::Seconds period) const {
+  if (period.value() <= 0.0) throw std::invalid_argument("outdoor_flux: period must be positive");
+  return total_outdoor().value() / period.value() / area_m2_;
+}
+
+util::KelvinDelta UrbanHeatLedger::uhi_intensity(util::Seconds period) const {
+  return util::KelvinDelta{sensitivity_ * outdoor_flux_w_per_m2(period)};
+}
+
+double UrbanHeatLedger::useful_heat_fraction() const {
+  const double indoor = total_indoor().value();
+  const double outdoor = total_outdoor().value();
+  const double total = indoor + outdoor;
+  return total == 0.0 ? 1.0 : indoor / total;
+}
+
+}  // namespace df3::thermal

@@ -1,0 +1,85 @@
+#include "df3/thermal/water_tank.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "df3/thermal/calendar.hpp"
+
+namespace df3::thermal {
+
+namespace {
+constexpr double kWaterHeatCapacity = 4186.0;  // J/(kg K), 1 l ~ 1 kg
+}
+
+WaterTank::WaterTank(WaterTankParams params, util::Celsius initial)
+    : params_(params), temp_(initial) {
+  if (params_.volume_l <= 0.0 || params_.ua_w_per_k < 0.0 || params_.charge_gain_w_per_k < 0.0) {
+    throw std::invalid_argument("WaterTank: invalid parameters");
+  }
+  if (params_.setpoint <= params_.mains) {
+    throw std::invalid_argument("WaterTank: setpoint must exceed mains temperature");
+  }
+}
+
+util::Celsius WaterTank::equilibrium(util::Watts q, double draw_lps) const {
+  // Balance: Q = UA (T - T_amb) + draw c (T - T_mains)
+  const double ua = params_.ua_w_per_k;
+  const double dc = draw_lps * kWaterHeatCapacity;
+  const double denom = ua + dc;
+  if (denom <= 0.0) return temp_;  // perfectly insulated, no draw: any T holds
+  return util::Celsius{(q.value() + ua * params_.ambient.value() + dc * params_.mains.value()) /
+                       denom};
+}
+
+void WaterTank::advance(util::Seconds dt, util::Watts q, double draw_lps) {
+  if (dt.value() < 0.0) throw std::invalid_argument("WaterTank::advance: negative dt");
+  if (draw_lps < 0.0) throw std::invalid_argument("WaterTank::advance: negative draw");
+  if (dt.value() == 0.0) return;
+  const double capacity = params_.capacity_j_per_k();
+  const double ua = params_.ua_w_per_k;
+  const double dc = draw_lps * kWaterHeatCapacity;
+  const double loss_coeff = ua + dc;
+  if (loss_coeff <= 0.0) {
+    // Adiabatic, no draw: pure integration of the heat input.
+    temp_ = util::Celsius{temp_.value() + q.value() * dt.value() / capacity};
+  } else {
+    const util::Celsius eq = equilibrium(q, draw_lps);
+    const double tau = capacity / loss_coeff;
+    const double decay = std::exp(-dt.value() / tau);
+    temp_ = util::Celsius{eq.value() + (temp_.value() - eq.value()) * decay};
+  }
+  litres_served_ += draw_lps * dt.value();
+  if (temp_ < params_.legionella_min) below_sanitary_s_ += dt.value();
+}
+
+HeatDemand WaterTank::demand(double draw_lps, util::Watts rating) const {
+  // Feed-forward: hold against standing losses and the current draw.
+  const double hold = params_.ua_w_per_k * (params_.setpoint.value() - params_.ambient.value()) +
+                      draw_lps * kWaterHeatCapacity *
+                          (params_.setpoint.value() - params_.mains.value());
+  const double error_k = params_.setpoint.value() - temp_.value();
+  const double raw = hold + params_.charge_gain_w_per_k * error_k;
+  return HeatDemand{util::Watts{std::clamp(raw, 0.0, rating.value())},
+                    /*heating_season=*/true};
+}
+
+double hot_water_draw_lps(sim::Time t, double daily_litres) {
+  if (daily_litres < 0.0) throw std::invalid_argument("hot_water_draw: negative volume");
+  const double h = hour_of_day(t);
+  // Piecewise daily shape (integrates to 1 over 24 h): strong morning and
+  // evening peaks, light daytime use, near-zero at night.
+  double weight;
+  if (h >= 7.0 && h < 9.0) {
+    weight = 0.175;  // morning: 35% over 2 h
+  } else if (h >= 18.0 && h < 22.0) {
+    weight = 0.1125;  // evening: 45% over 4 h
+  } else if (h >= 9.0 && h < 18.0) {
+    weight = 0.0167;  // daytime: 15% over 9 h
+  } else {
+    weight = 0.0056;  // night: 5% over 9 h
+  }
+  return daily_litres * weight / 3600.0;
+}
+
+}  // namespace df3::thermal

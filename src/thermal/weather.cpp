@@ -1,0 +1,119 @@
+#include "df3/thermal/weather.hpp"
+
+#include <cmath>
+
+#include "df3/thermal/calendar.hpp"
+
+namespace df3::thermal {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+/// Mid-month anchor day for each month (day-of-year of the month's center).
+std::array<double, 12> anchor_days() {
+  std::array<double, 12> out{};
+  constexpr auto starts = month_start_days();
+  for (int m = 0; m < 12; ++m) {
+    out[static_cast<std::size_t>(m)] =
+        starts[static_cast<std::size_t>(m)] + kDaysInMonth[static_cast<std::size_t>(m)] / 2.0;
+  }
+  return out;
+}
+}  // namespace
+
+ClimateNormals paris_climate() { return ClimateNormals{}; }
+
+ClimateNormals amsterdam_climate() {
+  ClimateNormals c;
+  c.monthly_mean_c = {3.6, 3.9, 6.5, 9.5, 13.2, 15.9, 18.0, 17.9, 15.0, 11.2, 7.3, 4.4};
+  c.diurnal_amplitude_k = 3.0;  // maritime: flatter days
+  return c;
+}
+
+ClimateNormals dresden_climate() {
+  ClimateNormals c;
+  c.monthly_mean_c = {0.2, 1.3, 4.9, 9.4, 14.0, 17.1, 19.0, 18.8, 14.6, 9.7, 4.6, 1.3};
+  c.diurnal_amplitude_k = 4.5;  // continental: wider swing
+  return c;
+}
+
+ClimateNormals stockholm_climate() {
+  ClimateNormals c;
+  c.monthly_mean_c = {-1.6, -1.7, 1.2, 5.9, 11.3, 15.7, 18.0, 16.9, 12.3, 7.5, 3.0, 0.0};
+  c.diurnal_amplitude_k = 3.5;
+  return c;
+}
+
+ClimateNormals seville_climate() {
+  ClimateNormals c;
+  c.monthly_mean_c = {11.0, 12.5, 15.6, 17.3, 21.0, 25.2, 28.2, 28.0, 25.0, 20.2, 15.1, 12.1};
+  c.diurnal_amplitude_k = 6.0;
+  return c;
+}
+
+WeatherModel::WeatherModel(ClimateNormals normals, std::uint64_t seed)
+    : normals_(normals), seed_(seed) {}
+
+util::Celsius WeatherModel::seasonal_component(sim::Time t) const {
+  const double d = day_of_year(t);
+  static const std::array<double, 12> anchors = anchor_days();
+  // Find the bracketing mid-month anchors (wrapping across the year end).
+  int lo = 11;
+  for (int m = 0; m < 12; ++m) {
+    if (anchors[static_cast<std::size_t>(m)] <= d) lo = m;
+  }
+  if (d < anchors[0]) lo = 11;
+  const int hi = (lo + 1) % 12;
+  double d_lo = anchors[static_cast<std::size_t>(lo)];
+  double d_hi = anchors[static_cast<std::size_t>(hi)];
+  double dd = d;
+  if (hi == 0) d_hi += 365.0;      // wrapped forward
+  if (d < d_lo) dd += 365.0;       // query before January anchor
+  const double frac = (dd - d_lo) / (d_hi - d_lo);
+  // Cosine smoother avoids the derivative kinks of linear interpolation.
+  const double w = (1.0 - std::cos(kPi * frac)) / 2.0;
+  const double v = normals_.monthly_mean_c[static_cast<std::size_t>(lo)] * (1.0 - w) +
+                   normals_.monthly_mean_c[static_cast<std::size_t>(hi)] * w;
+  return util::Celsius{v};
+}
+
+util::KelvinDelta WeatherModel::diurnal_component(sim::Time t) const {
+  const double h = hour_of_day(t);
+  // Minimum at 05:00, maximum at 17:00.
+  return util::KelvinDelta{normals_.diurnal_amplitude_k *
+                           std::sin(2.0 * kPi * (h - 11.0) / 24.0)};
+}
+
+double WeatherModel::innovation(std::int64_t h) const {
+  // Two counter-hashed uniforms -> one Box-Muller normal. Reproducible for
+  // any query order because state is derived from the hour index alone.
+  std::uint64_t s1 = seed_ ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(h + 1));
+  std::uint64_t s2 = s1 ^ 0xdeadbeefcafef00dULL;
+  const double u1 =
+      (static_cast<double>(util::splitmix64(s1) >> 11) + 0.5) * 0x1.0p-53;  // in (0,1)
+  const double u2 = static_cast<double>(util::splitmix64(s2) >> 11) * 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * kPi * u2);
+}
+
+util::KelvinDelta WeatherModel::noise_component(sim::Time t) const {
+  if (normals_.noise_stddev_k <= 0.0) return util::KelvinDelta{0.0};
+  const auto hour = static_cast<std::int64_t>(std::floor(t / 3600.0));
+  const double phi = normals_.noise_phi;
+  const double sigma_innov = normals_.noise_stddev_k * std::sqrt(1.0 - phi * phi);
+  // AR(1) reconstructed from a truncated moving-average window. phi^240 at
+  // phi=0.97 is ~7e-4: the truncation error is far below the noise floor.
+  constexpr int kWindow = 240;
+  double x = 0.0;
+  double weight = 1.0;
+  for (int k = 0; k < kWindow; ++k) {
+    x += weight * innovation(hour - k);
+    weight *= phi;
+  }
+  return util::KelvinDelta{sigma_innov * x};
+}
+
+util::Celsius WeatherModel::outdoor_temperature(sim::Time t) const {
+  return seasonal_component(t) + diurnal_component(t) + noise_component(t);
+}
+
+}  // namespace df3::thermal

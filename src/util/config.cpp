@@ -1,0 +1,109 @@
+#include "df3/util/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace df3::util {
+
+namespace {
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t\r");
+  return s.substr(first, last - first + 1);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+}  // namespace
+
+KeyValueConfig KeyValueConfig::parse(std::istream& is) {
+  KeyValueConfig out;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::string body = trim(line);
+    if (body.empty()) continue;
+    const auto eq = body.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("config line " + std::to_string(lineno) + ": expected key=value");
+    }
+    const std::string key = trim(body.substr(0, eq));
+    const std::string value = trim(body.substr(eq + 1));
+    if (key.empty()) {
+      throw std::invalid_argument("config line " + std::to_string(lineno) + ": empty key");
+    }
+    if (!out.values_.emplace(key, value).second) {
+      throw std::invalid_argument("config line " + std::to_string(lineno) + ": duplicate key '" +
+                                  key + "'");
+    }
+  }
+  return out;
+}
+
+KeyValueConfig KeyValueConfig::parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open config file: " + path);
+  return parse(in);
+}
+
+bool KeyValueConfig::has(const std::string& key) const { return values_.contains(key); }
+
+std::string KeyValueConfig::get_string(const std::string& key,
+                                       const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double KeyValueConfig::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(it->second, &used);
+    if (used != it->second.size()) throw std::invalid_argument("trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("config key '" + key + "': not a number: " + it->second);
+  }
+}
+
+long KeyValueConfig::get_int(const std::string& key, long fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t used = 0;
+    const long v = std::stol(it->second, &used);
+    if (used != it->second.size()) throw std::invalid_argument("trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("config key '" + key + "': not an integer: " + it->second);
+  }
+}
+
+bool KeyValueConfig::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string v = lower(it->second);
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw std::invalid_argument("config key '" + key + "': not a boolean: " + it->second);
+}
+
+std::vector<std::string> KeyValueConfig::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, v] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace df3::util

@@ -1,0 +1,93 @@
+#include "df3/util/rng.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace df3::util {
+
+std::int64_t RngStream::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("uniform_int: lo > hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range requested
+    return static_cast<std::int64_t>(engine_());
+  }
+  // Rejection sampling over the largest multiple of `span` to avoid modulo bias.
+  const std::uint64_t limit = std::numeric_limits<std::uint64_t>::max() -
+                              (std::numeric_limits<std::uint64_t>::max() % span);
+  std::uint64_t r = engine_();
+  while (r >= limit) r = engine_();
+  return lo + static_cast<std::int64_t>(r % span);
+}
+
+double RngStream::exponential(double lambda) {
+  if (lambda <= 0.0) throw std::invalid_argument("exponential: lambda must be positive");
+  // -log(1 - U): 1 - U in (0, 1], so log never sees zero.
+  return -std::log1p(-uniform01()) / lambda;
+}
+
+double RngStream::normal(double mean, double stddev) {
+  if (has_spare_) {
+    has_spare_ = false;
+    return mean + stddev * spare_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * factor;
+  has_spare_ = true;
+  return mean + stddev * u * factor;
+}
+
+double RngStream::lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+double RngStream::bounded_pareto(double alpha, double lo, double hi) {
+  if (alpha <= 0.0 || lo <= 0.0 || hi <= lo) {
+    throw std::invalid_argument("bounded_pareto: require alpha>0 and 0<lo<hi");
+  }
+  const double u = uniform01();
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  // Inverse CDF of the bounded Pareto distribution.
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+std::int64_t RngStream::poisson(double mean) {
+  if (mean < 0.0) throw std::invalid_argument("poisson: mean must be non-negative");
+  if (mean == 0.0) return 0;
+  if (mean < 60.0) {
+    // Knuth multiplication method.
+    const double limit = std::exp(-mean);
+    std::int64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform01();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction; adequate for the large
+  // aggregate counts (requests/day) we use it for.
+  const double sample = normal(mean, std::sqrt(mean));
+  return sample < 0.0 ? 0 : static_cast<std::int64_t>(sample + 0.5);
+}
+
+std::size_t RngStream::weighted_index(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("weighted_index: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("weighted_index: weights sum to zero");
+  double target = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // floating-point edge: land on the last bucket
+}
+
+}  // namespace df3::util

@@ -1,0 +1,155 @@
+#include "df3/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace df3::util {
+
+void StreamingStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double StreamingStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+void StreamingStats::merge(const StreamingStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void PercentileSampler::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+  summary_.add(x);
+}
+
+double PercentileSampler::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p outside [0,100]");
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  if (samples_.size() == 1) return samples_.front();
+  const double rank = (p / 100.0) * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+void PercentileSampler::merge(const PercentileSampler& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sorted_ = false;
+  summary_.merge(other.summary_);
+}
+
+void PercentileSampler::clear() {
+  samples_.clear();
+  sorted_ = true;
+  summary_ = StreamingStats{};
+}
+
+void TimeWeightedValue::record(double t, double value) {
+  if (!started_) {
+    started_ = true;
+    first_t_ = last_t_ = t;
+    last_value_ = value;
+    return;
+  }
+  if (t < last_t_) throw std::invalid_argument("TimeWeightedValue: time went backwards");
+  weighted_sum_ += last_value_ * (t - last_t_);
+  last_t_ = t;
+  last_value_ = value;
+}
+
+double TimeWeightedValue::mean_until(double t) const {
+  if (!started_ || t <= first_t_) return started_ ? last_value_ : 0.0;
+  return integral_until(t) / (t - first_t_);
+}
+
+double TimeWeightedValue::integral_until(double t) const {
+  if (!started_) return 0.0;
+  if (t < last_t_) throw std::invalid_argument("TimeWeightedValue: query before last record");
+  return weighted_sum_ + last_value_ * (t - last_t_);
+}
+
+double TimeSeries::mean_in_window(double t0, double t1) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (times[i] >= t0 && times[i] < t1) {
+      sum += values[i];
+      ++n;
+    }
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+LinearFit fit_linear(const std::vector<double>& xs, const std::vector<double>& ys) {
+  if (xs.size() != ys.size()) throw std::invalid_argument("fit_linear: size mismatch");
+  if (xs.size() < 2) throw std::invalid_argument("fit_linear: need at least 2 points");
+  const double n = static_cast<double>(xs.size());
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / n, my = sy / n;
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx, dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  LinearFit fit;
+  fit.n = xs.size();
+  if (sxx == 0.0) {  // vertical data: fall back to the mean predictor
+    fit.intercept = my;
+    fit.slope = 0.0;
+    fit.r_squared = 0.0;
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  const auto fit = fit_linear(xs, ys);
+  const double sign = fit.slope >= 0.0 ? 1.0 : -1.0;
+  return sign * std::sqrt(fit.r_squared);
+}
+
+}  // namespace df3::util

@@ -1,0 +1,182 @@
+#include "df3/workload/generators.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace df3::workload {
+
+RequestFactory alarm_detection_factory(Flow flow) {
+  return [flow](util::RngStream& rng) {
+    Request r;
+    r.flow = flow;
+    r.app = "alarm-detection";
+    r.work_gigacycles = rng.uniform(0.4, 1.2);
+    r.tasks = 1;
+    r.input_size = util::kibibytes(16.0);   // 1 s of compressed audio
+    r.output_size = util::bytes(256.0);     // classification result
+    r.deadline_s = 2.0;
+    r.preemptible = false;
+    return r;
+  };
+}
+
+RequestFactory map_serving_factory(Flow flow) {
+  return [flow](util::RngStream& rng) {
+    Request r;
+    r.flow = flow;
+    r.app = "map-serving";
+    r.work_gigacycles = rng.uniform(0.2, 0.6);
+    r.input_size = util::bytes(512.0);
+    r.output_size = util::kibibytes(100.0);
+    r.deadline_s = 1.0;
+    r.preemptible = false;
+    return r;
+  };
+}
+
+RequestFactory traffic_estimation_factory(Flow flow) {
+  return [flow](util::RngStream& rng) {
+    Request r;
+    r.flow = flow;
+    r.app = "traffic-estimation";
+    r.work_gigacycles = rng.uniform(2.0, 6.0);
+    r.input_size = util::kibibytes(256.0);
+    r.output_size = util::kibibytes(8.0);
+    r.deadline_s = 5.0;
+    r.preemptible = false;
+    return r;
+  };
+}
+
+RequestFactory fall_detection_factory(Flow flow) {
+  return [flow](util::RngStream& rng) {
+    Request r;
+    r.flow = flow;
+    r.app = "fall-detection";
+    r.work_gigacycles = rng.uniform(0.1, 0.3);
+    r.input_size = util::kibibytes(4.0);
+    r.output_size = util::bytes(64.0);
+    r.deadline_s = 0.5;
+    r.preemptible = false;
+    r.privacy_sensitive = true;
+    return r;
+  };
+}
+
+RequestFactory telemetry_factory(Flow flow) {
+  return [flow](util::RngStream& rng) {
+    Request r;
+    r.flow = flow;
+    r.app = "telemetry";
+    r.work_gigacycles = rng.uniform(0.01, 0.05);  // parse + aggregate + store
+    r.input_size = util::bytes(160.0);            // one sensor frame
+    r.output_size = util::bytes(64.0);
+    r.deadline_s = 30.0;                          // freshness bound
+    r.preemptible = false;
+    return r;
+  };
+}
+
+RequestFactory render_batch_factory(int min_frames, int max_frames) {
+  if (min_frames <= 0 || max_frames < min_frames) {
+    throw std::invalid_argument("render_batch_factory: bad frame range");
+  }
+  return [min_frames, max_frames](util::RngStream& rng) {
+    Request r;
+    r.flow = Flow::kCloud;
+    r.app = "render";
+    r.tasks = static_cast<int>(rng.uniform_int(min_frames, max_frames));
+    // Heavy-tailed per-frame cost: 2 min .. 2 h on a 3 GHz core.
+    r.work_gigacycles = rng.bounded_pareto(1.3, 360.0, 21600.0);
+    r.input_size = util::mebibytes(rng.uniform(5.0, 50.0));   // scene assets
+    r.output_size = util::mebibytes(rng.uniform(2.0, 10.0));  // frames
+    r.preemptible = true;
+    return r;
+  };
+}
+
+RequestFactory risk_simulation_factory() {
+  return [](util::RngStream& rng) {
+    Request r;
+    r.flow = Flow::kCloud;
+    r.app = "risk-simulation";
+    r.tasks = static_cast<int>(rng.uniform_int(32, 128));
+    r.work_gigacycles = rng.lognormal(std::log(600.0), 0.5);  // ~3 min median
+    r.input_size = util::mebibytes(1.0);
+    r.output_size = util::kibibytes(64.0);
+    r.preemptible = true;
+    return r;
+  };
+}
+
+RequestFactory coupled_solver_factory(int tasks, double comm_fraction) {
+  if (tasks <= 1) throw std::invalid_argument("coupled_solver_factory: need tasks > 1");
+  if (comm_fraction < 0.0 || comm_fraction >= 1.0) {
+    throw std::invalid_argument("coupled_solver_factory: comm_fraction outside [0,1)");
+  }
+  return [tasks, comm_fraction](util::RngStream& rng) {
+    Request r;
+    r.flow = Flow::kCloud;
+    r.app = "coupled-solver";
+    r.tasks = tasks;
+    r.comm_fraction = comm_fraction;
+    r.work_gigacycles = rng.lognormal(std::log(1800.0), 0.4);
+    r.input_size = util::mebibytes(20.0);
+    r.output_size = util::mebibytes(20.0);
+    r.preemptible = false;  // checkpointing a coupled solver is impractical here
+    return r;
+  };
+}
+
+RequestFactory storage_request_factory() {
+  return [](util::RngStream& rng) {
+    Request r;
+    r.flow = Flow::kCloud;
+    r.app = "storage";
+    r.work_gigacycles = 0.05;  // checksum + index update
+    r.input_size = util::mebibytes(rng.uniform(50.0, 500.0));
+    r.output_size = util::bytes(256.0);
+    r.preemptible = true;
+    return r;
+  };
+}
+
+WorkloadSource::WorkloadSource(sim::Simulation& sim, std::string name, std::uint64_t seed,
+                               std::unique_ptr<ArrivalProcess> arrivals, RequestFactory factory,
+                               Sink sink)
+    : sim::Entity(sim, std::move(name)),
+      rng_(seed, this->name()),
+      arrivals_(std::move(arrivals)),
+      factory_(std::move(factory)),
+      sink_(std::move(sink)) {
+  if (!arrivals_) throw std::invalid_argument("WorkloadSource: null arrival process");
+  if (!factory_) throw std::invalid_argument("WorkloadSource: null factory");
+  if (!sink_) throw std::invalid_argument("WorkloadSource: null sink");
+}
+
+void WorkloadSource::start() {
+  if (running_) return;
+  running_ = true;
+  arm(now());
+}
+
+void WorkloadSource::stop() {
+  running_ = false;
+  next_.cancel();
+}
+
+void WorkloadSource::arm(sim::Time from) {
+  const sim::Time t = arrivals_->next_after(from, rng_);
+  next_ = sim().schedule_at(t, [this, t] {
+    if (!running_) return;
+    Request r = factory_(rng_);
+    r.id = (util::fnv1a64(name()) & 0xffffffff00000000ULL) | emitted_;
+    r.arrival = t;
+    ++emitted_;
+    sink_(std::move(r));
+    if (running_) arm(t);
+  });
+}
+
+}  // namespace df3::workload

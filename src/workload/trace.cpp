@@ -1,0 +1,118 @@
+#include "df3/workload/trace.hpp"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace df3::workload {
+
+namespace {
+constexpr char kHeader[] =
+    "id,flow,arrival,app,work_gigacycles,tasks,comm_fraction,input_bytes,output_bytes,"
+    "deadline_s,preemptible,privacy_sensitive";
+
+Flow flow_from_name(const std::string& s) {
+  if (s == "cloud") return Flow::kCloud;
+  if (s == "edge-direct") return Flow::kEdgeDirect;
+  if (s == "edge-indirect") return Flow::kEdgeIndirect;
+  throw std::invalid_argument("Trace: unknown flow '" + s + "'");
+}
+}  // namespace
+
+Trace::Trace(std::vector<Request> requests) : requests_(std::move(requests)) {
+  for (std::size_t i = 1; i < requests_.size(); ++i) {
+    if (requests_[i].arrival < requests_[i - 1].arrival) {
+      throw std::invalid_argument("Trace: arrivals must be nondecreasing");
+    }
+  }
+}
+
+void Trace::add(Request r) {
+  if (!requests_.empty() && r.arrival < requests_.back().arrival) {
+    throw std::invalid_argument("Trace::add: arrival precedes the last request");
+  }
+  requests_.push_back(std::move(r));
+}
+
+double Trace::total_work() const {
+  double total = 0.0;
+  for (const auto& r : requests_) total += r.total_work();
+  return total;
+}
+
+void Trace::save(std::ostream& os) const {
+  // max_digits10 keeps the round trip bit-exact for doubles.
+  const auto old_precision = os.precision(std::numeric_limits<double>::max_digits10);
+  os << kHeader << '\n';
+  for (const auto& r : requests_) {
+    os << r.id << ',' << flow_name(r.flow) << ',' << r.arrival << ',' << r.app << ','
+       << r.work_gigacycles << ',' << r.tasks << ',' << r.comm_fraction << ','
+       << r.input_size.value() << ',' << r.output_size.value() << ','
+       << (r.deadline_s ? std::to_string(*r.deadline_s) : std::string("-")) << ','
+       << (r.preemptible ? 1 : 0) << ',' << (r.privacy_sensitive ? 1 : 0) << '\n';
+  }
+  os.precision(old_precision);
+}
+
+Trace Trace::load(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kHeader) {
+    throw std::invalid_argument("Trace::load: missing or wrong header");
+  }
+  std::vector<Request> requests;
+  std::size_t lineno = 1;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string field;
+    std::vector<std::string> fields;
+    while (std::getline(ls, field, ',')) fields.push_back(field);
+    if (fields.size() != 12) {
+      throw std::invalid_argument("Trace::load: line " + std::to_string(lineno) +
+                                  ": expected 12 fields");
+    }
+    try {
+      Request r;
+      r.id = std::stoull(fields[0]);
+      r.flow = flow_from_name(fields[1]);
+      r.arrival = std::stod(fields[2]);
+      r.app = fields[3];
+      r.work_gigacycles = std::stod(fields[4]);
+      r.tasks = std::stoi(fields[5]);
+      r.comm_fraction = std::stod(fields[6]);
+      r.input_size = util::Bytes{std::stod(fields[7])};
+      r.output_size = util::Bytes{std::stod(fields[8])};
+      if (fields[9] != "-") r.deadline_s = std::stod(fields[9]);
+      r.preemptible = fields[10] == "1";
+      r.privacy_sensitive = fields[11] == "1";
+      requests.push_back(std::move(r));
+    } catch (const std::invalid_argument&) {
+      throw std::invalid_argument("Trace::load: line " + std::to_string(lineno) +
+                                  ": malformed field");
+    }
+  }
+  return Trace(std::move(requests));
+}
+
+TraceReplayer::TraceReplayer(sim::Simulation& sim, std::string name, Trace trace, Sink sink)
+    : sim::Entity(sim, std::move(name)), trace_(std::move(trace)), sink_(std::move(sink)) {
+  if (!sink_) throw std::invalid_argument("TraceReplayer: null sink");
+}
+
+void TraceReplayer::start() {
+  if (started_) throw std::logic_error("TraceReplayer::start: already started");
+  started_ = true;
+  remaining_ = trace_.size();
+  for (const Request& r : trace_.requests()) {
+    const sim::Time at = std::max(r.arrival, now());
+    sim().schedule_at(at, [this, r] {
+      --remaining_;
+      sink_(r);
+    });
+  }
+}
+
+}  // namespace df3::workload

@@ -1,0 +1,376 @@
+// Tests for the DF3 cluster: gateway scheduling, architecture classes,
+// peak management (preemption / offloading / delay), transport accounting.
+#include <gtest/gtest.h>
+
+#include "df3/baselines/datacenter.hpp"
+#include "df3/core/cluster.hpp"
+#include "df3/net/protocol.hpp"
+
+namespace core = df3::core;
+namespace hw = df3::hw;
+namespace net = df3::net;
+namespace wl = df3::workload;
+namespace u = df3::util;
+using df3::sim::Simulation;
+
+namespace {
+
+wl::Request edge_request(double work = 3.2, double deadline = 2.0) {
+  wl::Request r;
+  r.flow = wl::Flow::kEdgeIndirect;
+  r.app = "edge";
+  r.work_gigacycles = work;
+  r.input_size = u::kibibytes(32.0);
+  r.output_size = u::bytes(256.0);
+  r.deadline_s = deadline;
+  r.preemptible = false;
+  return r;
+}
+
+wl::Request cloud_request(double work = 320.0, int tasks = 1) {
+  wl::Request r;
+  r.flow = wl::Flow::kCloud;
+  r.app = "cloud";
+  r.work_gigacycles = work;
+  r.tasks = tasks;
+  r.input_size = u::kibibytes(64.0);
+  r.output_size = u::kibibytes(64.0);
+  r.preemptible = true;
+  return r;
+}
+
+/// One building: device -- gateway -- two Q.rad workers; a second cluster
+/// as horizontal peer; a datacenter as vertical target.
+struct ClusterFixture {
+  Simulation sim;
+  net::Network netw{sim, "net"};
+  net::NodeId device, gateway, w0, w1, gw2, w2;
+  std::vector<wl::CompletionRecord> records;
+  core::ClusterConfig cfg;
+  std::unique_ptr<core::Cluster> cluster;
+  std::unique_ptr<core::Cluster> peer;
+  std::unique_ptr<df3::baselines::Datacenter> dc;
+
+  explicit ClusterFixture(core::ClusterConfig config = {}) : cfg(std::move(config)) {
+    device = netw.add_node("device");
+    gateway = netw.add_node("gw");
+    w0 = netw.add_node("w0");
+    w1 = netw.add_node("w1");
+    gw2 = netw.add_node("gw2");
+    w2 = netw.add_node("w2");
+    netw.add_link(device, gateway, net::zigbee());
+    netw.add_link(gateway, w0, net::ethernet_lan());
+    netw.add_link(gateway, w1, net::ethernet_lan());
+    netw.add_link(gateway, gw2, net::ethernet_lan());
+    netw.add_link(gw2, w2, net::ethernet_lan());
+    netw.add_link(device, w0, net::zigbee());
+    cluster = std::make_unique<core::Cluster>(
+        sim, "c0", cfg, netw, gateway,
+        [this](wl::CompletionRecord rec) { records.push_back(std::move(rec)); });
+    cluster->add_worker(hw::qrad_spec(), w0);
+    cluster->add_worker(hw::qrad_spec(), w1);
+    peer = std::make_unique<core::Cluster>(
+        sim, "c1", core::ClusterConfig{}, netw, gw2,
+        [this](wl::CompletionRecord rec) { records.push_back(std::move(rec)); });
+    peer->add_worker(hw::qrad_spec(), w2);
+    cluster->set_peer(peer.get());
+  }
+
+  void attach_datacenter() {
+    dc = std::make_unique<df3::baselines::Datacenter>(sim, df3::baselines::DatacenterConfig{});
+    cluster->set_datacenter(dc.get());
+  }
+};
+
+}  // namespace
+
+TEST(Cluster, CompletesCloudRequestWithTransport) {
+  ClusterFixture f;
+  f.cluster->submit(cloud_request(320.0), f.device);
+  f.sim.run();
+  ASSERT_EQ(f.records.size(), 1u);
+  const auto& rec = f.records[0];
+  EXPECT_EQ(rec.outcome, wl::Outcome::kCompleted);
+  EXPECT_EQ(rec.served_by, "c0:local");
+  // 320 Gc at 3.2 GHz = 100 s of compute plus staging + return transport.
+  // 64 KiB of results return over ZigBee: ~2.7 s of serialization.
+  EXPECT_GT(rec.response_time(), 100.0);
+  EXPECT_LT(rec.response_time(), 104.0);
+  EXPECT_EQ(f.cluster->stats().completed, 1u);
+}
+
+TEST(Cluster, ParallelShardsSpreadAcrossWorkers) {
+  ClusterFixture f;
+  // 32 shards over 2 workers x 16 cores: all run concurrently.
+  f.cluster->submit(cloud_request(320.0, 32), f.device);
+  f.sim.run();
+  ASSERT_EQ(f.records.size(), 1u);
+  EXPECT_LT(f.records[0].response_time(), 105.0);
+  EXPECT_GT(f.cluster->worker(0).tasks_completed(), 0u);
+  EXPECT_GT(f.cluster->worker(1).tasks_completed(), 0u);
+}
+
+TEST(Cluster, EdgeMeetsDeadlineOnIdleCluster) {
+  ClusterFixture f;
+  f.cluster->submit(edge_request(3.2, 2.0), f.device);
+  f.sim.run();
+  ASSERT_EQ(f.records.size(), 1u);
+  EXPECT_EQ(f.records[0].outcome, wl::Outcome::kCompleted);
+  EXPECT_LT(f.records[0].response_time(), 1.2);  // ~1 s compute + transport
+}
+
+TEST(Cluster, DeadlineMissIsRecorded) {
+  ClusterFixture f;
+  f.cluster->submit(edge_request(32.0, 0.5), f.device);  // 10 s of work, 0.5 s deadline
+  f.sim.run();
+  ASSERT_EQ(f.records.size(), 1u);
+  EXPECT_EQ(f.records[0].outcome, wl::Outcome::kDeadlineMissed);
+}
+
+TEST(Cluster, EdgePreemptsCloudWhenSaturated) {
+  core::ClusterConfig cfg;
+  cfg.edge_peak_ladder = {core::PeakAction::kPreempt, core::PeakAction::kDelay};
+  ClusterFixture f(cfg);
+  // Saturate both workers with one giant preemptible cloud batch.
+  f.cluster->submit(cloud_request(32000.0, 32), f.device);
+  f.sim.run_until(10.0);
+  EXPECT_EQ(f.cluster->free_cores(), 0);
+  wl::Request e = edge_request(3.2, 3.0);
+  e.arrival = f.sim.now();
+  f.cluster->submit(e, f.device);
+  f.sim.run_until(20.0);
+  EXPECT_EQ(f.cluster->stats().preemptions, 1u);
+  ASSERT_EQ(f.records.size(), 1u);  // the edge request (cloud still running)
+  EXPECT_EQ(f.records[0].outcome, wl::Outcome::kCompleted);
+  EXPECT_TRUE(wl::is_edge(f.records[0].request.flow));
+}
+
+TEST(Cluster, PreemptedCloudWorkIsNotLost) {
+  core::ClusterConfig cfg;
+  cfg.edge_peak_ladder = {core::PeakAction::kPreempt, core::PeakAction::kDelay};
+  ClusterFixture f(cfg);
+  f.cluster->submit(cloud_request(3200.0, 32), f.device);  // 1000 s per shard
+  f.sim.run_until(10.0);
+  wl::Request e = edge_request(3.2, 3.0);
+  e.arrival = f.sim.now();
+  f.cluster->submit(e, f.device);
+  f.sim.run();  // drain everything
+  ASSERT_EQ(f.records.size(), 2u);
+  for (const auto& rec : f.records) {
+    EXPECT_NE(rec.outcome, wl::Outcome::kDropped);
+    EXPECT_NE(rec.outcome, wl::Outcome::kRejected);
+  }
+  // The preempted shard resumed: total completions = 33 shards worth.
+  EXPECT_EQ(f.cluster->worker(0).tasks_completed() + f.cluster->worker(1).tasks_completed(), 33u);
+}
+
+TEST(Cluster, DelayLadderQueuesEdgeWhenNothingPreemptible) {
+  core::ClusterConfig cfg;
+  cfg.edge_peak_ladder = {core::PeakAction::kPreempt, core::PeakAction::kDelay};
+  ClusterFixture f(cfg);
+  wl::Request pinned = cloud_request(640.0, 32);  // 200 s per shard
+  pinned.preemptible = false;
+  f.cluster->submit(pinned, f.device);
+  f.sim.run_until(10.0);
+  wl::Request e = edge_request(3.2, 2.0);
+  e.arrival = f.sim.now();
+  f.cluster->submit(e, f.device);
+  f.sim.run();
+  // Nothing was preempted; the edge request expired in the queue and was
+  // abandoned (recorded as a deadline miss rather than run pointlessly).
+  EXPECT_EQ(f.cluster->stats().preemptions, 0u);
+  ASSERT_EQ(f.records.size(), 2u);
+  bool saw_missed_edge = false;
+  for (const auto& rec : f.records) {
+    if (wl::is_edge(rec.request.flow)) {
+      saw_missed_edge = rec.outcome == wl::Outcome::kDeadlineMissed;
+    } else {
+      EXPECT_EQ(rec.outcome, wl::Outcome::kCompleted);
+    }
+  }
+  EXPECT_TRUE(saw_missed_edge);
+}
+
+TEST(Cluster, HorizontalOffloadToPeer) {
+  core::ClusterConfig cfg;
+  cfg.edge_peak_ladder = {core::PeakAction::kHorizontal, core::PeakAction::kDelay};
+  ClusterFixture f(cfg);
+  wl::Request pinned = cloud_request(6400.0, 32);
+  pinned.preemptible = false;
+  f.cluster->submit(pinned, f.device);
+  f.sim.run_until(10.0);
+  wl::Request e = edge_request(3.2, 5.0);
+  e.arrival = f.sim.now();
+  f.cluster->submit(e, f.device);
+  f.sim.run_until(30.0);
+  EXPECT_EQ(f.cluster->stats().offloaded_horizontal_out, 1u);
+  EXPECT_EQ(f.peer->stats().offloaded_horizontal_in, 1u);
+  ASSERT_GE(f.records.size(), 1u);
+  EXPECT_EQ(f.records[0].served_by, "horizontal:c1");
+  EXPECT_EQ(f.records[0].outcome, wl::Outcome::kCompleted);
+}
+
+TEST(Cluster, VerticalOffloadToDatacenter) {
+  core::ClusterConfig cfg;
+  cfg.edge_peak_ladder = {core::PeakAction::kVertical, core::PeakAction::kDelay};
+  ClusterFixture f(cfg);
+  f.attach_datacenter();
+  wl::Request pinned = cloud_request(6400.0, 32);
+  pinned.preemptible = false;
+  f.cluster->submit(pinned, f.device);
+  f.sim.run_until(10.0);
+  wl::Request e = edge_request(3.2, 5.0);
+  e.arrival = f.sim.now();
+  f.cluster->submit(e, f.device);
+  f.sim.run_until(30.0);
+  EXPECT_EQ(f.cluster->stats().offloaded_vertical, 1u);
+  ASSERT_GE(f.records.size(), 1u);
+  EXPECT_EQ(f.records[0].served_by, "vertical:datacenter");
+}
+
+TEST(Cluster, PrivacySensitiveNeverGoesVertical) {
+  core::ClusterConfig cfg;
+  cfg.edge_peak_ladder = {core::PeakAction::kVertical, core::PeakAction::kDelay};
+  ClusterFixture f(cfg);
+  f.attach_datacenter();
+  wl::Request pinned = cloud_request(640.0, 32);
+  pinned.preemptible = false;
+  f.cluster->submit(pinned, f.device);
+  f.sim.run_until(10.0);
+  wl::Request priv = edge_request(3.2, 500.0);
+  priv.arrival = f.sim.now();
+  priv.privacy_sensitive = true;
+  f.cluster->submit(priv, f.device);
+  f.sim.run();
+  EXPECT_EQ(f.cluster->stats().offloaded_vertical, 0u);
+  // It completed locally after the blockade cleared.
+  bool local_edge = false;
+  for (const auto& rec : f.records) {
+    if (wl::is_edge(rec.request.flow)) local_edge = rec.served_by == "c0:local";
+  }
+  EXPECT_TRUE(local_edge);
+}
+
+TEST(Cluster, CloudBacklogOffloadsVertically) {
+  core::ClusterConfig cfg;
+  cfg.cloud_offload_backlog_gc_per_core = 100.0;
+  ClusterFixture f(cfg);
+  f.attach_datacenter();
+  // 32 cores * 100 Gc/core threshold = 3200 Gc. First batch fits...
+  f.cluster->submit(cloud_request(100.0, 16), f.device);
+  // ...this one busts the backlog and is shipped to the datacenter.
+  f.cluster->submit(cloud_request(1000.0, 16), f.device);
+  f.sim.run();
+  EXPECT_EQ(f.cluster->stats().offloaded_vertical, 1u);
+  ASSERT_EQ(f.records.size(), 2u);
+  std::uint64_t vertical = 0;
+  for (const auto& rec : f.records) {
+    if (rec.served_by.rfind("vertical:", 0) == 0) ++vertical;
+  }
+  EXPECT_EQ(vertical, 1u);
+}
+
+TEST(Cluster, DedicatedEdgeWorkersRefuseCloud) {
+  core::ClusterConfig cfg;
+  cfg.dedicated_edge_workers = 1;  // worker 0 is edge-only
+  ClusterFixture f(cfg);
+  f.cluster->submit(cloud_request(320.0, 32), f.device);  // wants 32 cores
+  f.sim.run_until(30.0);
+  EXPECT_EQ(f.cluster->worker(0).busy_cores(), 0);   // dedicated pool untouched
+  EXPECT_EQ(f.cluster->worker(1).busy_cores(), 16);  // shared pool saturated
+  // An edge request lands instantly on the dedicated worker.
+  wl::Request e = edge_request(3.2, 2.0);
+  e.arrival = f.sim.now();
+  f.cluster->submit(e, f.device);
+  f.sim.run_until(40.0);
+  bool edge_ok = false;
+  for (const auto& rec : f.records) {
+    if (wl::is_edge(rec.request.flow)) edge_ok = rec.outcome == wl::Outcome::kCompleted;
+  }
+  EXPECT_TRUE(edge_ok);
+}
+
+TEST(Cluster, DirectRequestSkipsGatewayStaging) {
+  ClusterFixture f;
+  // Indirect: device->gw (zigbee) + staging gw->w0 (lan) both paid by the
+  // harness; here we submit at the gateway so only staging + return are in
+  // the response. Direct submits on the worker with zero staging.
+  wl::Request indirect = edge_request(3.2, 10.0);
+  indirect.flow = wl::Flow::kEdgeIndirect;
+  f.cluster->submit(indirect, f.device);
+  f.sim.run();
+  ASSERT_EQ(f.records.size(), 1u);
+  const double indirect_rt = f.records[0].response_time();
+
+  wl::Request direct = edge_request(3.2, 10.0);
+  direct.flow = wl::Flow::kEdgeDirect;
+  const double t0 = f.sim.now();
+  f.cluster->submit_direct(direct, f.device, 0);
+  f.sim.run();
+  ASSERT_EQ(f.records.size(), 2u);
+  const double direct_rt = f.records[1].completed_at - t0;
+  EXPECT_LT(direct_rt, indirect_rt);
+}
+
+TEST(Cluster, RejectsWhenNoWorkers) {
+  Simulation sim;
+  net::Network netw(sim, "n");
+  const auto gw = netw.add_node("gw");
+  std::vector<wl::CompletionRecord> records;
+  core::Cluster empty(sim, "empty", {}, netw, gw,
+                      [&](wl::CompletionRecord rec) { records.push_back(std::move(rec)); });
+  empty.submit(cloud_request(), gw);
+  sim.run();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].outcome, wl::Outcome::kRejected);
+  EXPECT_EQ(empty.stats().rejected, 1u);
+}
+
+TEST(Cluster, PartitionDropsRequest) {
+  ClusterFixture f;
+  // Sever the gateway<->w0 staging link before submitting.
+  // Link index 1 is gateway-w0 (see fixture construction order).
+  f.netw.set_link_up(1, false);
+  f.netw.set_link_up(2, false);  // gateway-w1
+  f.netw.set_link_up(5, false);  // device-w0 back door
+  f.cluster->submit(cloud_request(), f.device);
+  f.sim.run();
+  ASSERT_EQ(f.records.size(), 1u);
+  EXPECT_EQ(f.records[0].outcome, wl::Outcome::kDropped);
+}
+
+TEST(Cluster, StatsCountFlows) {
+  ClusterFixture f;
+  f.cluster->submit(cloud_request(32.0), f.device);
+  f.cluster->submit(edge_request(), f.device);
+  f.sim.run();
+  EXPECT_EQ(f.cluster->stats().received_cloud, 1u);
+  EXPECT_EQ(f.cluster->stats().received_edge, 1u);
+  EXPECT_EQ(f.cluster->stats().completed, 2u);
+}
+
+TEST(Cluster, CoupledSlowdownAppliedOnSlowFabric) {
+  core::ClusterConfig slow;
+  slow.fabric_gbps = 1.0;
+  slow.reference_fabric_gbps = 10.0;
+  ClusterFixture f(slow);
+  wl::Request coupled = cloud_request(320.0, 2);
+  coupled.comm_fraction = 0.5;
+  f.cluster->submit(coupled, f.device);
+  f.sim.run();
+  ASSERT_EQ(f.records.size(), 1u);
+  // slowdown = 0.5 + 0.5*10 = 5.5 -> 100 s of compute becomes 550 s.
+  EXPECT_GT(f.records[0].response_time(), 540.0);
+  EXPECT_LT(f.records[0].response_time(), 560.0);
+}
+
+TEST(Cluster, ValidatesConfig) {
+  Simulation sim;
+  net::Network netw(sim, "n");
+  const auto gw = netw.add_node("gw");
+  EXPECT_THROW(core::Cluster(sim, "c", {}, netw, gw, nullptr), std::invalid_argument);
+  core::ClusterConfig bad;
+  bad.dedicated_edge_workers = -1;
+  EXPECT_THROW(core::Cluster(sim, "c", bad, netw, gw, [](wl::CompletionRecord) {}),
+               std::invalid_argument);
+}

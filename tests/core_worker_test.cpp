@@ -1,0 +1,333 @@
+// Tests for the core execution layer: task sharding, worker runtime under
+// DVFS/gating, the task queue, and the heat regulator.
+#include <gtest/gtest.h>
+
+#include "df3/core/heat_regulator.hpp"
+#include "df3/core/scheduler.hpp"
+#include "df3/core/task.hpp"
+#include "df3/core/worker.hpp"
+
+namespace core = df3::core;
+namespace hw = df3::hw;
+namespace wl = df3::workload;
+namespace u = df3::util;
+using df3::sim::Simulation;
+
+namespace {
+
+wl::Request edge_request(double work = 1.0, double deadline = 2.0) {
+  wl::Request r;
+  r.flow = wl::Flow::kEdgeIndirect;
+  r.app = "edge";
+  r.work_gigacycles = work;
+  r.deadline_s = deadline;
+  r.preemptible = false;
+  return r;
+}
+
+wl::Request cloud_request(double work = 100.0, int tasks = 1) {
+  wl::Request r;
+  r.flow = wl::Flow::kCloud;
+  r.app = "cloud";
+  r.work_gigacycles = work;
+  r.tasks = tasks;
+  r.preemptible = true;
+  return r;
+}
+
+struct WorkerFixture {
+  Simulation sim;
+  std::vector<core::Task> done;
+  core::Worker worker{sim, "w0", hw::qrad_spec(), 0,
+                      [this](core::Task t) { done.push_back(std::move(t)); }};
+};
+
+}  // namespace
+
+// ----------------------------------------------------------------- task ---
+
+TEST(TaskSharding, SplitsAndSharesState) {
+  auto tasks = core::make_tasks(cloud_request(50.0, 4));
+  ASSERT_EQ(tasks.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(tasks[static_cast<std::size_t>(i)].shard_index, i);
+    EXPECT_DOUBLE_EQ(tasks[static_cast<std::size_t>(i)].remaining_gigacycles, 50.0);
+    EXPECT_EQ(tasks[static_cast<std::size_t>(i)].request.get(), tasks[0].request.get());
+  }
+  EXPECT_EQ(tasks[0].request->shards_remaining, 4);
+  EXPECT_EQ(tasks[0].priority(), core::Priority::kCloud);
+  EXPECT_TRUE(tasks[0].preemptible());
+}
+
+TEST(TaskSharding, EdgePriorityAndDeadline) {
+  auto tasks = core::make_tasks(edge_request(1.0, 2.0));
+  EXPECT_EQ(tasks[0].priority(), core::Priority::kEdge);
+  ASSERT_TRUE(tasks[0].deadline().has_value());
+  EXPECT_DOUBLE_EQ(*tasks[0].deadline(), 2.0);
+  EXPECT_THROW((void)core::make_tasks(cloud_request(), 0.5), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- worker ---
+
+TEST(WorkerRuntime, ExecutesTaskAtNominalSpeed) {
+  WorkerFixture f;
+  // Q.rad top state: 3.2 GHz per core -> 32 Gcycles take 10 s.
+  auto tasks = core::make_tasks(cloud_request(32.0));
+  ASSERT_TRUE(f.worker.try_start(tasks[0]));
+  EXPECT_EQ(f.worker.busy_cores(), 1);
+  f.sim.run();
+  ASSERT_EQ(f.done.size(), 1u);
+  EXPECT_DOUBLE_EQ(f.sim.now(), 10.0);
+  EXPECT_EQ(f.worker.busy_cores(), 0);
+  EXPECT_EQ(f.worker.tasks_completed(), 1u);
+}
+
+TEST(WorkerRuntime, SlowdownStretchesService) {
+  WorkerFixture f;
+  auto tasks = core::make_tasks(cloud_request(32.0), /*slowdown=*/2.0);
+  ASSERT_TRUE(f.worker.try_start(tasks[0]));
+  f.sim.run();
+  EXPECT_DOUBLE_EQ(f.sim.now(), 20.0);
+}
+
+TEST(WorkerRuntime, CapacityLimit) {
+  WorkerFixture f;
+  auto tasks = core::make_tasks(cloud_request(1000.0, 17));  // 17 shards, 16 cores
+  int started = 0;
+  for (auto& t : tasks) {
+    if (f.worker.try_start(t)) ++started;
+  }
+  EXPECT_EQ(started, 16);
+  EXPECT_EQ(f.worker.free_cores(), 0);
+  EXPECT_FALSE(f.worker.available());
+}
+
+TEST(WorkerRuntime, DvfsChangeReschedulesCompletion) {
+  WorkerFixture f;
+  auto tasks = core::make_tasks(cloud_request(32.0));
+  ASSERT_TRUE(f.worker.try_start(tasks[0]));
+  // After 5 s (16 Gc done at 3.2 GHz), downclock to 1.6 GHz: the remaining
+  // 16 Gc take 10 s more -> completion at t=15.
+  f.sim.run_until(5.0);
+  f.worker.server().set_pstate(1);  // 1.6 GHz
+  f.worker.sync_speed();
+  f.sim.run();
+  EXPECT_NEAR(f.sim.now(), 15.0, 1e-9);
+  ASSERT_EQ(f.done.size(), 1u);
+}
+
+TEST(WorkerRuntime, GatingPausesAndResumesWork) {
+  WorkerFixture f;
+  auto tasks = core::make_tasks(cloud_request(32.0));
+  ASSERT_TRUE(f.worker.try_start(tasks[0]));
+  f.sim.run_until(5.0);
+  f.worker.server().set_powered(false);  // heat demand vanished
+  f.worker.sync_speed();
+  f.sim.run_until(105.0);  // 100 s gated: no progress
+  EXPECT_TRUE(f.done.empty());
+  f.worker.server().set_powered(true);
+  f.worker.sync_speed();
+  f.sim.run();
+  EXPECT_NEAR(f.sim.now(), 110.0, 1e-9);  // 5 s of work left
+  ASSERT_EQ(f.done.size(), 1u);
+}
+
+TEST(WorkerRuntime, ThermalShutdownPausesWork) {
+  WorkerFixture f;
+  auto tasks = core::make_tasks(cloud_request(32.0));
+  ASSERT_TRUE(f.worker.try_start(tasks[0]));
+  f.sim.run_until(5.0);
+  f.worker.server().set_inlet_temperature(u::celsius(40.0));
+  f.worker.sync_speed();
+  f.sim.run_until(50.0);
+  EXPECT_TRUE(f.done.empty());
+  f.worker.server().set_inlet_temperature(u::celsius(20.0));
+  f.worker.sync_speed();
+  f.sim.run();
+  ASSERT_EQ(f.done.size(), 1u);
+  EXPECT_NEAR(f.sim.now(), 55.0, 1e-9);
+}
+
+TEST(WorkerRuntime, PreemptionCapturesRemainingWork) {
+  WorkerFixture f;
+  auto tasks = core::make_tasks(cloud_request(32.0));
+  ASSERT_TRUE(f.worker.try_start(tasks[0]));
+  f.sim.run_until(5.0);
+  auto victim = f.worker.preempt_one(core::Priority::kEdge);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_NEAR(victim->remaining_gigacycles, 16.0, 1e-9);
+  EXPECT_EQ(f.worker.busy_cores(), 0);
+  EXPECT_EQ(f.worker.tasks_preempted(), 1u);
+  f.sim.run();
+  EXPECT_TRUE(f.done.empty());  // completion was cancelled
+
+  // Resume it: finishes after 5 more seconds.
+  ASSERT_TRUE(f.worker.try_start(std::move(*victim)));
+  f.sim.run();
+  ASSERT_EQ(f.done.size(), 1u);
+  EXPECT_NEAR(f.sim.now(), 10.0, 1e-9);
+}
+
+TEST(WorkerRuntime, PreemptionSkipsEdgeAndNonPreemptible) {
+  WorkerFixture f;
+  auto edge = core::make_tasks(edge_request());
+  ASSERT_TRUE(f.worker.try_start(edge[0]));
+  EXPECT_EQ(f.worker.running_below(core::Priority::kEdge), 0);
+  EXPECT_FALSE(f.worker.preempt_one(core::Priority::kEdge).has_value());
+
+  wl::Request pinned = cloud_request(100.0);
+  pinned.preemptible = false;
+  auto t2 = core::make_tasks(pinned);
+  ASSERT_TRUE(f.worker.try_start(t2[0]));
+  EXPECT_FALSE(f.worker.preempt_one(core::Priority::kEdge).has_value());
+}
+
+TEST(WorkerRuntime, PreemptsLeastProgressedVictim) {
+  WorkerFixture f;
+  auto a = core::make_tasks(cloud_request(32.0));
+  ASSERT_TRUE(f.worker.try_start(a[0]));
+  f.sim.run_until(5.0);
+  auto b = core::make_tasks(cloud_request(32.0));  // fresh: most remaining
+  ASSERT_TRUE(f.worker.try_start(b[0]));
+  auto victim = f.worker.preempt_one(core::Priority::kEdge);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_NEAR(victim->remaining_gigacycles, 32.0, 1e-9);  // evicted the fresh one
+}
+
+TEST(WorkerRuntime, BusyCoreSecondsUtilization) {
+  WorkerFixture f;
+  auto tasks = core::make_tasks(cloud_request(32.0, 2));
+  ASSERT_TRUE(f.worker.try_start(tasks[0]));
+  ASSERT_TRUE(f.worker.try_start(tasks[1]));
+  f.sim.run();
+  EXPECT_NEAR(f.worker.busy_core_seconds(), 20.0, 1e-9);  // 2 cores x 10 s
+}
+
+// ------------------------------------------------------------ task queue ---
+
+TEST(TaskQueueTest, EdgeClassAlwaysFirst) {
+  core::TaskQueue q(core::QueueDiscipline::kFcfs);
+  auto cloud = core::make_tasks(cloud_request());
+  auto edge = core::make_tasks(edge_request());
+  q.push(cloud[0]);
+  q.push(edge[0]);
+  auto first = q.pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->priority(), core::Priority::kEdge);
+}
+
+TEST(TaskQueueTest, EdfOrdersByDeadline) {
+  core::TaskQueue q(core::QueueDiscipline::kEdf);
+  auto late = core::make_tasks(edge_request(1.0, 10.0));
+  auto soon = core::make_tasks(edge_request(1.0, 1.0));
+  auto mid = core::make_tasks(edge_request(1.0, 5.0));
+  q.push(late[0]);
+  q.push(soon[0]);
+  q.push(mid[0]);
+  EXPECT_DOUBLE_EQ(*q.pop()->deadline(), 1.0);
+  EXPECT_DOUBLE_EQ(*q.pop()->deadline(), 5.0);
+  EXPECT_DOUBLE_EQ(*q.pop()->deadline(), 10.0);
+}
+
+TEST(TaskQueueTest, FcfsPreservesArrivalOrder) {
+  core::TaskQueue q(core::QueueDiscipline::kFcfs);
+  auto late = core::make_tasks(edge_request(1.0, 10.0));
+  auto soon = core::make_tasks(edge_request(1.0, 1.0));
+  q.push(late[0]);
+  q.push(soon[0]);
+  EXPECT_DOUBLE_EQ(*q.pop()->deadline(), 10.0);  // arrival order, not deadline
+}
+
+TEST(TaskQueueTest, PushFrontJumpsClassQueue) {
+  core::TaskQueue q(core::QueueDiscipline::kEdf);
+  auto a = core::make_tasks(cloud_request(10.0));
+  auto b = core::make_tasks(cloud_request(20.0));
+  q.push(a[0]);
+  q.push_front(b[0]);
+  EXPECT_DOUBLE_EQ(q.pop()->remaining_gigacycles, 20.0);
+}
+
+TEST(TaskQueueTest, PopClassAndBacklog) {
+  core::TaskQueue q(core::QueueDiscipline::kEdf);
+  auto cloud = core::make_tasks(cloud_request(100.0));
+  q.push(cloud[0]);
+  EXPECT_FALSE(q.pop_class(core::Priority::kEdge).has_value());
+  EXPECT_EQ(q.size_class(core::Priority::kCloud), 1u);
+  EXPECT_DOUBLE_EQ(q.backlog_gigacycles(), 100.0);
+  EXPECT_TRUE(q.pop_class(core::Priority::kCloud).has_value());
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_EQ(q.peek(), nullptr);
+}
+
+// --------------------------------------------------------- heat regulator ---
+
+TEST(HeatRegulatorTest, MatchesPStateToDemand) {
+  hw::DfServer server(hw::qrad_spec());
+  core::HeatRegulator reg;
+  // Demand 300 W: the chosen P-state must be able to *reach* the demand so
+  // filler utilization can modulate down onto it exactly.
+  const auto ceiling = reg.regulate(server, {u::watts(300.0), true});
+  EXPECT_TRUE(server.powered());
+  EXPECT_GE(ceiling.value(), 300.0);
+  EXPECT_LT(server.pstate(), server.spec().cpu.top_pstate());  // not more than needed
+  // With no real work the filler alone must land on the demand.
+  EXPECT_NEAR(server.power().value(), 300.0, 30.0);  // one-core quantization
+  // Full demand: top P-state, everything loaded.
+  reg.regulate(server, {u::watts(500.0), true});
+  EXPECT_EQ(server.pstate(), server.spec().cpu.top_pstate());
+  EXPECT_NEAR(server.power().value(), 500.0, 30.0);
+}
+
+TEST(HeatRegulatorTest, AggressiveGatingOnZeroDemand) {
+  hw::DfServer server(hw::qrad_spec());
+  core::HeatRegulator reg({core::GatingPolicy::kAggressive});
+  reg.regulate(server, {u::watts(0.0), true});
+  EXPECT_FALSE(server.powered());
+  // Demand returns: wakes up.
+  reg.regulate(server, {u::watts(400.0), true});
+  EXPECT_TRUE(server.powered());
+}
+
+TEST(HeatRegulatorTest, KeepWarmHoldsFloorState) {
+  hw::DfServer server(hw::qrad_spec());
+  core::HeatRegulator reg({core::GatingPolicy::kKeepWarm});
+  reg.regulate(server, {u::watts(0.0), true});
+  EXPECT_TRUE(server.powered());
+  EXPECT_EQ(server.pstate(), 0u);
+  EXPECT_GT(server.usable_cores(), 0);
+}
+
+TEST(HeatRegulatorTest, TinyDemandKeepsFloorNotGate) {
+  hw::DfServer server(hw::qrad_spec());
+  core::HeatRegulator reg;
+  // 50 W is below the floor state's full power but nonzero: stay powered at
+  // the floor so utilization can modulate.
+  reg.regulate(server, {u::watts(50.0), true});
+  EXPECT_TRUE(server.powered());
+  EXPECT_EQ(server.pstate(), 0u);
+}
+
+TEST(HeatRegulatorTest, OffSeasonGates) {
+  hw::DfServer server(hw::qrad_spec());
+  core::HeatRegulator reg;
+  reg.regulate(server, {u::watts(400.0), /*heating_season=*/false});
+  EXPECT_FALSE(server.powered());
+}
+
+TEST(HeatRegulatorTest, ErrorAccounting) {
+  core::HeatRegulator reg;
+  reg.record(u::hours(1.0), u::watts(450.0), u::watts(500.0));
+  reg.record(u::hours(1.0), u::watts(550.0), u::watts(500.0));
+  EXPECT_NEAR(reg.mean_abs_error_w(), 50.0, 1e-9);
+  EXPECT_NEAR(reg.relative_error(), 0.1, 1e-9);
+  EXPECT_NEAR(reg.delivered_total().kwh(), 1.0, 1e-9);
+  EXPECT_NEAR(reg.requested_total().kwh(), 1.0, 1e-9);
+}
+
+TEST(HeatRegulatorTest, PerfectTrackingZeroError) {
+  core::HeatRegulator reg;
+  reg.record(u::hours(2.0), u::watts(300.0), u::watts(300.0));
+  EXPECT_DOUBLE_EQ(reg.relative_error(), 0.0);
+  EXPECT_DOUBLE_EQ(core::HeatRegulator{}.relative_error(), 0.0);  // nothing recorded
+}

@@ -1,0 +1,147 @@
+// Tests for the economics extensions: seasonal spot pricing, SLA portfolio
+// and crypto-heater mining.
+#include <gtest/gtest.h>
+
+#include "df3/analytics/pricing.hpp"
+#include "df3/hw/mining.hpp"
+
+namespace an = df3::analytics;
+namespace hw = df3::hw;
+namespace u = df3::util;
+
+// ---------------------------------------------------------------- pricing ---
+
+TEST(SpotPrice, FloorsCapsAndMonotonicity) {
+  an::SpotPriceModel m(an::SpotPriceConfig{});
+  const auto& cfg = m.config();
+  // Abundant winter supply: price at the floor.
+  EXPECT_NEAR(m.price(1000.0, 10.0), cfg.floor_price, 1e-4);
+  // Scarcity: capped at the datacenter alternative.
+  EXPECT_DOUBLE_EQ(m.price(10.0, 1000.0), cfg.dc_price);
+  // No supply at all: DC price.
+  EXPECT_DOUBLE_EQ(m.price(0.0, 50.0), cfg.dc_price);
+  // Monotone in demand, antitone in supply.
+  EXPECT_LT(m.price(100.0, 20.0), m.price(100.0, 80.0));
+  EXPECT_GT(m.price(50.0, 60.0), m.price(200.0, 60.0));
+  EXPECT_THROW((void)m.price(-1.0, 1.0), std::invalid_argument);
+}
+
+TEST(SpotPrice, ConfigValidation) {
+  an::SpotPriceConfig bad;
+  bad.floor_price = bad.dc_price + 1.0;
+  EXPECT_THROW(an::SpotPriceModel{bad}, std::invalid_argument);
+  bad = {};
+  bad.elasticity = 0.0;
+  EXPECT_THROW(an::SpotPriceModel{bad}, std::invalid_argument);
+}
+
+namespace {
+/// Stylized year: high winter capacity, zero summer capacity; flat demand.
+void seasonal_series(u::TimeSeries& supply, u::TimeSeries& demand) {
+  for (int month = 0; month < 12; ++month) {
+    const bool winter = month <= 3 || month >= 10;
+    supply.add(month, winter ? 400.0 : (month == 4 || month == 9 ? 100.0 : 0.0));
+    demand.add(month, 150.0);
+  }
+}
+}  // namespace
+
+TEST(SpotMarket, WinterCheapSummerAtCap) {
+  an::SpotPriceModel m(an::SpotPriceConfig{});
+  u::TimeSeries supply, demand;
+  seasonal_series(supply, demand);
+  const auto result = an::run_spot_market(m, supply, demand, 3600.0);
+  ASSERT_EQ(result.price.size(), 12u);
+  EXPECT_LT(result.price.values[0], 0.02);                    // January: cheap
+  EXPECT_DOUBLE_EQ(result.price.values[6], m.config().dc_price);  // July: cap
+  EXPECT_GT(result.revenue, 0.0);
+  EXPECT_GT(result.unserved_core_hours, 0.0);  // summer demand walked
+  EXPECT_THROW((void)an::run_spot_market(m, supply, u::TimeSeries{}, 3600.0),
+               std::invalid_argument);
+}
+
+TEST(SlaPortfolio, BackstopCoversSummerGuarantees) {
+  u::TimeSeries supply, guaranteed, seasonal;
+  seasonal_series(supply, guaranteed);  // guaranteed demand flat 150
+  for (int month = 0; month < 12; ++month) seasonal.add(month, 100.0);
+  an::SlaConfig cfg;
+  const auto r = an::run_sla_portfolio(cfg, supply, guaranteed, seasonal, 3600.0);
+  // Revenue always accrues for the guaranteed class; backstop is paid in
+  // the months DF cannot cover it.
+  EXPECT_GT(r.revenue, 0.0);
+  EXPECT_GT(r.backstop_cost, 0.0);
+  EXPECT_GT(r.profit(), 0.0);  // premium over the DC price keeps it viable
+  // The seasonal class only rides winter leftovers.
+  EXPECT_GT(r.seasonal_availability, 0.3);
+  EXPECT_LT(r.seasonal_availability, 0.9);
+}
+
+TEST(SlaPortfolio, FullSupplyMeansFullSeasonalAvailability) {
+  u::TimeSeries supply, guaranteed, seasonal;
+  for (int i = 0; i < 4; ++i) {
+    supply.add(i, 500.0);
+    guaranteed.add(i, 100.0);
+    seasonal.add(i, 100.0);
+  }
+  const auto r = an::run_sla_portfolio(an::SlaConfig{}, supply, guaranteed, seasonal, 3600.0);
+  EXPECT_DOUBLE_EQ(r.seasonal_availability, 1.0);
+  EXPECT_DOUBLE_EQ(r.backstop_cost, 0.0);
+}
+
+// ----------------------------------------------------------------- mining ---
+
+TEST(Mining, HashRateFollowsDynamicPower) {
+  hw::DfServer rig(hw::crypto_heater_spec());
+  const hw::MiningConfig cfg;
+  rig.set_busy_cores(0);
+  EXPECT_DOUBLE_EQ(hw::hash_rate(rig, cfg), 0.0);  // idle: static power only
+  rig.set_busy_cores(rig.spec().total_cores());
+  const double full = hw::hash_rate(rig, cfg);
+  EXPECT_GT(full, 0.0);
+  // Half load: half the dynamic power, half the hash rate.
+  rig.set_busy_cores(rig.spec().total_cores() / 2);
+  EXPECT_NEAR(hw::hash_rate(rig, cfg), full / 2.0, full * 1e-9);
+  // Gated off: nothing.
+  rig.set_powered(false);
+  EXPECT_DOUBLE_EQ(hw::hash_rate(rig, cfg), 0.0);
+}
+
+TEST(Mining, DownclockedMiningIsMoreCoinPerKwhButLessPerHour) {
+  const hw::MiningConfig cfg;
+  hw::DfServer fast(hw::crypto_heater_spec());
+  hw::DfServer slow(hw::crypto_heater_spec());
+  fast.set_busy_cores(fast.spec().total_cores());
+  slow.set_pstate(0);
+  slow.set_busy_cores(slow.spec().total_cores());
+  hw::MiningLedger lf(cfg), ls(cfg);
+  lf.advance(fast, u::hours(1.0), true);
+  ls.advance(slow, u::hours(1.0), true);
+  EXPECT_GT(lf.hashes(), ls.hashes());                        // raw speed
+  EXPECT_GT(lf.electricity_cost(), ls.electricity_cost());    // and cost
+}
+
+TEST(Mining, QarnotModelBeatsStandaloneMinerInWinter) {
+  // Winter: the host wanted the heat, so the system earns coins AND the
+  // displaced heating value. A standalone miner only earns the coins.
+  const hw::MiningConfig cfg;
+  hw::DfServer rig(hw::crypto_heater_spec());
+  rig.set_busy_cores(rig.spec().total_cores());
+  hw::MiningLedger winter(cfg), summer(cfg);
+  winter.advance(rig, u::days(1.0), /*heat_wanted=*/true);
+  summer.advance(rig, u::days(1.0), /*heat_wanted=*/false);
+  EXPECT_GT(winter.system_value(), winter.miner_profit());
+  EXPECT_DOUBLE_EQ(summer.heat_value(), 0.0);
+  EXPECT_DOUBLE_EQ(winter.miner_profit(), summer.miner_profit());
+  // With default 2026-ish parameters, bare mining at retail electricity is
+  // marginal; the heating credit is what carries the crypto-heater.
+  EXPECT_GT(winter.system_value(), 0.0);
+}
+
+TEST(Mining, Validation) {
+  hw::MiningConfig bad;
+  bad.hashes_per_joule = 0.0;
+  EXPECT_THROW(hw::MiningLedger{bad}, std::invalid_argument);
+  hw::MiningLedger ledger{hw::MiningConfig{}};
+  hw::DfServer rig(hw::crypto_heater_spec());
+  EXPECT_THROW(ledger.advance(rig, u::seconds(-1.0), true), std::invalid_argument);
+}

@@ -1,0 +1,225 @@
+// Tests for the network substrate: protocol profiles, routing, queuing,
+// partitions.
+#include <gtest/gtest.h>
+
+#include "df3/net/network.hpp"
+#include "df3/net/protocol.hpp"
+
+namespace net = df3::net;
+namespace u = df3::util;
+using df3::sim::Simulation;
+
+// ------------------------------------------------------------- profiles ---
+
+TEST(LinkProfile, SerializationIncludesOverheadAndFragmentation) {
+  const auto eth = net::ethernet_lan();
+  // 1 frame: (1000 + 66) bytes at 1 Gb/s.
+  EXPECT_NEAR(eth.serialization_time(u::bytes(1000.0)).value(), 1066.0 * 8.0 / 1e9, 1e-12);
+  // 100 KiB fragments into ceil(102400/65536) = 2 frames.
+  EXPECT_NEAR(eth.serialization_time(u::kibibytes(100.0)).value(),
+              (102400.0 + 2 * 66.0) * 8.0 / 1e9, 1e-12);
+}
+
+TEST(LinkProfile, DutyCycleThrottlesLora) {
+  const auto l = net::lora();
+  const auto raw_like = net::LinkProfile{"lora-raw", l.bandwidth, l.base_latency, l.max_payload,
+                                         l.frame_overhead, 1.0};
+  EXPECT_NEAR(l.serialization_time(u::bytes(100.0)).value(),
+              raw_like.serialization_time(u::bytes(100.0)).value() * 100.0, 1e-9);
+}
+
+TEST(LinkProfile, LatencyOrderingAcrossTechnologies) {
+  // For a small edge payload the protocol ordering the paper relies on
+  // must hold: LAN < ZigBee < LoRa < Sigfox.
+  const auto payload = u::bytes(64.0);
+  const double lan = net::ethernet_lan().one_hop_delay(payload).value();
+  const double zb = net::zigbee().one_hop_delay(payload).value();
+  const double lr = net::lora().one_hop_delay(payload).value();
+  const double sf = net::sigfox().one_hop_delay(payload).value();
+  EXPECT_LT(lan, zb);
+  EXPECT_LT(zb, lr);
+  EXPECT_LT(lr, sf);
+}
+
+TEST(LinkProfile, ZeroByteMessageStillPaysOneFrame) {
+  const auto zb = net::zigbee();
+  EXPECT_GT(zb.serialization_time(u::bytes(0.0)).value(), 0.0);
+}
+
+TEST(LinkProfile, RejectsInvalid) {
+  net::LinkProfile p = net::ethernet_lan();
+  EXPECT_THROW((void)p.serialization_time(u::bytes(-1.0)), std::invalid_argument);
+  p.duty_cycle = 0.0;
+  EXPECT_THROW((void)p.serialization_time(u::bytes(1.0)), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- network ---
+
+namespace {
+/// Small fixture: device --zigbee-- gateway --lan-- worker --fiber-- cloud.
+struct Chain {
+  Simulation sim;
+  net::Network netw{sim, "chain"};
+  net::NodeId device, gateway, worker, cloud;
+  std::size_t l_dev, l_lan, l_wan;
+
+  Chain() {
+    device = netw.add_node("device");
+    gateway = netw.add_node("gateway");
+    worker = netw.add_node("worker");
+    cloud = netw.add_node("cloud");
+    l_dev = netw.add_link(device, gateway, net::zigbee());
+    l_lan = netw.add_link(gateway, worker, net::ethernet_lan());
+    l_wan = netw.add_link(worker, cloud, net::fiber_wan());
+  }
+};
+}  // namespace
+
+TEST(Network, NodeLookup) {
+  Chain c;
+  EXPECT_EQ(c.netw.node("device"), c.device);
+  EXPECT_EQ(c.netw.node_name(c.cloud), "cloud");
+  EXPECT_EQ(c.netw.node_count(), 4u);
+  EXPECT_THROW((void)c.netw.node("nope"), std::out_of_range);
+  EXPECT_THROW((void)c.netw.add_node("device"), std::invalid_argument);
+}
+
+TEST(Network, RouteFollowsChain) {
+  Chain c;
+  const auto path = c.netw.route(c.device, c.cloud, u::bytes(64.0));
+  EXPECT_EQ(path, (std::vector<std::size_t>{c.l_dev, c.l_lan, c.l_wan}));
+  EXPECT_TRUE(c.netw.route(c.device, c.device, u::bytes(1.0)).empty());
+}
+
+TEST(Network, UnloadedDelayIsSumOfHops) {
+  Chain c;
+  const auto size = u::bytes(64.0);
+  const auto d = c.netw.unloaded_delay(c.device, c.worker, size);
+  ASSERT_TRUE(d.has_value());
+  const double expect = net::zigbee().one_hop_delay(size).value() +
+                        net::ethernet_lan().one_hop_delay(size).value();
+  EXPECT_NEAR(d->value(), expect, 1e-12);
+}
+
+TEST(Network, DeliveryEventMatchesUnloadedDelayWhenIdle) {
+  Chain c;
+  const net::Message m{c.device, c.worker, u::bytes(64.0), 1};
+  double delivered_at = -1.0;
+  c.netw.send(m, [&](double t) { delivered_at = t; });
+  c.sim.run();
+  const auto d = c.netw.unloaded_delay(c.device, c.worker, m.size);
+  EXPECT_NEAR(delivered_at, d->value(), 1e-12);
+  EXPECT_EQ(c.netw.messages_sent(), 1u);
+}
+
+TEST(Network, QueuingDelaysBackToBackMessages) {
+  Chain c;
+  // Two large messages on the slow zigbee hop: the second queues behind
+  // the first's serialization.
+  const net::Message m{c.device, c.gateway, u::kibibytes(10.0), 0};
+  std::vector<double> deliveries;
+  c.netw.send(m, [&](double t) { deliveries.push_back(t); });
+  c.netw.send(m, [&](double t) { deliveries.push_back(t); });
+  c.sim.run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  const double ser = net::zigbee().serialization_time(m.size).value();
+  EXPECT_NEAR(deliveries[1] - deliveries[0], ser, 1e-9);
+}
+
+TEST(Network, DirectionsDoNotContend) {
+  Chain c;
+  const net::Message fwd{c.device, c.gateway, u::kibibytes(10.0), 0};
+  const net::Message rev{c.gateway, c.device, u::kibibytes(10.0), 0};
+  std::vector<double> deliveries;
+  c.netw.send(fwd, [&](double t) { deliveries.push_back(t); });
+  c.netw.send(rev, [&](double t) { deliveries.push_back(t); });
+  c.sim.run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_NEAR(deliveries[0], deliveries[1], 1e-9);  // full duplex
+}
+
+TEST(Network, LoopbackDeliversImmediately) {
+  Chain c;
+  double delivered_at = -1.0;
+  c.netw.send({c.device, c.device, u::mebibytes(10.0), 0}, [&](double t) { delivered_at = t; });
+  c.sim.run();
+  EXPECT_DOUBLE_EQ(delivered_at, 0.0);
+}
+
+TEST(Network, PartitionDropsAndRestores) {
+  Chain c;
+  c.netw.set_link_up(c.l_lan, false);
+  bool dropped = false;
+  double delivered_at = -1.0;
+  c.netw.send({c.device, c.cloud, u::bytes(64.0), 0}, [&](double t) { delivered_at = t; },
+              [&] { dropped = true; });
+  c.sim.run();
+  EXPECT_TRUE(dropped);
+  EXPECT_DOUBLE_EQ(delivered_at, -1.0);
+  EXPECT_EQ(c.netw.messages_dropped(), 1u);
+
+  c.netw.set_link_up(c.l_lan, true);
+  c.netw.send({c.device, c.cloud, u::bytes(64.0), 0}, [&](double t) { delivered_at = t; });
+  c.sim.run();
+  EXPECT_GT(delivered_at, 0.0);
+}
+
+TEST(Network, RoutePrefersFasterPath) {
+  Simulation sim;
+  net::Network n(sim, "tri");
+  const auto a = n.add_node("a");
+  const auto b = n.add_node("b");
+  const auto cnode = n.add_node("c");
+  n.add_link(a, b, net::lora());  // slow direct
+  const auto fast1 = n.add_link(a, cnode, net::ethernet_lan());
+  const auto fast2 = n.add_link(cnode, b, net::ethernet_lan());
+  const auto path = n.route(a, b, u::bytes(64.0));
+  EXPECT_EQ(path, (std::vector<std::size_t>{fast1, fast2}));
+}
+
+TEST(Network, StatsAccumulate) {
+  Chain c;
+  const net::Message m{c.device, c.gateway, u::bytes(100.0), 0};
+  c.netw.send(m, [](double) {});
+  c.netw.send(m, [](double) {});
+  c.sim.run();
+  const auto& st = c.netw.stats(c.l_dev);
+  EXPECT_EQ(st.messages, 2u);
+  EXPECT_DOUBLE_EQ(st.bytes, 200.0);
+  EXPECT_GT(st.busy_seconds, 0.0);
+}
+
+TEST(Network, Validation) {
+  Simulation sim;
+  net::Network n(sim, "v");
+  const auto a = n.add_node("a");
+  EXPECT_THROW((void)n.add_link(a, a, net::ethernet_lan()), std::invalid_argument);
+  EXPECT_THROW((void)n.add_link(a, 42, net::ethernet_lan()), std::out_of_range);
+  EXPECT_THROW(n.send({a, a, u::bytes(1.0), 0}, nullptr), std::invalid_argument);
+  EXPECT_THROW((void)n.route(a, 42, u::bytes(1.0)), std::out_of_range);
+}
+
+TEST(Network, SegmentedVsSharedLanContention) {
+  // E10 micro-version: an edge message behind a bulk DCC transfer on a
+  // shared LAN waits; on a segmented (dedicated) LAN it does not.
+  Simulation sim;
+  net::Network shared(sim, "shared");
+  const auto s_src = shared.add_node("src");
+  const auto s_dst = shared.add_node("dst");
+  shared.add_link(s_src, s_dst, net::ethernet_lan());
+  double bulk_done = -1.0, edge_done = -1.0;
+  shared.send({s_src, s_dst, u::mebibytes(500.0), 0}, [&](double t) { bulk_done = t; });
+  shared.send({s_src, s_dst, u::bytes(200.0), 0}, [&](double t) { edge_done = t; });
+  sim.run();
+  EXPECT_GT(edge_done, 1.0);  // ~4 s stuck behind the bulk transfer
+
+  Simulation sim2;
+  net::Network seg(sim2, "segmented");
+  const auto e_src = seg.add_node("src");
+  const auto e_dst = seg.add_node("dst");
+  seg.add_link(e_src, e_dst, net::ethernet_lan());
+  double edge_done2 = -1.0;
+  seg.send({e_src, e_dst, u::bytes(200.0), 0}, [&](double t) { edge_done2 = t; });
+  sim2.run();
+  EXPECT_LT(edge_done2, 0.001);
+}

@@ -1,0 +1,183 @@
+// Tests for the thermal extensions: hot-water tank (digital boilers) and
+// rooftop PV (autonomous buildings).
+#include <gtest/gtest.h>
+
+#include "df3/thermal/calendar.hpp"
+#include "df3/thermal/pv.hpp"
+#include "df3/thermal/water_tank.hpp"
+#include "df3/util/stats.hpp"
+
+namespace th = df3::thermal;
+namespace u = df3::util;
+
+// ------------------------------------------------------------ water tank ---
+
+TEST(WaterTank, ConvergesToEquilibrium) {
+  th::WaterTank tank(th::WaterTankParams{}, u::celsius(20.0));
+  const auto q = u::watts(2000.0);
+  const auto eq = tank.equilibrium(q, 0.01);
+  for (int i = 0; i < 2000; ++i) tank.advance(u::minutes(10.0), q, 0.01);
+  EXPECT_NEAR(tank.temperature().value(), eq.value(), 0.01);
+}
+
+TEST(WaterTank, ExactIntegrationStepInvariant) {
+  th::WaterTank a(th::WaterTankParams{}, u::celsius(40.0));
+  th::WaterTank b(th::WaterTankParams{}, u::celsius(40.0));
+  a.advance(u::hours(4.0), u::watts(3000.0), 0.02);
+  for (int i = 0; i < 240; ++i) b.advance(u::minutes(1.0), u::watts(3000.0), 0.02);
+  EXPECT_NEAR(a.temperature().value(), b.temperature().value(), 1e-9);
+}
+
+TEST(WaterTank, DrawCoolsTank) {
+  th::WaterTank idle(th::WaterTankParams{}, u::celsius(55.0));
+  th::WaterTank busy(th::WaterTankParams{}, u::celsius(55.0));
+  idle.advance(u::hours(1.0), u::watts(0.0), 0.0);
+  busy.advance(u::hours(1.0), u::watts(0.0), 0.05);  // shower-level draw
+  EXPECT_LT(busy.temperature().value(), idle.temperature().value());
+  EXPECT_NEAR(busy.litres_served(), 0.05 * 3600.0, 1e-9);
+}
+
+TEST(WaterTank, AdiabaticNoDrawIntegratesHeat) {
+  th::WaterTankParams p;
+  p.ua_w_per_k = 0.0;
+  th::WaterTank tank(p, u::celsius(30.0));
+  // 800 l * 4186 J/K = 3.349 MJ/K; 1 kW for 3349 s = +1 K.
+  tank.advance(u::Seconds{3348.8}, u::kilowatts(1.0), 0.0);
+  EXPECT_NEAR(tank.temperature().value(), 31.0, 1e-3);
+}
+
+TEST(WaterTank, DemandCoversLossesAndDraw) {
+  th::WaterTankParams p;
+  th::WaterTank tank(p, p.setpoint);  // at setpoint: pure feed-forward
+  const auto rating = u::kilowatts(4.0);
+  const auto idle_demand = tank.demand(0.0, rating);
+  // Standing losses only: UA * (55 - 18) = 3.5 * 37 = 129.5 W.
+  EXPECT_NEAR(idle_demand.power.value(), 129.5, 1e-6);
+  EXPECT_TRUE(idle_demand.heating_season);  // tanks want heat year-round
+  const auto draw_demand = tank.demand(0.02, rating);
+  // + 0.02 l/s * 4186 * (55 - 12) = 3600 W.
+  EXPECT_NEAR(draw_demand.power.value(), 129.5 + 3600.0, 1.0);
+  // Cold tank: clamped at the boiler rating.
+  th::WaterTank cold(p, u::celsius(20.0));
+  EXPECT_DOUBLE_EQ(cold.demand(0.02, rating).power.value(), 4000.0);
+}
+
+TEST(WaterTank, SanitaryAccounting) {
+  // Accounting granularity is the step size, so integrate in minutes.
+  th::WaterTank tank(th::WaterTankParams{}, u::celsius(45.0));  // below 50
+  for (int m = 0; m < 120; ++m) tank.advance(u::minutes(1.0), u::kilowatts(4.0), 0.0);
+  EXPECT_GT(tank.seconds_below_sanitary(), 0.0);
+  EXPECT_LT(tank.seconds_below_sanitary(), 2.0 * 3600.0);  // it recovered
+}
+
+TEST(WaterTank, ClosedLoopWithBoilerHoldsSetpoint) {
+  // Stimergy-class 4 kW boiler vs a 600 l/day residential draw profile
+  // (a properly sized store: the 800 l buffer carries the morning peak).
+  th::WaterTankParams p;
+  th::WaterTank tank(p, u::celsius(50.0));
+  u::StreamingStats temp;
+  const double tick = 300.0;
+  for (double t = 0.0; t < 3.0 * 86400.0; t += tick) {
+    const double draw = th::hot_water_draw_lps(t, 600.0);
+    const auto demand = tank.demand(draw, u::kilowatts(4.0));
+    tank.advance(u::Seconds{tick}, demand.power, draw);
+    temp.add(tank.temperature().value());
+  }
+  EXPECT_NEAR(temp.mean(), 55.0, 1.5);
+  EXPECT_GT(temp.min(), 48.0);  // morning showers never crash the store
+}
+
+TEST(WaterTank, Validation) {
+  th::WaterTankParams bad;
+  bad.volume_l = 0.0;
+  EXPECT_THROW(th::WaterTank(bad, u::celsius(50.0)), std::invalid_argument);
+  th::WaterTank tank(th::WaterTankParams{}, u::celsius(50.0));
+  EXPECT_THROW(tank.advance(u::seconds(-1.0), u::watts(0.0), 0.0), std::invalid_argument);
+  EXPECT_THROW(tank.advance(u::seconds(1.0), u::watts(0.0), -0.1), std::invalid_argument);
+  EXPECT_THROW((void)th::hot_water_draw_lps(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(HotWaterProfile, IntegratesToDailyVolumeWithPeaks) {
+  double total = 0.0;
+  double morning = 0.0, night = 0.0;
+  for (int m = 0; m < 24 * 60; ++m) {
+    const double t = m * 60.0;
+    const double lps = th::hot_water_draw_lps(t, 600.0);
+    total += lps * 60.0;
+    const double h = th::hour_of_day(t);
+    if (h >= 7.0 && h < 9.0) morning += lps * 60.0;
+    if (h >= 0.0 && h < 5.0) night += lps * 60.0;
+  }
+  EXPECT_NEAR(total, 600.0, 5.0);
+  EXPECT_GT(morning, 0.3 * 600.0);  // 35% in the morning window
+  EXPECT_LT(night, 0.05 * 600.0);
+}
+
+// ------------------------------------------------------------------- pv ---
+
+TEST(Pv, ZeroAtNightPositiveAtNoon) {
+  const th::PvArray pv(th::PvParams{}, 5);
+  const double jun21_noon = th::start_of_month(5) + 20 * th::kSecondsPerDay + 12 * 3600.0;
+  const double jun21_midnight = th::start_of_month(5) + 20 * th::kSecondsPerDay;
+  EXPECT_GT(pv.production(jun21_noon).value(), 500.0);
+  EXPECT_DOUBLE_EQ(pv.production(jun21_midnight).value(), 0.0);
+}
+
+TEST(Pv, SummerBeatsWinter) {
+  const th::PvArray pv(th::PvParams{}, 5);
+  const auto june = pv.energy(th::start_of_month(5), th::start_of_month(5) + 7 * 86400.0);
+  const auto december = pv.energy(th::start_of_month(11), th::start_of_month(11) + 7 * 86400.0);
+  EXPECT_GT(june.kwh(), 2.0 * december.kwh());
+}
+
+TEST(Pv, ClearSkyBoundsProduction) {
+  const th::PvArray pv(th::PvParams{}, 9);
+  for (int h = 0; h < 24 * 14; ++h) {
+    const double t = th::start_of_month(3) + h * 3600.0;
+    EXPECT_LE(pv.production(t).value(), pv.clear_sky(t).value() + 1e-9);
+    EXPECT_GE(pv.production(t).value(), 0.0);
+  }
+}
+
+TEST(Pv, CloudinessInRangeAndPersistent) {
+  const th::PvArray pv(th::PvParams{}, 9);
+  std::vector<double> a, b;
+  for (int h = 0; h < 2000; ++h) {
+    const double c = pv.cloudiness(h * 3600.0);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    a.push_back(c);
+    b.push_back(pv.cloudiness((h + 1) * 3600.0));
+  }
+  EXPECT_GT(u::pearson(a, b), 0.6);  // hour-scale persistence
+}
+
+TEST(Pv, DeterministicAndSeedSensitive) {
+  const th::PvArray p1(th::PvParams{}, 1);
+  const th::PvArray p1b(th::PvParams{}, 1);
+  const th::PvArray p2(th::PvParams{}, 2);
+  const double t = th::start_of_month(4) + 13 * 3600.0;
+  EXPECT_DOUBLE_EQ(p1.production(t).value(), p1b.production(t).value());
+  EXPECT_NE(p1.cloudiness(t), p2.cloudiness(t));
+}
+
+TEST(Pv, AnnualYieldPlausible) {
+  // A 3 kWp array in Paris yields ~2,600-3,600 kWh/year (shape check:
+  // 850-1,200 kWh per kWp).
+  const th::PvArray pv(th::PvParams{}, 7);
+  double kwh = 0.0;
+  for (int m = 0; m < 12; ++m) {
+    kwh += pv.energy(th::start_of_month(m), th::start_of_month(m) + 86400.0 * 5, 1800.0).kwh() *
+           (th::kDaysInMonth[static_cast<std::size_t>(m)] / 5.0);
+  }
+  EXPECT_GT(kwh, 2000.0);
+  EXPECT_LT(kwh, 4500.0);
+}
+
+TEST(Pv, Validation) {
+  th::PvParams bad;
+  bad.peak = u::watts(0.0);
+  EXPECT_THROW(th::PvArray(bad, 1), std::invalid_argument);
+  const th::PvArray pv(th::PvParams{}, 1);
+  EXPECT_THROW((void)pv.energy(10.0, 0.0), std::invalid_argument);
+}

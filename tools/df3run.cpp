@@ -1,0 +1,167 @@
+// df3run — scenario-driven DF3 city runner.
+//
+// Turns the library into a tool: describe a city and its workloads in a
+// small key=value file (see scenarios/*.cfg), run it, get a service /
+// energy / comfort report and optionally the telemetry CSV for plotting.
+//
+//   ./build/tools/df3run scenarios/winter_city.cfg
+//   ./build/tools/df3run scenarios/boiler_plant.cfg --csv out.csv
+//
+// Recognized keys (defaults in parentheses):
+//   seed (1)                 start_month (0 = Jan)    days (7)
+//   tick_s (60)              gating (keepwarm|aggressive)
+//   climate (paris|amsterdam|dresden|stockholm|seville)
+//   buildings (4)            rooms (4)                high_fidelity (false)
+//   boiler_plant (false)     daily_hot_water_l (1500)
+//   edge_alarm_rate (0.02)   edge_map_rate (0)        telemetry_period_s (0)
+//   cloud_render_interval_s (0)   cloud_risk_interval_s (1800)
+//   routing (df-first|dc-only|season-aware)
+//   csv ("" = no export)
+
+#include <fstream>
+#include <iostream>
+
+#include "df3/df3.hpp"
+#include "df3/util/config.hpp"
+
+namespace {
+
+using namespace df3;
+
+thermal::ClimateNormals climate_by_name(const std::string& name) {
+  if (name == "paris") return thermal::paris_climate();
+  if (name == "amsterdam") return thermal::amsterdam_climate();
+  if (name == "dresden") return thermal::dresden_climate();
+  if (name == "stockholm") return thermal::stockholm_climate();
+  if (name == "seville") return thermal::seville_climate();
+  throw std::invalid_argument("unknown climate: " + name);
+}
+
+int run(const std::string& config_path, const std::string& csv_override) {
+  const auto cfg = util::KeyValueConfig::parse_file(config_path);
+
+  core::PlatformConfig pc;
+  pc.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+  pc.start_time = thermal::start_of_month(static_cast<int>(cfg.get_int("start_month", 0)));
+  pc.tick_s = cfg.get_double("tick_s", 60.0);
+  pc.climate = climate_by_name(cfg.get_string("climate", "paris"));
+  const std::string gating = cfg.get_string("gating", "keepwarm");
+  if (gating == "keepwarm") {
+    pc.regulator.gating = core::GatingPolicy::kKeepWarm;
+  } else if (gating == "aggressive") {
+    pc.regulator.gating = core::GatingPolicy::kAggressive;
+  } else {
+    throw std::invalid_argument("unknown gating: " + gating);
+  }
+
+  core::Df3Platform city(pc);
+  const auto buildings = cfg.get_int("buildings", 4);
+  const bool boiler = cfg.get_bool("boiler_plant", false);
+  for (long i = 0; i < buildings; ++i) {
+    core::BuildingConfig b;
+    b.name = "b" + std::to_string(i);
+    b.rooms = static_cast<int>(cfg.get_int("rooms", 4));
+    b.high_fidelity_rooms = cfg.get_bool("high_fidelity", false);
+    if (boiler) {
+      b.server = hw::stimergy_boiler_spec();
+      thermal::WaterTankParams tank;
+      tank.volume_l = 2500.0;
+      tank.setpoint = util::celsius(58.0);
+      b.water_tank = tank;
+      b.daily_hot_water_l = cfg.get_double("daily_hot_water_l", 1500.0);
+    }
+    city.add_building(b);
+  }
+
+  const std::string routing = cfg.get_string("routing", "df-first");
+  if (routing == "df-first") {
+    city.set_cloud_routing(core::CloudRouting::kDfFirst);
+  } else if (routing == "dc-only") {
+    city.set_cloud_routing(core::CloudRouting::kDatacenterOnly);
+  } else if (routing == "season-aware") {
+    city.set_cloud_routing(core::CloudRouting::kSeasonAware);
+  } else {
+    throw std::invalid_argument("unknown routing: " + routing);
+  }
+
+  if (const double rate = cfg.get_double("edge_alarm_rate", 0.02); rate > 0.0) {
+    city.add_edge_source(0, workload::alarm_detection_factory(), rate);
+  }
+  if (const double rate = cfg.get_double("edge_map_rate", 0.0); rate > 0.0) {
+    city.add_edge_source(0, workload::map_serving_factory(), rate, false, /*via_wifi=*/true);
+  }
+  if (const double period = cfg.get_double("telemetry_period_s", 0.0); period > 0.0) {
+    city.add_edge_source(0, workload::telemetry_factory(),
+                         std::make_unique<workload::FixedIntervalArrivals>(period));
+  }
+  if (const double iv = cfg.get_double("cloud_render_interval_s", 0.0); iv > 0.0) {
+    city.add_cloud_source(workload::render_batch_factory(), 1.0 / iv);
+  }
+  if (const double iv = cfg.get_double("cloud_risk_interval_s", 1800.0); iv > 0.0) {
+    city.add_cloud_source(workload::risk_simulation_factory(), 1.0 / iv);
+  }
+
+  const double days = cfg.get_double("days", 7.0);
+  std::printf("df3run: %s — %ld building(s), %.0f day(s) from month %ld, %s climate\n\n",
+              config_path.c_str(), buildings, days, cfg.get_int("start_month", 0),
+              cfg.get_string("climate", "paris").c_str());
+  city.run(util::days(days));
+
+  // --- report ---------------------------------------------------------------
+  util::Table flows({"flow", "requests", "success", "p50_ms", "p99_ms"}, "service quality");
+  flows.set_precision(1);
+  const struct {
+    const char* label;
+    workload::Flow flow;
+  } rows[] = {{"edge-indirect", workload::Flow::kEdgeIndirect},
+              {"edge-direct", workload::Flow::kEdgeDirect},
+              {"cloud", workload::Flow::kCloud}};
+  for (const auto& row : rows) {
+    const auto& s = city.flow_metrics().by_flow(row.flow);
+    if (s.total() == 0) continue;
+    flows.add_row({std::string(row.label), static_cast<std::int64_t>(s.total()),
+                   s.success_rate(), s.response_s.percentile(50.0) * 1e3,
+                   s.response_s.p99() * 1e3});
+  }
+  flows.print(std::cout);
+
+  const auto& energy = city.df_energy();
+  std::printf("\nenergy: %.1f kWh IT, PUE %.3f, useful heat %.0f%%\n", energy.it().kwh(),
+              energy.pue(), 100.0 * energy.heat_reuse_fraction());
+  if (boiler) {
+    std::printf("store : %.1f degC mean\n", city.comfort(0).mean_temperature_c(city.now()));
+  } else {
+    std::printf("comfort: %.2f K mean deviation, %.1f degC mean room\n",
+                city.comfort(0).mean_abs_deviation_k(city.now()),
+                city.comfort(0).mean_temperature_c(city.now()));
+  }
+  std::printf("regulator tracking error: %.1f%%\n", 100.0 * city.regulator_relative_error());
+
+  const std::string csv = !csv_override.empty() ? csv_override : cfg.get_string("csv", "");
+  if (!csv.empty()) {
+    std::ofstream out(csv);
+    if (!out) throw std::runtime_error("cannot write csv: " + csv);
+    city.export_series_csv(out);
+    std::printf("telemetry series written to %s\n", csv.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: df3run <scenario.cfg> [--csv <path>]\n");
+    return 2;
+  }
+  std::string csv;
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--csv") csv = argv[i + 1];
+  }
+  try {
+    return run(argv[1], csv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "df3run: %s\n", e.what());
+    return 1;
+  }
+}
