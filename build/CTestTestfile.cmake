@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("src/util")
+subdirs("src/simcore")
+subdirs("src/thermal")
+subdirs("src/hardware")
+subdirs("src/net")
+subdirs("src/workload")
+subdirs("src/core")
+subdirs("src/baselines")
+subdirs("src/metrics")
+subdirs("src/analytics")
+subdirs("tests")
+subdirs("bench")
+subdirs("tools")
+subdirs("examples")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_placement_policies.dir/bench_a3_placement_policies.cpp.o"
+  "CMakeFiles/bench_a3_placement_policies.dir/bench_a3_placement_policies.cpp.o.d"
+  "bench_a3_placement_policies"
+  "bench_a3_placement_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_placement_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_cluster_formation.dir/bench_a4_cluster_formation.cpp.o"
+  "CMakeFiles/bench_a4_cluster_formation.dir/bench_a4_cluster_formation.cpp.o.d"
+  "bench_a4_cluster_formation"
+  "bench_a4_cluster_formation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_cluster_formation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

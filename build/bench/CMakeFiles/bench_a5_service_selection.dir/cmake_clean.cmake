@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a5_service_selection.dir/bench_a5_service_selection.cpp.o"
+  "CMakeFiles/bench_a5_service_selection.dir/bench_a5_service_selection.cpp.o.d"
+  "bench_a5_service_selection"
+  "bench_a5_service_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a5_service_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a6_fleet_aging.dir/bench_a6_fleet_aging.cpp.o"
+  "CMakeFiles/bench_a6_fleet_aging.dir/bench_a6_fleet_aging.cpp.o.d"
+  "bench_a6_fleet_aging"
+  "bench_a6_fleet_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a6_fleet_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

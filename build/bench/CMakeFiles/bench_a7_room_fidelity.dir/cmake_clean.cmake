@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a7_room_fidelity.dir/bench_a7_room_fidelity.cpp.o"
+  "CMakeFiles/bench_a7_room_fidelity.dir/bench_a7_room_fidelity.cpp.o.d"
+  "bench_a7_room_fidelity"
+  "bench_a7_room_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a7_room_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a8_climate_sensitivity.dir/bench_a8_climate_sensitivity.cpp.o"
+  "CMakeFiles/bench_a8_climate_sensitivity.dir/bench_a8_climate_sensitivity.cpp.o.d"
+  "bench_a8_climate_sensitivity"
+  "bench_a8_climate_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a8_climate_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

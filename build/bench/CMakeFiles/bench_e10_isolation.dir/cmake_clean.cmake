@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_isolation.dir/bench_e10_isolation.cpp.o"
+  "CMakeFiles/bench_e10_isolation.dir/bench_e10_isolation.cpp.o.d"
+  "bench_e10_isolation"
+  "bench_e10_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_app_suitability.dir/bench_e12_app_suitability.cpp.o"
+  "CMakeFiles/bench_e12_app_suitability.dir/bench_e12_app_suitability.cpp.o.d"
+  "bench_e12_app_suitability"
+  "bench_e12_app_suitability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_app_suitability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

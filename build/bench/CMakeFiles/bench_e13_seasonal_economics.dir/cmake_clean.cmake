@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_seasonal_economics.dir/bench_e13_seasonal_economics.cpp.o"
+  "CMakeFiles/bench_e13_seasonal_economics.dir/bench_e13_seasonal_economics.cpp.o.d"
+  "bench_e13_seasonal_economics"
+  "bench_e13_seasonal_economics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_seasonal_economics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_digital_boiler.dir/bench_e14_digital_boiler.cpp.o"
+  "CMakeFiles/bench_e14_digital_boiler.dir/bench_e14_digital_boiler.cpp.o.d"
+  "bench_e14_digital_boiler"
+  "bench_e14_digital_boiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_digital_boiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_cooperation.dir/bench_e15_cooperation.cpp.o"
+  "CMakeFiles/bench_e15_cooperation.dir/bench_e15_cooperation.cpp.o.d"
+  "bench_e15_cooperation"
+  "bench_e15_cooperation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_cooperation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

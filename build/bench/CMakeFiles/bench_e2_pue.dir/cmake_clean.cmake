@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_pue.dir/bench_e2_pue.cpp.o"
+  "CMakeFiles/bench_e2_pue.dir/bench_e2_pue.cpp.o.d"
+  "bench_e2_pue"
+  "bench_e2_pue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_pue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_render_platform.dir/bench_e3_render_platform.cpp.o"
+  "CMakeFiles/bench_e3_render_platform.dir/bench_e3_render_platform.cpp.o.d"
+  "bench_e3_render_platform"
+  "bench_e3_render_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_render_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

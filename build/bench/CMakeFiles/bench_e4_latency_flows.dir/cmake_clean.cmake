@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_latency_flows.dir/bench_e4_latency_flows.cpp.o"
+  "CMakeFiles/bench_e4_latency_flows.dir/bench_e4_latency_flows.cpp.o.d"
+  "bench_e4_latency_flows"
+  "bench_e4_latency_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_latency_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

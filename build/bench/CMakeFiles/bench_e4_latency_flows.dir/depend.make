@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e4_latency_flows.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_peak_management.dir/bench_e6_peak_management.cpp.o"
+  "CMakeFiles/bench_e6_peak_management.dir/bench_e6_peak_management.cpp.o.d"
+  "bench_e6_peak_management"
+  "bench_e6_peak_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_peak_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_heat_regulator.dir/bench_e7_heat_regulator.cpp.o"
+  "CMakeFiles/bench_e7_heat_regulator.dir/bench_e7_heat_regulator.cpp.o.d"
+  "bench_e7_heat_regulator"
+  "bench_e7_heat_regulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_heat_regulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

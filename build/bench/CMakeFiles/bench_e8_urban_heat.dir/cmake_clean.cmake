@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_urban_heat.dir/bench_e8_urban_heat.cpp.o"
+  "CMakeFiles/bench_e8_urban_heat.dir/bench_e8_urban_heat.cpp.o.d"
+  "bench_e8_urban_heat"
+  "bench_e8_urban_heat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_urban_heat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonomous_building.dir/autonomous_building.cpp.o"
+  "CMakeFiles/autonomous_building.dir/autonomous_building.cpp.o.d"
+  "autonomous_building"
+  "autonomous_building.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonomous_building.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

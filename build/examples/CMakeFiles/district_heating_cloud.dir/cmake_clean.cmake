@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/district_heating_cloud.dir/district_heating_cloud.cpp.o"
+  "CMakeFiles/district_heating_cloud.dir/district_heating_cloud.cpp.o.d"
+  "district_heating_cloud"
+  "district_heating_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/district_heating_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

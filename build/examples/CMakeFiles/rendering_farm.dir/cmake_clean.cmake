@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rendering_farm.dir/rendering_farm.cpp.o"
+  "CMakeFiles/rendering_farm.dir/rendering_farm.cpp.o.d"
+  "rendering_farm"
+  "rendering_farm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rendering_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/forecaster.cpp" "src/analytics/CMakeFiles/df3_analytics.dir/forecaster.cpp.o" "gcc" "src/analytics/CMakeFiles/df3_analytics.dir/forecaster.cpp.o.d"
+  "/root/repo/src/analytics/pricing.cpp" "src/analytics/CMakeFiles/df3_analytics.dir/pricing.cpp.o" "gcc" "src/analytics/CMakeFiles/df3_analytics.dir/pricing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/df3_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/df3_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/df3_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

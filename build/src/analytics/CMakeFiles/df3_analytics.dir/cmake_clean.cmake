@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df3_analytics.dir/forecaster.cpp.o"
+  "CMakeFiles/df3_analytics.dir/forecaster.cpp.o.d"
+  "CMakeFiles/df3_analytics.dir/pricing.cpp.o"
+  "CMakeFiles/df3_analytics.dir/pricing.cpp.o.d"
+  "libdf3_analytics.a"
+  "libdf3_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df3_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

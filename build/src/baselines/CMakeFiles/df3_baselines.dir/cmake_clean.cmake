@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df3_baselines.dir/datacenter.cpp.o"
+  "CMakeFiles/df3_baselines.dir/datacenter.cpp.o.d"
+  "CMakeFiles/df3_baselines.dir/desktop_grid.cpp.o"
+  "CMakeFiles/df3_baselines.dir/desktop_grid.cpp.o.d"
+  "libdf3_baselines.a"
+  "libdf3_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df3_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

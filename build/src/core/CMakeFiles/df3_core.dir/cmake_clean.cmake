@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df3_core.dir/cluster.cpp.o"
+  "CMakeFiles/df3_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/df3_core.dir/clustering.cpp.o"
+  "CMakeFiles/df3_core.dir/clustering.cpp.o.d"
+  "CMakeFiles/df3_core.dir/composition.cpp.o"
+  "CMakeFiles/df3_core.dir/composition.cpp.o.d"
+  "CMakeFiles/df3_core.dir/heat_regulator.cpp.o"
+  "CMakeFiles/df3_core.dir/heat_regulator.cpp.o.d"
+  "CMakeFiles/df3_core.dir/platform.cpp.o"
+  "CMakeFiles/df3_core.dir/platform.cpp.o.d"
+  "CMakeFiles/df3_core.dir/scheduler.cpp.o"
+  "CMakeFiles/df3_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/df3_core.dir/task.cpp.o"
+  "CMakeFiles/df3_core.dir/task.cpp.o.d"
+  "CMakeFiles/df3_core.dir/worker.cpp.o"
+  "CMakeFiles/df3_core.dir/worker.cpp.o.d"
+  "libdf3_core.a"
+  "libdf3_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df3_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

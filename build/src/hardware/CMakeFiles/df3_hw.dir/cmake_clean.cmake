@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df3_hw.dir/cpu.cpp.o"
+  "CMakeFiles/df3_hw.dir/cpu.cpp.o.d"
+  "CMakeFiles/df3_hw.dir/mining.cpp.o"
+  "CMakeFiles/df3_hw.dir/mining.cpp.o.d"
+  "CMakeFiles/df3_hw.dir/server.cpp.o"
+  "CMakeFiles/df3_hw.dir/server.cpp.o.d"
+  "libdf3_hw.a"
+  "libdf3_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df3_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df3_metrics.dir/collectors.cpp.o"
+  "CMakeFiles/df3_metrics.dir/collectors.cpp.o.d"
+  "libdf3_metrics.a"
+  "libdf3_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df3_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

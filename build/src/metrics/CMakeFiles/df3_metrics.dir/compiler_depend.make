@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for df3_metrics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df3_net.dir/network.cpp.o"
+  "CMakeFiles/df3_net.dir/network.cpp.o.d"
+  "CMakeFiles/df3_net.dir/protocol.cpp.o"
+  "CMakeFiles/df3_net.dir/protocol.cpp.o.d"
+  "libdf3_net.a"
+  "libdf3_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df3_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

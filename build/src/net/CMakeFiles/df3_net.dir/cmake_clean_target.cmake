@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdf3_net.a"
+)

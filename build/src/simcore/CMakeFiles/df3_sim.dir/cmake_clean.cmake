@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df3_sim.dir/engine.cpp.o"
+  "CMakeFiles/df3_sim.dir/engine.cpp.o.d"
+  "libdf3_sim.a"
+  "libdf3_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df3_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/thermal/calendar.cpp" "src/thermal/CMakeFiles/df3_thermal.dir/calendar.cpp.o" "gcc" "src/thermal/CMakeFiles/df3_thermal.dir/calendar.cpp.o.d"
+  "/root/repo/src/thermal/pv.cpp" "src/thermal/CMakeFiles/df3_thermal.dir/pv.cpp.o" "gcc" "src/thermal/CMakeFiles/df3_thermal.dir/pv.cpp.o.d"
+  "/root/repo/src/thermal/room.cpp" "src/thermal/CMakeFiles/df3_thermal.dir/room.cpp.o" "gcc" "src/thermal/CMakeFiles/df3_thermal.dir/room.cpp.o.d"
+  "/root/repo/src/thermal/thermostat.cpp" "src/thermal/CMakeFiles/df3_thermal.dir/thermostat.cpp.o" "gcc" "src/thermal/CMakeFiles/df3_thermal.dir/thermostat.cpp.o.d"
+  "/root/repo/src/thermal/urban.cpp" "src/thermal/CMakeFiles/df3_thermal.dir/urban.cpp.o" "gcc" "src/thermal/CMakeFiles/df3_thermal.dir/urban.cpp.o.d"
+  "/root/repo/src/thermal/water_tank.cpp" "src/thermal/CMakeFiles/df3_thermal.dir/water_tank.cpp.o" "gcc" "src/thermal/CMakeFiles/df3_thermal.dir/water_tank.cpp.o.d"
+  "/root/repo/src/thermal/weather.cpp" "src/thermal/CMakeFiles/df3_thermal.dir/weather.cpp.o" "gcc" "src/thermal/CMakeFiles/df3_thermal.dir/weather.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/df3_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/df3_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

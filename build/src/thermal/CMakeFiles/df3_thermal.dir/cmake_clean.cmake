@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df3_thermal.dir/calendar.cpp.o"
+  "CMakeFiles/df3_thermal.dir/calendar.cpp.o.d"
+  "CMakeFiles/df3_thermal.dir/pv.cpp.o"
+  "CMakeFiles/df3_thermal.dir/pv.cpp.o.d"
+  "CMakeFiles/df3_thermal.dir/room.cpp.o"
+  "CMakeFiles/df3_thermal.dir/room.cpp.o.d"
+  "CMakeFiles/df3_thermal.dir/thermostat.cpp.o"
+  "CMakeFiles/df3_thermal.dir/thermostat.cpp.o.d"
+  "CMakeFiles/df3_thermal.dir/urban.cpp.o"
+  "CMakeFiles/df3_thermal.dir/urban.cpp.o.d"
+  "CMakeFiles/df3_thermal.dir/water_tank.cpp.o"
+  "CMakeFiles/df3_thermal.dir/water_tank.cpp.o.d"
+  "CMakeFiles/df3_thermal.dir/weather.cpp.o"
+  "CMakeFiles/df3_thermal.dir/weather.cpp.o.d"
+  "libdf3_thermal.a"
+  "libdf3_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df3_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df3_util.dir/config.cpp.o"
+  "CMakeFiles/df3_util.dir/config.cpp.o.d"
+  "CMakeFiles/df3_util.dir/rng.cpp.o"
+  "CMakeFiles/df3_util.dir/rng.cpp.o.d"
+  "CMakeFiles/df3_util.dir/stats.cpp.o"
+  "CMakeFiles/df3_util.dir/stats.cpp.o.d"
+  "CMakeFiles/df3_util.dir/table.cpp.o"
+  "CMakeFiles/df3_util.dir/table.cpp.o.d"
+  "CMakeFiles/df3_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/df3_util.dir/thread_pool.cpp.o.d"
+  "libdf3_util.a"
+  "libdf3_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df3_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

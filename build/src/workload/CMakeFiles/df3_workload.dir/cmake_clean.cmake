@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df3_workload.dir/arrivals.cpp.o"
+  "CMakeFiles/df3_workload.dir/arrivals.cpp.o.d"
+  "CMakeFiles/df3_workload.dir/generators.cpp.o"
+  "CMakeFiles/df3_workload.dir/generators.cpp.o.d"
+  "CMakeFiles/df3_workload.dir/trace.cpp.o"
+  "CMakeFiles/df3_workload.dir/trace.cpp.o.d"
+  "libdf3_workload.a"
+  "libdf3_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df3_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_worker_test.dir/core_worker_test.cpp.o"
+  "CMakeFiles/core_worker_test.dir/core_worker_test.cpp.o.d"
+  "core_worker_test"
+  "core_worker_test.pdb"
+  "core_worker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_worker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

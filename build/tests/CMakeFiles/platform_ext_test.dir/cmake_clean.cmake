@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_ext_test.dir/platform_ext_test.cpp.o"
+  "CMakeFiles/platform_ext_test.dir/platform_ext_test.cpp.o.d"
+  "platform_ext_test"
+  "platform_ext_test.pdb"
+  "platform_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/simcore_test[1]_include.cmake")
+include("/root/repo/build/tests/thermal_test[1]_include.cmake")
+include("/root/repo/build/tests/hardware_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/core_worker_test[1]_include.cmake")
+include("/root/repo/build/tests/core_cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/platform_test[1]_include.cmake")
+include("/root/repo/build/tests/analytics_test[1]_include.cmake")
+include("/root/repo/build/tests/thermal_ext_test[1]_include.cmake")
+include("/root/repo/build/tests/clustering_test[1]_include.cmake")
+include("/root/repo/build/tests/economics_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_test[1]_include.cmake")
+include("/root/repo/build/tests/composition_test[1]_include.cmake")
+include("/root/repo/build/tests/platform_ext_test[1]_include.cmake")
+include("/root/repo/build/tests/config_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df3run.dir/df3run.cpp.o"
+  "CMakeFiles/df3run.dir/df3run.cpp.o.d"
+  "df3run"
+  "df3run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df3run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
