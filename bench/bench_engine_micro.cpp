@@ -1,10 +1,63 @@
 // Microbenchmarks of the discrete-event engine: scheduling throughput,
-// calendar churn under cancellation, and periodic-process overhead. These
-// bound how large a city we can simulate per wall-clock second.
+// calendar churn under cancellation, periodic-process overhead, and a mixed
+// workload that exercises all three at once. These bound how large a city we
+// can simulate per wall-clock second.
+//
+// Besides wall-clock throughput, every benchmark reports an
+// `allocs_per_item` counter (heap allocations per event, measured by a
+// replacement global operator new), which is what the record pool + SBO
+// callback work is meant to drive to ~zero.
+//
+// The binary has a custom main: after the normal console output it writes
+// `BENCH_engine.json` (override the path with DF3_BENCH_JSON) so future PRs
+// can track the perf trajectory machine-readably.
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
 
 #include "df3/sim/engine.hpp"
 #include "df3/util/rng.hpp"
+
+// ---------------------------------------------------------------------------
+// Allocation accounting: replace global operator new/delete with counting
+// versions. Only the count is instrumented; storage still comes from malloc.
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+double alloc_count() { return static_cast<double>(g_alloc_count.load(std::memory_order_relaxed)); }
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
 
 namespace {
 
@@ -13,6 +66,7 @@ void BM_ScheduleAndRun(benchmark::State& state) {
   df3::util::RngStream rng(1, "bench");
   std::vector<double> times(n);
   for (auto& t : times) t = rng.uniform(0.0, 1e6);
+  const double allocs_before = alloc_count();
   for (auto _ : state) {
     df3::sim::Simulation sim;
     std::size_t sink = 0;
@@ -20,12 +74,16 @@ void BM_ScheduleAndRun(benchmark::State& state) {
     sim.run();
     benchmark::DoNotOptimize(sink);
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+  const auto items = static_cast<std::int64_t>(n) * state.iterations();
+  state.SetItemsProcessed(items);
+  state.counters["allocs_per_item"] =
+      (alloc_count() - allocs_before) / static_cast<double>(items);
 }
 BENCHMARK(BM_ScheduleAndRun)->Range(1 << 10, 1 << 18);
 
 void BM_CancellationChurn(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
+  const double allocs_before = alloc_count();
   for (auto _ : state) {
     df3::sim::Simulation sim;
     df3::util::RngStream rng(2, "bench-cancel");
@@ -39,12 +97,17 @@ void BM_CancellationChurn(benchmark::State& state) {
     sim.run();
     benchmark::DoNotOptimize(sink);
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+  const auto items = static_cast<std::int64_t>(n) * state.iterations();
+  state.SetItemsProcessed(items);
+  state.counters["allocs_per_item"] =
+      (alloc_count() - allocs_before) / static_cast<double>(items);
 }
 BENCHMARK(BM_CancellationChurn)->Range(1 << 10, 1 << 16);
 
 void BM_PeriodicProcesses(benchmark::State& state) {
   const auto procs = static_cast<std::size_t>(state.range(0));
+  const double allocs_before = alloc_count();
+  std::int64_t ticks = 0;
   for (auto _ : state) {
     df3::sim::Simulation sim;
     std::size_t sink = 0;
@@ -56,8 +119,131 @@ void BM_PeriodicProcesses(benchmark::State& state) {
     }
     sim.run_until(3600.0);  // one simulated hour of 1-minute ticks
     benchmark::DoNotOptimize(sink);
+    ticks += static_cast<std::int64_t>(sink);
   }
+  state.SetItemsProcessed(ticks);
+  state.counters["allocs_per_item"] =
+      ticks > 0 ? (alloc_count() - allocs_before) / static_cast<double>(ticks) : 0.0;
 }
 BENCHMARK(BM_PeriodicProcesses)->Range(8, 1 << 12);
 
+// Mixed workload: one-shot events that randomly reschedule and cancel each
+// other while a pool of periodic processes ticks underneath — the shape of a
+// real building simulation (sensor events + control loops), and the
+// worst case for the calendar: pushes, pops, ghosts and re-arms interleave.
+struct MixedCtx {
+  df3::sim::Simulation& sim;
+  df3::util::RngStream& rng;
+  std::vector<df3::sim::EventHandle>& handles;
+  std::size_t budget;  // remaining reschedules; bounds the run
+  std::size_t fired = 0;
+};
+
+void mixed_fire(MixedCtx& ctx) {
+  ++ctx.fired;
+  const auto last = static_cast<std::int64_t>(ctx.handles.size()) - 1;
+  if (ctx.rng.uniform01() < 0.4) {
+    ctx.handles[static_cast<std::size_t>(ctx.rng.uniform_int(0, last))].cancel();
+  }
+  if (ctx.budget > 0) {
+    --ctx.budget;
+    ctx.handles[static_cast<std::size_t>(ctx.rng.uniform_int(0, last))] =
+        ctx.sim.schedule_in(ctx.rng.uniform(0.0, 100.0), [&ctx] { mixed_fire(ctx); });
+  }
+}
+
+void BM_MixedChurn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const double allocs_before = alloc_count();
+  std::int64_t executed = 0;
+  for (auto _ : state) {
+    df3::sim::Simulation sim;
+    df3::util::RngStream rng(7, "bench-mixed");
+    std::vector<df3::sim::EventHandle> handles(n);
+    MixedCtx ctx{sim, rng, handles, /*budget=*/3 * n};
+    std::vector<std::unique_ptr<df3::sim::PeriodicProcess>> procs;
+    procs.reserve(16);
+    for (std::size_t i = 0; i < 16; ++i) {
+      procs.push_back(std::make_unique<df3::sim::PeriodicProcess>(
+          sim, static_cast<double>(i), 25.0, [&ctx](double) { ++ctx.fired; }));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      handles[i] = sim.schedule_in(rng.uniform(0.0, 100.0), [&ctx] { mixed_fire(ctx); });
+    }
+    sim.run_until(400.0);
+    for (auto& p : procs) p->stop();
+    sim.run();  // drain remaining one-shots
+    benchmark::DoNotOptimize(ctx.fired);
+    executed += static_cast<std::int64_t>(sim.events_executed());
+  }
+  state.SetItemsProcessed(executed);
+  state.counters["allocs_per_item"] =
+      executed > 0 ? (alloc_count() - allocs_before) / static_cast<double>(executed) : 0.0;
+}
+BENCHMARK(BM_MixedChurn)->Range(1 << 10, 1 << 15);
+
+// ---------------------------------------------------------------------------
+// Custom main: normal console output plus a machine-readable JSON dump of
+// items/s (and every other counter) per benchmark.
+
+class JsonExportReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      Row row;
+      row.name = run.benchmark_name();
+      if (run.iterations > 0) {
+        row.real_ns_per_iter = run.real_accumulated_time /
+                               static_cast<double>(run.iterations) * 1e9;
+      }
+      for (const auto& [key, counter] : run.counters) {
+        row.counters.emplace_back(key, static_cast<double>(counter));
+      }
+      rows_.push_back(std::move(row));
+    }
+  }
+
+  bool write_json(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "{\n  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& row = rows_[i];
+      out << "    {\"name\": \"" << row.name << "\", \"real_ns_per_iter\": "
+          << row.real_ns_per_iter;
+      for (const auto& [key, value] : row.counters) {
+        out << ", \"" << key << "\": " << value;
+      }
+      out << '}' << (i + 1 < rows_.size() ? "," : "") << '\n';
+    }
+    out << "  ]\n}\n";
+    return static_cast<bool>(out);
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    double real_ns_per_iter = 0.0;
+    std::vector<std::pair<std::string, double>> counters;
+  };
+  std::vector<Row> rows_;
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonExportReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  const char* env_path = std::getenv("DF3_BENCH_JSON");
+  const std::string path = env_path != nullptr ? env_path : "BENCH_engine.json";
+  if (!reporter.write_json(path)) {
+    std::fprintf(stderr, "bench_engine_micro: failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return 0;
+}

@@ -244,8 +244,10 @@ bench/CMakeFiles/bench_e6_peak_management.dir/bench_e6_peak_management.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/include/df3/core/scheduler.hpp /usr/include/c++/12/optional \
  /root/repo/include/df3/core/task.hpp \
- /root/repo/include/df3/sim/engine.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/include/df3/sim/engine.hpp \
+ /root/repo/include/df3/util/function.hpp /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/include/df3/workload/request.hpp \
  /root/repo/include/df3/core/worker.hpp \
  /root/repo/include/df3/hw/server.hpp /root/repo/include/df3/hw/cpu.hpp \
@@ -272,6 +274,9 @@ bench/CMakeFiles/bench_e6_peak_management.dir/bench_e6_peak_management.cpp.o: \
  /root/repo/include/df3/thermal/urban.hpp \
  /root/repo/include/df3/util/table.hpp \
  /root/repo/include/df3/util/thread_pool.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
@@ -282,5 +287,6 @@ bench/CMakeFiles/bench_e6_peak_management.dir/bench_e6_peak_management.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /usr/include/c++/12/future /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/thread \
+ /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
  /root/repo/include/df3/workload/trace.hpp

@@ -217,7 +217,9 @@ src/baselines/CMakeFiles/df3_baselines.dir/desktop_grid.cpp.o: \
  /root/repo/include/df3/core/scheduler.hpp /usr/include/c++/12/optional \
  /root/repo/include/df3/core/task.hpp \
  /root/repo/include/df3/sim/engine.hpp /usr/include/c++/12/cstddef \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/include/df3/util/function.hpp /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/include/df3/workload/request.hpp \
  /root/repo/include/df3/util/units.hpp /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \

@@ -210,10 +210,11 @@ src/workload/CMakeFiles/df3_workload.dir/generators.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/include/df3/sim/engine.hpp /usr/include/c++/12/cstddef \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/include/df3/util/rng.hpp \
- /usr/include/c++/12/limits /root/repo/include/df3/workload/arrivals.hpp \
+ /root/repo/include/df3/util/function.hpp /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/include/df3/util/rng.hpp /usr/include/c++/12/limits \
+ /root/repo/include/df3/workload/arrivals.hpp \
  /root/repo/include/df3/workload/request.hpp /usr/include/c++/12/optional \
  /root/repo/include/df3/util/units.hpp /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
@@ -236,5 +237,4 @@ src/workload/CMakeFiles/df3_workload.dir/generators.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h
+ /usr/include/c++/12/tr1/riemann_zeta.tcc

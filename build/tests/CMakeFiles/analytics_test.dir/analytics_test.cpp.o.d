@@ -323,8 +323,8 @@ tests/CMakeFiles/analytics_test.dir/analytics_test.cpp.o: \
  /root/repo/include/df3/core/cluster.hpp \
  /root/repo/include/df3/core/scheduler.hpp \
  /root/repo/include/df3/core/task.hpp \
- /root/repo/include/df3/sim/engine.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/include/df3/sim/engine.hpp \
+ /root/repo/include/df3/util/function.hpp /usr/include/c++/12/cstring \
  /root/repo/include/df3/workload/request.hpp \
  /root/repo/include/df3/core/worker.hpp \
  /root/repo/include/df3/hw/server.hpp /root/repo/include/df3/hw/cpu.hpp \

@@ -319,11 +319,11 @@ tests/CMakeFiles/core_worker_test.dir/core_worker_test.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/include/df3/thermal/thermostat.hpp \
  /root/repo/include/df3/thermal/room.hpp \
- /root/repo/include/df3/sim/engine.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/include/df3/sim/engine.hpp \
+ /root/repo/include/df3/util/function.hpp /usr/include/c++/12/cstring \
  /root/repo/include/df3/util/stats.hpp \
- /root/repo/include/df3/core/scheduler.hpp \
+ /root/repo/include/df3/core/scheduler.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/include/df3/core/task.hpp \
  /root/repo/include/df3/workload/request.hpp \
  /root/repo/include/df3/core/worker.hpp \

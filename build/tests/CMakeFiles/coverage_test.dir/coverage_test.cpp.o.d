@@ -295,9 +295,8 @@ tests/CMakeFiles/coverage_test.dir/coverage_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/include/df3/core/worker.hpp \
  /root/repo/include/df3/core/task.hpp \
- /root/repo/include/df3/sim/engine.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/include/df3/sim/engine.hpp \
+ /root/repo/include/df3/util/function.hpp /usr/include/c++/12/cstring \
  /root/repo/include/df3/workload/request.hpp \
  /root/repo/include/df3/util/units.hpp /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/function_test.cpp" "tests/CMakeFiles/function_test.dir/function_test.cpp.o" "gcc" "tests/CMakeFiles/function_test.dir/function_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/df3_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hardware/CMakeFiles/df3_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/df3_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/df3_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/df3_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/df3_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/CMakeFiles/df3_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/df3_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/df3_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/df3_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

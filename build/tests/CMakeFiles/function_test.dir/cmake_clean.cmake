@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/function_test.dir/function_test.cpp.o"
+  "CMakeFiles/function_test.dir/function_test.cpp.o.d"
+  "function_test"
+  "function_test.pdb"
+  "function_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/function_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

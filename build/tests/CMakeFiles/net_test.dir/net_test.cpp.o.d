@@ -317,6 +317,5 @@ tests/CMakeFiles/net_test.dir/net_test.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/include/df3/sim/engine.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h
+ /root/repo/include/df3/sim/engine.hpp \
+ /root/repo/include/df3/util/function.hpp /usr/include/c++/12/cstring

@@ -319,8 +319,8 @@ tests/CMakeFiles/property_test.dir/property_test.cpp.o: \
  /root/repo/include/df3/core/scheduler.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/include/df3/core/task.hpp \
- /root/repo/include/df3/sim/engine.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/include/df3/sim/engine.hpp \
+ /root/repo/include/df3/util/function.hpp /usr/include/c++/12/cstring \
  /root/repo/include/df3/workload/request.hpp \
  /root/repo/include/df3/util/units.hpp \
  /root/repo/include/df3/core/worker.hpp \

@@ -319,6 +319,9 @@ tests/CMakeFiles/util_test.dir/util_test.cpp.o: \
  /root/repo/include/df3/util/stats.hpp \
  /root/repo/include/df3/util/table.hpp \
  /root/repo/include/df3/util/thread_pool.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \

@@ -294,9 +294,8 @@ tests/CMakeFiles/workload_test.dir/workload_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/include/df3/thermal/calendar.hpp \
- /root/repo/include/df3/sim/engine.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/include/df3/sim/engine.hpp \
+ /root/repo/include/df3/util/function.hpp /usr/include/c++/12/cstring \
  /root/repo/include/df3/util/stats.hpp \
  /root/repo/include/df3/workload/arrivals.hpp \
  /root/repo/include/df3/util/rng.hpp \

@@ -1,0 +1,208 @@
+#pragma once
+/// \file function.hpp
+/// \brief Move-only callable wrapper with small-buffer optimization.
+///
+/// `UniqueFunction<R(Args...)>` is the engine's replacement for
+/// `std::function`: it never copies the target (so move-only captures such
+/// as `std::unique_ptr` work), and callables up to `kInlineSize` bytes are
+/// stored inline — no heap allocation, no atomic refcount. A simulation
+/// callback is typically a lambda over a `this` pointer plus a couple of
+/// scalars, which fits comfortably; larger targets fall back to the heap
+/// transparently.
+///
+/// Differences from `std::function` (all deliberate):
+///  * move-only — copying a pending event's callback is never meaningful;
+///  * invoking an empty wrapper throws `std::bad_function_call` (same);
+///  * a target only qualifies for inline storage if its move constructor is
+///    `noexcept`, so moving a `UniqueFunction` is always `noexcept`.
+
+#include <cstddef>
+#include <cstring>
+#include <functional>  // std::bad_function_call
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace df3::util {
+
+namespace detail {
+/// True for targets comparable against nullptr (function pointers,
+/// std::function, member pointers) — an == nullptr target wraps as empty,
+/// mirroring std::function's converting constructor.
+template <class F, class = void>
+inline constexpr bool is_null_comparable = false;
+template <class F>
+inline constexpr bool
+    is_null_comparable<F, std::void_t<decltype(std::declval<const F&>() == nullptr)>> = true;
+}  // namespace detail
+
+template <class Signature>
+class UniqueFunction;  // undefined primary; only R(Args...) is specialized
+
+template <class R, class... Args>
+class UniqueFunction<R(Args...)> {
+ public:
+  /// Inline storage size: fits a this-pointer plus five 8-byte captures.
+  static constexpr std::size_t kInlineSize = 48;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+  UniqueFunction() noexcept = default;
+  UniqueFunction(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <class F, class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, UniqueFunction> &&
+                                     std::is_invocable_r_v<R, D&, Args...>>>
+  UniqueFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (detail::is_null_comparable<D>) {
+      if (f == nullptr) return;  // empty function pointer / std::function
+    }
+    construct<D>(std::forward<F>(f));
+  }
+
+  UniqueFunction(UniqueFunction&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      relocate_from(other);
+    }
+  }
+
+  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        relocate_from(other);
+      }
+    }
+    return *this;
+  }
+
+  UniqueFunction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  ~UniqueFunction() { reset(); }
+
+  /// Invoke the target; throws std::bad_function_call when empty.
+  R operator()(Args... args) const {
+    if (ops_ == nullptr) throw std::bad_function_call();
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  friend bool operator==(const UniqueFunction& f, std::nullptr_t) noexcept { return !f; }
+  friend bool operator!=(const UniqueFunction& f, std::nullptr_t) noexcept {
+    return static_cast<bool>(f);
+  }
+
+  void swap(UniqueFunction& other) noexcept {
+    UniqueFunction tmp = std::move(other);
+    other = std::move(*this);
+    *this = std::move(tmp);
+  }
+
+  /// True if the current target lives in the inline buffer (empty -> false).
+  /// Exposed for tests and allocation accounting.
+  [[nodiscard]] bool is_inline() const noexcept { return ops_ != nullptr && ops_->inline_stored; }
+
+ private:
+  union Storage {
+    alignas(kInlineAlign) std::byte buf[kInlineSize];
+    void* heap;
+  };
+
+  /// Per-target-type operation table; one static instance per (F, mode).
+  /// `relocate`/`destroy` are null when the operation reduces to a byte copy
+  /// / no-op (trivially-copyable inline targets and the heap pointer case),
+  /// so the hot move/reset paths skip the indirect call entirely.
+  struct Ops {
+    R (*invoke)(const Storage&, Args&&...);
+    void (*relocate)(Storage& dst, Storage& src) noexcept;  // move into dst, destroy src
+    void (*destroy)(Storage&) noexcept;
+    bool inline_stored;
+  };
+
+  template <class F>
+  static constexpr bool fits_inline = sizeof(F) <= kInlineSize &&
+                                      alignof(F) <= kInlineAlign &&
+                                      std::is_nothrow_move_constructible_v<F>;
+
+  template <class F>
+  struct InlineOps {
+    static F& get(const Storage& s) noexcept {
+      return *std::launder(reinterpret_cast<F*>(const_cast<std::byte*>(s.buf)));
+    }
+    static R invoke(const Storage& s, Args&&... args) {
+      return get(s)(std::forward<Args>(args)...);
+    }
+    static void relocate(Storage& dst, Storage& src) noexcept {
+      ::new (static_cast<void*>(dst.buf)) F(std::move(get(src)));
+      get(src).~F();
+    }
+    static void destroy(Storage& s) noexcept { get(s).~F(); }
+    static constexpr Ops ops{&invoke,
+                             std::is_trivially_copyable_v<F> ? nullptr : &relocate,
+                             std::is_trivially_destructible_v<F> ? nullptr : &destroy,
+                             true};
+  };
+
+  template <class F>
+  struct HeapOps {
+    static F& get(const Storage& s) noexcept { return *static_cast<F*>(s.heap); }
+    static R invoke(const Storage& s, Args&&... args) {
+      return get(s)(std::forward<Args>(args)...);
+    }
+    static void destroy(Storage& s) noexcept { delete static_cast<F*>(s.heap); }
+    // Relocation is always a pointer steal -> plain storage copy (null).
+    static constexpr Ops ops{&invoke, nullptr, &destroy, false};
+  };
+
+  template <class D, class F>
+  void construct(F&& f) {
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(storage_.buf)) D(std::forward<F>(f));
+      ops_ = &InlineOps<D>::ops;
+    } else {
+      storage_.heap = new D(std::forward<F>(f));
+      ops_ = &HeapOps<D>::ops;
+    }
+  }
+
+  // GCC cannot see that relocate_from is only reached when `other` holds a
+  // target (ops_ != nullptr implies storage_ was written) and warns about
+  // copying the possibly-uninitialized inline buffer.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#pragma GCC diagnostic ignored "-Wuninitialized"
+  void relocate_from(UniqueFunction& other) noexcept {
+    if (ops_->relocate != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+    } else {
+      // Trivially relocatable (incl. the heap pointer case): byte copy.
+      std::memcpy(&storage_, &other.storage_, sizeof(Storage));
+    }
+    other.ops_ = nullptr;
+  }
+#pragma GCC diagnostic pop
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  mutable Storage storage_;
+  const Ops* ops_ = nullptr;
+};
+
+template <class R, class... Args>
+void swap(UniqueFunction<R(Args...)>& a, UniqueFunction<R(Args...)>& b) noexcept {
+  a.swap(b);
+}
+
+}  // namespace df3::util

@@ -7,6 +7,7 @@
 /// the bench harness and Monte-Carlo replications. Each task runs its own
 /// `Simulation`, so no shared mutable state crosses threads.
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -57,20 +58,38 @@ class ThreadPool {
 
 /// Run `fn(i)` for i in [0, n) on a transient pool and block until done.
 /// Results are collected in index order, so output is deterministic even
-/// though execution order is not.
+/// though execution order is not. Work is submitted as ~2x-threads
+/// contiguous index chunks (not one task per item), so the per-task
+/// packaged_task/future overhead is amortized across sweep sizes while
+/// still leaving enough chunks for load balancing under uneven item costs.
 template <class Fn>
 auto parallel_map(std::size_t n, Fn&& fn, std::size_t threads = 0)
     -> std::vector<std::invoke_result_t<Fn, std::size_t>> {
   using R = std::invoke_result_t<Fn, std::size_t>;
-  ThreadPool pool(threads);
-  std::vector<std::future<R>> futures;
-  futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    futures.push_back(pool.submit([&fn, i] { return fn(i); }));
-  }
   std::vector<R> results;
+  if (n == 0) return results;
+  ThreadPool pool(threads);
+  const std::size_t chunks = std::min(n, 2 * pool.size());
+  const std::size_t base = n / chunks;
+  const std::size_t rem = n % chunks;
+  std::vector<std::future<std::vector<R>>> futures;
+  futures.reserve(chunks);
+  std::size_t lo = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t hi = lo + base + (c < rem ? 1 : 0);
+    futures.push_back(pool.submit([&fn, lo, hi] {
+      std::vector<R> part;
+      part.reserve(hi - lo);
+      for (std::size_t i = lo; i < hi; ++i) part.push_back(fn(i));
+      return part;
+    }));
+    lo = hi;
+  }
   results.reserve(n);
-  for (auto& f : futures) results.push_back(f.get());
+  for (auto& f : futures) {
+    std::vector<R> part = f.get();
+    for (auto& r : part) results.push_back(std::move(r));
+  }
   return results;
 }
 

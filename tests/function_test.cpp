@@ -1,0 +1,160 @@
+// Unit tests for df3::util::UniqueFunction — the engine's move-only,
+// small-buffer-optimized callable. Covers: move-only captures, SBO vs heap
+// fallback, empty-call behavior, nullptr handling, and move semantics
+// (including destruction counts, which the engine's record pool relies on).
+#include "df3/util/function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace {
+
+using df3::util::UniqueFunction;
+
+TEST(UniqueFunctionTest, DefaultConstructedIsEmpty) {
+  UniqueFunction<int()> f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  EXPECT_TRUE(f == nullptr);
+  EXPECT_FALSE(f != nullptr);
+  EXPECT_FALSE(f.is_inline());
+}
+
+TEST(UniqueFunctionTest, EmptyCallThrowsBadFunctionCall) {
+  UniqueFunction<void()> f;
+  EXPECT_THROW(f(), std::bad_function_call);
+  UniqueFunction<int(int)> g = nullptr;
+  EXPECT_THROW(g(1), std::bad_function_call);
+}
+
+TEST(UniqueFunctionTest, InvokesLambdaWithArgsAndResult) {
+  UniqueFunction<int(int, int)> add = [](int a, int b) { return a + b; };
+  ASSERT_TRUE(static_cast<bool>(add));
+  EXPECT_EQ(add(2, 3), 5);
+}
+
+TEST(UniqueFunctionTest, SmallLambdaIsStoredInline) {
+  int x = 41;
+  UniqueFunction<int()> f = [&x] { return x + 1; };
+  EXPECT_TRUE(f.is_inline());
+  EXPECT_EQ(f(), 42);
+}
+
+TEST(UniqueFunctionTest, OversizedCaptureFallsBackToHeap) {
+  std::array<double, 16> big{};  // 128 bytes > 48-byte inline buffer
+  big[7] = 2.5;
+  UniqueFunction<double()> f = [big] { return big[7]; };
+  ASSERT_TRUE(static_cast<bool>(f));
+  EXPECT_FALSE(f.is_inline());
+  EXPECT_DOUBLE_EQ(f(), 2.5);
+}
+
+TEST(UniqueFunctionTest, MoveOnlyCaptureWorks) {
+  auto p = std::make_unique<int>(7);
+  UniqueFunction<int()> f = [p = std::move(p)] { return *p; };
+  EXPECT_EQ(f(), 7);
+  // And the wrapper itself moves, carrying the capture along.
+  UniqueFunction<int()> g = std::move(f);
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(g(), 7);
+}
+
+TEST(UniqueFunctionTest, NullFunctionPointerWrapsAsEmpty) {
+  int (*fp)(int) = nullptr;
+  UniqueFunction<int(int)> f = fp;
+  EXPECT_FALSE(static_cast<bool>(f));
+  fp = [](int v) { return v * 2; };
+  UniqueFunction<int(int)> g = fp;
+  ASSERT_TRUE(static_cast<bool>(g));
+  EXPECT_EQ(g(21), 42);
+}
+
+TEST(UniqueFunctionTest, EmptyStdFunctionWrapsAsEmpty) {
+  std::function<void()> empty;
+  UniqueFunction<void()> f = std::move(empty);
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(UniqueFunctionTest, MoveAssignReplacesTarget) {
+  UniqueFunction<int()> f = [] { return 1; };
+  UniqueFunction<int()> g = [] { return 2; };
+  f = std::move(g);
+  EXPECT_EQ(f(), 2);
+  EXPECT_FALSE(static_cast<bool>(g));  // NOLINT(bugprone-use-after-move)
+  f = nullptr;
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+// Destruction accounting: exactly one live copy of the target at all times,
+// destroyed exactly once. The engine's record pool moves callbacks in and
+// out of pooled slots, so double-destroy or leak here corrupts real runs.
+struct DtorCounter {
+  explicit DtorCounter(int* counter) : counter_(counter) {}
+  DtorCounter(DtorCounter&& other) noexcept : counter_(other.counter_) { other.counter_ = nullptr; }
+  DtorCounter(const DtorCounter&) = delete;
+  DtorCounter& operator=(const DtorCounter&) = delete;
+  DtorCounter& operator=(DtorCounter&&) = delete;
+  ~DtorCounter() {
+    if (counter_ != nullptr) ++*counter_;
+  }
+  int operator()() const { return counter_ != nullptr ? 1 : 0; }
+  int* counter_;
+};
+
+TEST(UniqueFunctionTest, TargetDestroyedExactlyOnce) {
+  int destroyed = 0;
+  {
+    UniqueFunction<int()> f = DtorCounter(&destroyed);
+    EXPECT_EQ(f(), 1);
+    UniqueFunction<int()> g = std::move(f);
+    EXPECT_EQ(g(), 1);
+    UniqueFunction<int()> h;
+    h = std::move(g);
+    EXPECT_EQ(h(), 1);
+  }
+  EXPECT_EQ(destroyed, 1);
+}
+
+TEST(UniqueFunctionTest, ReassignDestroysOldTarget) {
+  int destroyed = 0;
+  UniqueFunction<int()> f = DtorCounter(&destroyed);
+  f = [] { return 5; };
+  EXPECT_EQ(destroyed, 1);
+  EXPECT_EQ(f(), 5);
+}
+
+TEST(UniqueFunctionTest, SwapExchangesTargets) {
+  UniqueFunction<int()> f = [] { return 1; };
+  UniqueFunction<int()> g = [] { return 2; };
+  swap(f, g);
+  EXPECT_EQ(f(), 2);
+  EXPECT_EQ(g(), 1);
+  UniqueFunction<int()> empty;
+  swap(f, empty);
+  EXPECT_FALSE(static_cast<bool>(f));
+  EXPECT_EQ(empty(), 2);
+}
+
+TEST(UniqueFunctionTest, HeapTargetMoveStealsPointer) {
+  std::array<std::string, 4> parts{std::string("a"), std::string(200, 'x'), std::string("b"),
+                                   std::string("c")};  // 128-byte closure -> heap storage
+  UniqueFunction<std::size_t()> f = [parts] { return parts[1].size(); };
+  EXPECT_FALSE(f.is_inline());
+  UniqueFunction<std::size_t()> g = std::move(f);
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT(bugprone-use-after-move)
+  EXPECT_FALSE(g.is_inline());
+  EXPECT_EQ(g(), 200u);
+}
+
+TEST(UniqueFunctionTest, MutableLambdaKeepsStateAcrossCalls) {
+  UniqueFunction<int()> counter = [n = 0]() mutable { return ++n; };
+  EXPECT_EQ(counter(), 1);
+  EXPECT_EQ(counter(), 2);
+  EXPECT_EQ(counter(), 3);
+}
+
+}  // namespace

@@ -1,6 +1,8 @@
 // Unit and property tests for the discrete-event engine.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -227,6 +229,40 @@ TEST(PeriodicProcessTest, SelfStopFromCallback) {
   EXPECT_EQ(count, 3);
 }
 
+TEST(PeriodicProcessTest, NoPhaseDriftOverLongRuns) {
+  // Tick k must fire at exactly start + k * period. The accumulating form
+  // (t += period) drifts: 0.1 is not representable in binary, so a month of
+  // 0.1 s ticks lands measurably off the grid. The direct form does not.
+  Simulation sim;
+  double last = -1.0;
+  std::uint64_t k = 0;
+  PeriodicProcess proc(sim, 0.5, 0.1, [&](double t) {
+    last = t;
+    EXPECT_EQ(t, 0.5 + static_cast<double>(k) * 0.1);
+    ++k;
+  });
+  sim.run_until(100000.0);
+  EXPECT_GT(k, 999000u);
+  EXPECT_EQ(last, 0.5 + static_cast<double>(k - 1) * 0.1);
+}
+
+TEST(Engine, PendingEventsIsExactUnderCancellation) {
+  // pending_events() must not count cancelled entries still awaiting lazy
+  // removal from the calendar.
+  Simulation sim;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 100; ++i) {
+    handles.push_back(sim.schedule_at(1.0 + i, [] {}));
+  }
+  EXPECT_EQ(sim.pending_events(), 100u);
+  for (int i = 0; i < 100; i += 2) handles[static_cast<std::size_t>(i)].cancel();
+  EXPECT_EQ(sim.pending_events(), 50u);
+  sim.run(10);
+  EXPECT_EQ(sim.pending_events(), 40u);
+  sim.run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
 TEST(PeriodicProcessTest, RejectsNonPositivePeriod) {
   Simulation sim;
   EXPECT_THROW(PeriodicProcess(sim, 0.0, 0.0, [](double) {}), std::invalid_argument);
@@ -242,6 +278,62 @@ TEST(PeriodicProcessTest, DestructorCancelsCleanly) {
   }
   sim.run_until(10.0);
   EXPECT_EQ(count, 3);  // ticks at 0,1,2 then destroyed
+}
+
+// Golden determinism test: a mixed workload — random schedules with
+// duplicated timestamps, cancellations issued from inside callbacks while
+// the run is in flight, a self-stopping periodic process, and a zero-delay
+// self-rescheduling chain — must fire in exactly the same (time, order)
+// sequence as the seed engine did. The hash below was captured from the
+// original shared_ptr + std::priority_queue calendar; any engine rewrite
+// must reproduce it bit-for-bit.
+TEST(Engine, GoldenEventOrderHash) {
+  df3::util::RngStream rng(424242, "golden-order");
+  Simulation sim;
+  std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  std::uint64_t fire_idx = 0;
+  auto mix = [&hash, &fire_idx](double t) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &t, sizeof bits);
+    for (std::uint64_t v : {bits, fire_idx++}) {
+      for (int b = 0; b < 8; ++b) {
+        hash ^= (v >> (8 * b)) & 0xffU;
+        hash *= 0x100000001b3ULL;
+      }
+    }
+  };
+  std::vector<EventHandle> handles;
+  handles.reserve(400);
+  for (int i = 0; i < 400; ++i) {
+    const double t = (i % 5 == 0) ? 250.0 : rng.uniform(0.0, 1000.0);
+    handles.push_back(sim.schedule_at(t, [&] {
+      mix(sim.now());
+      const double u = rng.uniform01();
+      if (u < 0.25) {
+        sim.schedule_in(rng.uniform(0.0, 50.0), [&] { mix(sim.now()); });
+      } else if (u < 0.35) {
+        sim.schedule_in(0.0, [&] { mix(sim.now()); });  // zero-delay tie
+      } else if (u < 0.5) {
+        handles[static_cast<std::size_t>(rng.uniform_int(0, 399))].cancel();
+      }
+    }));
+  }
+  int pticks = 0;
+  PeriodicProcess proc(sim, 10.0, 7.5, [&](double t) {
+    mix(t);
+    if (++pticks == 40) proc.stop();
+  });
+  int chain = 0;
+  std::function<void()> self = [&] {
+    mix(sim.now());
+    if (++chain < 25) sim.schedule_in(0.0, self);
+  };
+  sim.schedule_at(100.0, self);
+  sim.run();
+  EXPECT_EQ(hash, 10905380926383512966ULL);
+  EXPECT_EQ(sim.events_executed(), 563ULL);
+  EXPECT_EQ(sim.events_scheduled(), 593ULL);
+  EXPECT_EQ(sim.events_cancelled(), 30ULL);
 }
 
 // Entity is a thin base; verify naming and clock passthrough.
