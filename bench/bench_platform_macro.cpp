@@ -1,0 +1,687 @@
+// Macro-benchmark of the fleet-physics kernel (DESIGN.md, "Fleet-physics
+// kernel"): full-city tick throughput, old sweep vs new, at 30 / 300 / 1000
+// rooms over one simulated week.
+//
+// The A side is a faithful port of the pre-refactor hot path — the
+// per-object AoS sweep with per-call DVFS ratio math, a P-state scan that
+// mutates the server per candidate, exp() recomputed every room step and
+// pow(2,x) aging — driven by the same discrete-event engine, weather model,
+// metrics collectors and control flow as the real platform, so the two
+// sides do identical simulation work and differ only in the physics/control
+// kernel. The B side is the real `Df3Platform`. Rounds are interleaved
+// A,B,A,B,... and medians reported, so thermal/frequency drift of the host
+// machine hits both sides equally.
+//
+// Output: a console table plus BENCH_platform.json (path overridable with
+// DF3_BENCH_JSON) with ns/room-tick, items/s and the speedup per city size.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <deque>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "df3/core/platform.hpp"
+#include "df3/metrics/collectors.hpp"
+#include "df3/thermal/calendar.hpp"
+#include "df3/sim/engine.hpp"
+#include "df3/thermal/room.hpp"
+#include "df3/thermal/thermostat.hpp"
+#include "df3/thermal/weather.hpp"
+#include "df3/util/stats.hpp"
+#include "df3/util/units.hpp"
+
+namespace {
+
+using namespace df3;
+
+constexpr double kDfOverheadFraction = 0.026;
+constexpr double kWeekS = 7.0 * 24.0 * 3600.0;
+constexpr int kRoomsPerBuilding = 10;
+constexpr int kRounds = 5;
+
+// ---------------------------------------------------------------------------
+// Legacy replica: the pre-refactor hot path, ported verbatim. Kept in its
+// own namespace so the benchmark keeps measuring the *old* cost model even
+// as the production classes evolve.
+
+namespace legacy {
+
+// The pre-refactor classes lived in separate translation units (no LTO), so
+// every hot call crossed a TU boundary. Annotating the replica's methods
+// keeps the optimizer from fusing them across what used to be link-time
+// seams -- without this the A side measures an idealized old sweep that
+// never shipped.
+#define LEGACY_OUTLINE __attribute__((noinline))
+
+class CpuModel {
+ public:
+  explicit CpuModel(hw::CpuSpec spec) : spec_(std::move(spec)) {}
+
+  [[nodiscard]] LEGACY_OUTLINE util::Watts power(std::size_t ps, double util) const {
+    if (ps >= spec_.pstates.size()) throw std::out_of_range("legacy power: bad P-state");
+    if (util < 0.0 || util > 1.0) throw std::invalid_argument("legacy power: bad util");
+    const hw::PState& top = spec_.pstates.back();
+    const hw::PState& cur = spec_.pstates[ps];
+    const double f_ratio = cur.freq_ghz / top.freq_ghz;
+    const double v_ratio = cur.voltage_v / top.voltage_v;
+    return util::Watts{spec_.static_power.value() +
+                       spec_.dynamic_power_max.value() * f_ratio * v_ratio * v_ratio * util};
+  }
+
+  [[nodiscard]] LEGACY_OUTLINE double core_speed_gcps(std::size_t ps) const {
+    if (ps >= spec_.pstates.size()) throw std::out_of_range("legacy core_speed: bad P-state");
+    return spec_.pstates[ps].freq_ghz;
+  }
+
+  [[nodiscard]] const hw::CpuSpec& spec() const { return spec_; }
+
+ private:
+  hw::CpuSpec spec_;
+};
+
+class Server {
+ public:
+  explicit Server(hw::ServerSpec spec)
+      : spec_(std::move(spec)), cpu_model_(spec_.cpu), pstate_(spec_.cpu.top_pstate()) {}
+
+  [[nodiscard]] const hw::ServerSpec& spec() const { return spec_; }
+
+  LEGACY_OUTLINE void set_powered(bool on) {
+    powered_ = on;
+    if (!on) {
+      busy_cores_ = 0;
+      filler_cores_ = 0;
+    }
+  }
+  LEGACY_OUTLINE void set_pstate(std::size_t ps) {
+    if (ps >= spec_.cpu.pstates.size()) throw std::out_of_range("legacy set_pstate");
+    pstate_ = ps;
+  }
+  LEGACY_OUTLINE void set_filler_cores(int cores) { filler_cores_ = cores; }
+  LEGACY_OUTLINE void set_busy_cores(int cores) {
+    if (cores < 0 || cores > spec_.total_cores()) {
+      throw std::invalid_argument("legacy set_busy_cores: out of range");
+    }
+    busy_cores_ = cores;
+  }
+  [[nodiscard]] int busy_cores() const { return busy_cores_; }
+
+  LEGACY_OUTLINE void set_inlet_temperature(util::Celsius t) {
+    inlet_ = t;
+    if (thermally_shut_down()) {
+      busy_cores_ = 0;
+      filler_cores_ = 0;
+    }
+  }
+
+  [[nodiscard]] LEGACY_OUTLINE bool thermally_shut_down() const { return inlet_ >= spec_.shutdown_temp; }
+
+  [[nodiscard]] LEGACY_OUTLINE std::size_t effective_pstate() const {
+    if (inlet_ <= spec_.throttle_start) return pstate_;
+    if (thermally_shut_down()) return 0;
+    const double window = spec_.shutdown_temp.value() - spec_.throttle_start.value();
+    const double excess = inlet_.value() - spec_.throttle_start.value();
+    const double fraction = 1.0 - excess / window;
+    const auto ladder = static_cast<double>(spec_.cpu.pstates.size() - 1);
+    const auto cap = static_cast<std::size_t>(std::floor(ladder * fraction));
+    return std::min(pstate_, cap);
+  }
+
+  [[nodiscard]] LEGACY_OUTLINE int loaded_cores() const {
+    if (!powered_ || thermally_shut_down()) return 0;
+    return std::min(spec_.total_cores(), busy_cores_ + filler_cores_);
+  }
+  [[nodiscard]] LEGACY_OUTLINE int usable_cores() const {
+    if (!powered_ || thermally_shut_down()) return 0;
+    return spec_.total_cores();
+  }
+  [[nodiscard]] LEGACY_OUTLINE double core_speed_gcps() const {
+    if (usable_cores() == 0) return 0.0;
+    return cpu_model_.core_speed_gcps(effective_pstate());
+  }
+
+  [[nodiscard]] LEGACY_OUTLINE util::Watts power() const {
+    if (!powered_) return spec_.standby_power;
+    if (thermally_shut_down()) return spec_.standby_power;
+    const double util_frac =
+        static_cast<double>(loaded_cores()) / static_cast<double>(spec_.total_cores());
+    return cpu_model_.power(effective_pstate(), util_frac) * static_cast<double>(spec_.cpu_count);
+  }
+  [[nodiscard]] LEGACY_OUTLINE util::Watts max_power_now() const {
+    if (usable_cores() == 0) return spec_.standby_power;
+    return cpu_model_.power(effective_pstate(), 1.0) * static_cast<double>(spec_.cpu_count);
+  }
+  [[nodiscard]] LEGACY_OUTLINE util::Watts idle_power() const {
+    if (usable_cores() == 0) return spec_.standby_power;
+    return cpu_model_.power(effective_pstate(), 0.0) * static_cast<double>(spec_.cpu_count);
+  }
+
+  LEGACY_OUTLINE void advance(util::Seconds dt, bool heating_season) {
+    const util::Joules e = power() * dt;
+    energy_ += e;
+    switch (spec_.routing) {
+      case hw::HeatRouting::kIndoor:
+      case hw::HeatRouting::kWaterLoop:
+        heat_indoor_ += e;
+        break;
+      case hw::HeatRouting::kDualPipe:
+        (heating_season ? heat_indoor_ : heat_outdoor_) += e;
+        break;
+    }
+    const double tj = junction_temperature().value();
+    const double accel = std::pow(2.0, (tj - spec_.aging_reference_junction.value()) / 10.0);
+    stress_hours_ += accel * dt.value() / 3600.0;
+  }
+
+  [[nodiscard]] LEGACY_OUTLINE util::Celsius junction_temperature() const {
+    if (usable_cores() == 0 || !powered_) return inlet_;
+    const double util_frac =
+        static_cast<double>(loaded_cores()) / static_cast<double>(spec_.total_cores());
+    const double freq_ratio = cpu_model_.core_speed_gcps(effective_pstate()) /
+                              cpu_model_.core_speed_gcps(spec_.cpu.top_pstate());
+    return util::Celsius{inlet_.value() + 25.0 + 20.0 * util_frac * freq_ratio};
+  }
+
+  [[nodiscard]] util::Joules energy_consumed() const { return energy_; }
+  [[nodiscard]] double stress_hours() const { return stress_hours_; }
+
+ private:
+  hw::ServerSpec spec_;
+  CpuModel cpu_model_;
+  std::size_t pstate_;
+  bool powered_ = true;
+  int busy_cores_ = 0;
+  int filler_cores_ = 0;
+  util::Celsius inlet_{20.0};
+  util::Joules energy_{0.0};
+  util::Joules heat_indoor_{0.0};
+  util::Joules heat_outdoor_{0.0};
+  double stress_hours_ = 0.0;
+};
+
+class Room {
+ public:
+  Room(thermal::RoomParams params, util::Celsius initial)
+      : params_(params), temp_(initial) {}
+
+  [[nodiscard]] LEGACY_OUTLINE util::Celsius equilibrium(util::Watts q_heat, util::Celsius t_out) const {
+    const double q_total = q_heat.value() + params_.internal_gains.value();
+    return util::Celsius{t_out.value() + q_total * params_.resistance_k_per_w};
+  }
+
+  LEGACY_OUTLINE void advance(util::Seconds dt, util::Watts q_heat, util::Celsius t_out) {
+    if (dt.value() < 0.0) throw std::invalid_argument("legacy Room::advance: negative dt");
+    if (dt.value() == 0.0) return;
+    const util::Celsius eq = equilibrium(q_heat, t_out);
+    const double decay = std::exp(-dt.value() / params_.tau_s());
+    temp_ = util::Celsius{eq.value() + (temp_.value() - eq.value()) * decay};
+  }
+
+  [[nodiscard]] util::Celsius temperature() const { return temp_; }
+  [[nodiscard]] LEGACY_OUTLINE util::Watts holding_power(util::Celsius target,
+                                                          util::Celsius t_out) const {
+    const double needed = (target.value() - t_out.value()) / params_.resistance_k_per_w -
+                          params_.internal_gains.value();
+    return util::Watts{std::max(0.0, needed)};
+  }
+
+ private:
+  thermal::RoomParams params_;
+  util::Celsius temp_;
+};
+
+/// The old semi-implicit 2R2C integrator recomputed its stability bound and
+/// step count inside the loop on every call (the fleet kernel precomputes
+/// both per room at construction).
+class Room2R2C {
+ public:
+  Room2R2C(thermal::Room2R2CParams params, util::Celsius initial)
+      : params_(params), t_air_(initial), t_env_(initial) {}
+
+  LEGACY_OUTLINE void advance(util::Seconds dt, util::Watts q_heat, util::Celsius t_out) {
+    if (dt.value() < 0.0) throw std::invalid_argument("legacy Room2R2C::advance: negative dt");
+    double remaining = dt.value();
+    const double q_total = q_heat.value() + params_.internal_gains.value();
+    const double tau_fast = params_.r_air_env_k_per_w * params_.c_air_j_per_k;
+    const double max_step = std::max(1.0, tau_fast / 10.0);
+    while (remaining > 0.0) {
+      const double h = std::min(remaining, max_step);
+      const double flow_ae = (t_air_.value() - t_env_.value()) / params_.r_air_env_k_per_w;
+      const double flow_eo = (t_env_.value() - t_out.value()) / params_.r_env_out_k_per_w;
+      const double d_air = (q_total - flow_ae) / params_.c_air_j_per_k;
+      const double d_env = (flow_ae - flow_eo) / params_.c_env_j_per_k;
+      t_air_ = util::Celsius{t_air_.value() + h * d_air};
+      t_env_ = util::Celsius{t_env_.value() + h * d_env};
+      remaining -= h;
+    }
+  }
+
+  [[nodiscard]] util::Celsius air_temperature() const { return t_air_; }
+  [[nodiscard]] LEGACY_OUTLINE util::Watts holding_power(util::Celsius target,
+                                                          util::Celsius t_out) const {
+    const double series_r = params_.r_air_env_k_per_w + params_.r_env_out_k_per_w;
+    const double needed =
+        (target.value() - t_out.value()) / series_r - params_.internal_gains.value();
+    return util::Watts{std::max(0.0, needed)};
+  }
+
+ private:
+  thermal::Room2R2CParams params_;
+  util::Celsius t_air_;
+  util::Celsius t_env_;
+};
+
+/// Fidelity-erased handle, exactly as the old platform stored per room: every
+/// temperature/advance/holding_power goes through a std::visit dispatch (the
+/// fleet kernel splits the two models into branch-predicted SoA lanes).
+class AnyRoom {
+ public:
+  explicit AnyRoom(Room room) : impl_(std::move(room)) {}
+  explicit AnyRoom(Room2R2C room) : impl_(std::move(room)) {}
+
+  void advance(util::Seconds dt, util::Watts q_heat, util::Celsius t_out) {
+    std::visit([&](auto& r) { r.advance(dt, q_heat, t_out); }, impl_);
+  }
+  [[nodiscard]] util::Celsius temperature() const {
+    return std::visit(
+        [](const auto& r) {
+          if constexpr (std::is_same_v<std::decay_t<decltype(r)>, Room2R2C>) {
+            return r.air_temperature();
+          } else {
+            return r.temperature();
+          }
+        },
+        impl_);
+  }
+  [[nodiscard]] util::Watts holding_power(util::Celsius target, util::Celsius t_out) const {
+    return std::visit([&](const auto& r) { return r.holding_power(target, t_out); }, impl_);
+  }
+
+ private:
+  std::variant<Room, Room2R2C> impl_;
+};
+
+class Regulator {
+ public:
+  explicit Regulator(core::RegulatorConfig config) : config_(config) {}
+
+  LEGACY_OUTLINE util::Watts regulate(Server& server, const thermal::HeatDemand& demand) {
+    const double want = demand.power.value();
+    if (!demand.heating_season || want <= config_.demand_epsilon_w) {
+      if (config_.gating == core::GatingPolicy::kAggressive) {
+        server.set_powered(false);
+        return server.spec().standby_power;
+      }
+      server.set_powered(true);
+      server.set_pstate(0);
+      server.set_filler_cores(0);
+      return server.max_power_now();
+    }
+    server.set_powered(true);
+    const auto& pstates = server.spec().cpu.pstates;
+    std::size_t chosen = pstates.size() - 1;
+    // The old coarse stage walked the ladder *through the server*: one
+    // mutation plus a fresh throttle/ratio evaluation per candidate.
+    for (std::size_t ps = 0; ps < pstates.size(); ++ps) {
+      server.set_pstate(ps);
+      if (server.max_power_now() >= demand.power) {
+        chosen = ps;
+        break;
+      }
+    }
+    server.set_pstate(chosen);
+    const util::Watts ceiling = server.max_power_now();
+    const double idle = server.idle_power().value();
+    const double maxp = server.max_power_now().value();
+    int filler = 0;
+    if (maxp > idle) {
+      const double util_target = std::clamp((want - idle) / (maxp - idle), 0.0, 1.0);
+      const int desired_loaded =
+          static_cast<int>(std::lround(util_target * server.spec().total_cores()));
+      filler = std::max(0, desired_loaded - server.busy_cores());
+    }
+    server.set_filler_cores(filler);
+    return ceiling;
+  }
+
+  LEGACY_OUTLINE void record(util::Seconds dt, util::Watts delivered, util::Watts requested) {
+    abs_error_w_.add(std::abs(delivered.value() - requested.value()));
+    delivered_ += delivered * dt;
+    requested_ += requested * dt;
+    abs_error_ += util::Watts{std::abs(delivered.value() - requested.value())} * dt;
+  }
+
+ private:
+  core::RegulatorConfig config_;
+  util::StreamingStats abs_error_w_;
+  util::Joules delivered_{0.0};
+  util::Joules requested_{0.0};
+  util::Joules abs_error_{0.0};
+};
+
+struct Worker {
+  Server server;
+  double speed_gcps = 0.0;
+  // Old Worker::sync_speed walked the running-task list (empty in a pure
+  // physics city) and re-asserted busy cores after possible gating.
+  std::vector<int> running;
+  explicit Worker(const hw::ServerSpec& spec) : server(spec) {}
+
+  [[nodiscard]] int busy_cores() const { return static_cast<int>(running.size()); }
+
+  LEGACY_OUTLINE void sync_speed() {
+    const double new_speed = server.core_speed_gcps();
+    for (int& r : running) {
+      (void)r;
+      (void)new_speed;
+    }
+    speed_gcps = new_speed;
+    if (server.usable_cores() > 0) {
+      server.set_busy_cores(std::min(busy_cores(), server.usable_cores()));
+    }
+  }
+};
+
+struct RoomUnit {
+  std::size_t worker_index;
+  thermal::ModulatingThermostat thermostat;
+  AnyRoom room;
+  Regulator regulator;
+  util::Watts last_demand{0.0};
+  bool last_season = true;
+  util::Joules energy_mark{0.0};
+};
+
+struct Building {
+  core::BuildingConfig cfg;
+  // Workers behind unique_ptr, looked up per room through .at(), mirroring
+  // the Building -> Cluster -> Worker chain of the old sweep.
+  std::vector<std::unique_ptr<Worker>> workers;
+  std::vector<RoomUnit> rooms;
+  metrics::ComfortMetrics comfort_metrics;
+
+  std::deque<int> task_queue;  ///< always empty here; pump still polls it
+  bool pumping = false;
+
+  Worker& worker(std::size_t i) { return *workers.at(i); }
+
+  LEGACY_OUTLINE void pump() {
+    if (pumping) return;
+    pumping = true;
+    while (!task_queue.empty()) task_queue.pop_front();
+    pumping = false;
+  }
+
+  LEGACY_OUTLINE void sync_workers() {
+    for (auto& w : workers) w->sync_speed();
+    pump();
+  }
+  [[nodiscard]] LEGACY_OUTLINE double usable_cores() const {
+    double c = 0.0;
+    for (const auto& w : workers) c += w->server.usable_cores();
+    return c;
+  }
+};
+
+/// The pre-refactor city: same engine, weather, metrics and telemetry as
+/// the real platform, old AoS physics/control sweep.
+class City {
+ public:
+  City(core::PlatformConfig config, int buildings, int rooms_per_building)
+      // The platform ctor XORs the seed so weather decorrelates from the
+      // workload streams; replicate it or the two sides simulate different
+      // winters.
+      : config_(config), weather_(config.climate, config.seed ^ 0x5ca1ab1eULL) {
+    for (int bi = 0; bi < buildings; ++bi) {
+      auto b = std::make_unique<Building>();
+      b->cfg.name = "b" + std::to_string(bi);
+      b->cfg.rooms = rooms_per_building;
+      const util::Watts rating = b->cfg.server.rated_power();
+      for (int r = 0; r < rooms_per_building; ++r) {
+        b->workers.push_back(std::make_unique<Worker>(b->cfg.server));
+        b->workers.back()->server.set_inlet_temperature(b->cfg.initial_temperature);
+        AnyRoom room = b->cfg.high_fidelity_rooms
+                           ? AnyRoom(Room2R2C(b->cfg.room_2r2c, b->cfg.initial_temperature))
+                           : AnyRoom(Room(b->cfg.room, b->cfg.initial_temperature));
+        b->rooms.push_back(RoomUnit{
+            static_cast<std::size_t>(r),
+            thermal::ModulatingThermostat(b->cfg.comfort.day_target,
+                                          b->cfg.thermostat_gain_w_per_k, rating),
+            std::move(room),
+            Regulator(config_.regulator),
+        });
+      }
+      buildings_.push_back(std::move(b));
+    }
+  }
+
+  void run(double duration_s) {
+    sim::PeriodicProcess physics(sim_, config_.start_time + config_.tick_s, config_.tick_s,
+                                 [this](sim::Time t) { tick(t); });
+    sim_.run_until(config_.start_time + duration_s);
+    physics.stop();
+  }
+
+  [[nodiscard]] double mean_room_temperature() const {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const auto& b : buildings_) {
+      for (const auto& u : b->rooms) {
+        sum += u.room.temperature().value();
+        ++n;
+      }
+    }
+    return n > 0 ? sum / static_cast<double>(n) : 0.0;
+  }
+
+ private:
+  void tick(sim::Time t) {
+    const double dt = config_.tick_s;
+    const util::Celsius t_out = weather_.outdoor_temperature(t);
+    const util::Celsius seasonal = weather_.seasonal_component(t);
+    const double hour = thermal::hour_of_day(t);
+
+    double city_demand_w = 0.0;
+    double city_cores = 0.0;
+    double temp_sum = 0.0;
+    std::size_t room_count = 0;
+
+    for (auto& bptr : buildings_) {
+      Building& b = *bptr;
+      const bool heating_season = seasonal < b.cfg.comfort.heating_cutoff_outdoor;
+      const util::Celsius target = b.cfg.comfort.target_at_hour(hour);
+      for (auto& unit : b.rooms) {
+        Server& server = b.worker(unit.worker_index).server;
+
+        server.advance(util::Seconds{dt}, unit.last_season);
+        const util::Joules delta{server.energy_consumed().value() - unit.energy_mark.value()};
+        unit.energy_mark = server.energy_consumed();
+
+        const util::Watts emitted{delta.value() / dt};
+        const bool indoors =
+            server.spec().routing != hw::HeatRouting::kDualPipe || unit.last_season;
+        const double solar_frac = std::clamp((seasonal.value() - 5.0) / 12.0, 0.0, 1.0);
+        const util::Watts solar{b.cfg.solar_gain_peak_w * solar_frac};
+        unit.room.advance(util::Seconds{dt}, (indoors ? emitted : util::Watts{0.0}) + solar,
+                          t_out);
+
+        df_energy_.add_it(delta);
+        df_energy_.add_overhead(delta * kDfOverheadFraction);
+        const util::Joules wanted = unit.last_demand * util::Seconds{dt};
+        const util::Joules useful{std::min(delta.value(), wanted.value())};
+        if (indoors) {
+          df_energy_.add_useful_heat(useful);
+          df_energy_.add_waste_heat(delta - useful);
+        } else {
+          df_energy_.add_waste_heat(delta);
+        }
+        unit.regulator.record(util::Seconds{dt}, emitted, unit.last_demand);
+        b.comfort_metrics.sample(t, unit.room.temperature(), target);
+
+        unit.thermostat.set_target(target);
+        thermal::HeatDemand demand{util::Watts{0.0}, false};
+        if (heating_season) {
+          demand = unit.thermostat.demand(unit.room.temperature(),
+                                          unit.room.holding_power(target, t_out));
+        }
+        unit.regulator.regulate(server, demand);
+        server.set_inlet_temperature(unit.room.temperature());
+        unit.last_demand = demand.power;
+        unit.last_season = heating_season;
+
+        city_demand_w += demand.power.value();
+        temp_sum += unit.room.temperature().value();
+        ++room_count;
+      }
+      b.sync_workers();
+      city_cores += b.usable_cores();
+    }
+
+    if (room_count > 0) temp_series_.add(t, temp_sum / static_cast<double>(room_count));
+    capacity_series_.add(t, city_cores);
+    demand_series_.add(t, city_demand_w);
+    outdoor_series_.add(t, t_out.value());
+  }
+
+  core::PlatformConfig config_;
+  sim::Simulation sim_;
+  thermal::WeatherModel weather_;
+  std::vector<std::unique_ptr<Building>> buildings_;
+  metrics::EnergyLedger df_energy_;
+  util::TimeSeries temp_series_;
+  util::TimeSeries capacity_series_;
+  util::TimeSeries demand_series_;
+  util::TimeSeries outdoor_series_;
+};
+
+}  // namespace legacy
+
+// ---------------------------------------------------------------------------
+
+core::PlatformConfig city_config() {
+  core::PlatformConfig pc;
+  pc.seed = 2016;
+  pc.start_time = thermal::start_of_month(0);  // January: heating in full swing
+  pc.climate = thermal::paris_climate();
+  pc.with_datacenter = false;
+  return pc;
+}
+
+double run_legacy(int buildings, double& mean_temp_out) {
+  legacy::City city(city_config(), buildings, kRoomsPerBuilding);
+  const auto start = std::chrono::steady_clock::now();
+  city.run(kWeekS);
+  const auto stop = std::chrono::steady_clock::now();
+  mean_temp_out = city.mean_room_temperature();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+double run_fleet(int buildings, double& mean_temp_out) {
+  core::Df3Platform city(city_config());
+  for (int i = 0; i < buildings; ++i) {
+    core::BuildingConfig b;
+    b.name = "b" + std::to_string(i);
+    b.rooms = kRoomsPerBuilding;
+    city.add_building(b);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  city.run(util::Seconds{kWeekS});
+  const auto stop = std::chrono::steady_clock::now();
+  double sum = 0.0;
+  const auto rooms = static_cast<std::size_t>(buildings) * kRoomsPerBuilding;
+  for (int b = 0; b < buildings; ++b) {
+    for (int r = 0; r < kRoomsPerBuilding; ++r) {
+      sum += city.room_temperature(static_cast<std::size_t>(b), static_cast<std::size_t>(r))
+                 .value();
+    }
+  }
+  mean_temp_out = sum / static_cast<double>(rooms);
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+struct SizeResult {
+  int rooms;
+  double legacy_ns_per_room_tick;
+  double fleet_ns_per_room_tick;
+  double legacy_items_per_s;
+  double fleet_items_per_s;
+  double speedup;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("bench_platform_macro: one simulated week per round, %d interleaved rounds\n\n",
+              kRounds);
+  std::printf("%8s %14s %14s %14s %14s %9s\n", "rooms", "old ns/rt", "new ns/rt",
+              "old items/s", "new items/s", "speedup");
+
+  std::vector<SizeResult> results;
+  for (const int rooms : {30, 300, 1000}) {
+    const int buildings = rooms / kRoomsPerBuilding;
+    const double ticks = kWeekS / city_config().tick_s;
+    const double items = static_cast<double>(rooms) * ticks;
+
+    std::vector<double> t_legacy;
+    std::vector<double> t_fleet;
+    double temp_legacy = 0.0;
+    double temp_fleet = 0.0;
+    for (int round = 0; round < kRounds; ++round) {
+      t_legacy.push_back(run_legacy(buildings, temp_legacy));
+      t_fleet.push_back(run_fleet(buildings, temp_fleet));
+    }
+    // Both sides simulate the same city: the old sweep and the fleet kernel
+    // must land on the same mean room temperature (the determinism test
+    // pins the bits; this is the bench's cheap cross-check).
+    if (std::abs(temp_legacy - temp_fleet) > 1e-9) {
+      std::printf("WARNING: physics mismatch (old %.12f C vs new %.12f C)\n", temp_legacy,
+                  temp_fleet);
+    }
+
+    const double med_a = median(t_legacy);
+    const double med_b = median(t_fleet);
+    SizeResult r;
+    r.rooms = rooms;
+    r.legacy_ns_per_room_tick = med_a / items * 1e9;
+    r.fleet_ns_per_room_tick = med_b / items * 1e9;
+    r.legacy_items_per_s = items / med_a;
+    r.fleet_items_per_s = items / med_b;
+    r.speedup = r.legacy_items_per_s > 0.0 ? r.fleet_items_per_s / r.legacy_items_per_s : 0.0;
+    results.push_back(r);
+
+    std::printf("%8d %14.1f %14.1f %14.3e %14.3e %8.2fx\n", r.rooms, r.legacy_ns_per_room_tick,
+                r.fleet_ns_per_room_tick, r.legacy_items_per_s, r.fleet_items_per_s, r.speedup);
+  }
+
+  const char* env = std::getenv("DF3_BENCH_JSON");
+  const std::string path = env != nullptr ? env : "BENCH_platform.json";
+  std::ofstream out(path);
+  out << "{\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SizeResult& r = results[i];
+    out << "    {\"name\": \"city_tick/rooms:" << r.rooms << "\""
+        << ", \"legacy_ns_per_room_tick\": " << r.legacy_ns_per_room_tick
+        << ", \"fleet_ns_per_room_tick\": " << r.fleet_ns_per_room_tick
+        << ", \"legacy_items_per_s\": " << r.legacy_items_per_s
+        << ", \"fleet_items_per_s\": " << r.fleet_items_per_s
+        << ", \"speedup\": " << r.speedup << '}' << (i + 1 < results.size() ? "," : "") << '\n';
+  }
+  out << "  ]\n}\n";
+  if (!out) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", path.c_str());
+  return 0;
+}

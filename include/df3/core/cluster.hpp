@@ -143,11 +143,20 @@ class Cluster : public sim::Entity {
   void pump();
 
   /// Propagate a hardware speed change on all workers, then pump.
-  void sync_workers();
+  /// Header-inline: the physics tick calls this once per building per tick;
+  /// pumping an empty queue is a no-op, so the common case stays cheap.
+  void sync_workers() {
+    for (auto& w : workers_) w->sync_speed();
+    if (queue_.size() > 0) pump();
+  }
 
   [[nodiscard]] const ClusterStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t queued() const { return queue_.size(); }
-  [[nodiscard]] int usable_cores() const;
+  [[nodiscard]] int usable_cores() const {
+    int n = 0;
+    for (const auto& w : workers_) n += w->server().usable_cores();
+    return n;
+  }
   [[nodiscard]] int free_cores() const;
   [[nodiscard]] int dedicated_edge_workers() const { return config_.dedicated_edge_workers; }
 

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "df3/baselines/datacenter.hpp"
+#include "df3/util/thread_pool.hpp"
 #include "df3/core/cluster.hpp"
 #include "df3/core/heat_regulator.hpp"
 #include "df3/metrics/collectors.hpp"
@@ -85,6 +86,11 @@ struct PlatformConfig {
   /// Simulation start time (seconds since Jan 1); use
   /// thermal::start_of_month to start mid-season.
   sim::Time start_time = 0.0;
+  /// Worker threads for the parallel physics phase of the tick: 0 = one per
+  /// hardware thread, 1 = fully serial. The phase split keeps results
+  /// bit-for-bit identical for every value (see DESIGN.md, "Fleet-physics
+  /// kernel").
+  std::size_t physics_threads = 0;
 };
 
 /// How cloud requests are routed to the city (placement policy, bench A3).
@@ -165,26 +171,56 @@ class Df3Platform {
   void export_series_csv(std::ostream& os) const;
 
  private:
-  struct RoomUnit {
-    thermal::AnyRoom room;
-    thermal::ModulatingThermostat thermostat;
-    HeatRegulator regulator;
-    std::size_t worker_index;       ///< index within the building cluster
-    util::Watts last_demand{0.0};
-    bool last_season = true;
-    util::Joules energy_mark{0.0};  ///< server energy at last tick
+  /// Struct-of-arrays per-room hot state — the *fleet*. Everything the
+  /// physics tick touches per room lives in these contiguous arrays in
+  /// building-major order, so the sweep streams through memory instead of
+  /// chasing Building -> Cluster -> Worker pointer chains. Servers stay
+  /// owned by their Worker (heap-stable behind a unique_ptr); the fleet
+  /// keeps raw pointers as an index table.
+  struct FleetState {
+    // Static per-room bindings and parameters, frozen at add_building.
+    std::vector<hw::DfServer*> server;
+    std::vector<std::uint8_t> high_fidelity;  ///< 0 = 1R1C, 1 = 2R2C
+    std::vector<std::uint8_t> dual_pipe;      ///< heat vents outdoors off-season
+    std::vector<double> gains_w;              ///< internal gains (W)
+    std::vector<double> hold_r;               ///< resistance for holding_power (K/W)
+    std::vector<double> kp_w_per_k;           ///< thermostat proportional gain
+    std::vector<double> rating_w;             ///< thermostat clamp (chassis rating)
+    std::vector<double> r1_resistance;        ///< 1R1C envelope R
+    std::vector<double> r1_decay;             ///< 1R1C exp(-tick/tau), precomputed
+    std::vector<double> r2_r_ae, r2_r_eo, r2_c_air, r2_c_env;  ///< 2R2C params
+    std::vector<double> r2_max_step;          ///< 2R2C stability bound (s)
+    std::vector<double> r2_h_last;            ///< 2R2C final substep (s)
+    std::vector<std::uint32_t> r2_n_full;     ///< 2R2C full substeps per tick
+    // Mutable per-room state.
+    std::vector<double> temp_c;               ///< room (air) temperature
+    std::vector<double> env_c;                ///< 2R2C envelope temperature
+    std::vector<double> last_demand_w;
+    std::vector<std::uint8_t> last_season;
+    std::vector<double> energy_mark_j;        ///< server energy at last tick
+    std::vector<HeatRegulator> regulator;
+    // Per-tick scratch: written by the (parallel) physics phase, consumed
+    // in building-major order by the serial reduction, which replays the
+    // exact accumulation order of the old single-threaded sweep.
+    std::vector<double> delta_j;
+    std::vector<double> useful_j;
+    std::vector<std::uint8_t> indoors;
 
-    RoomUnit(thermal::AnyRoom rm, thermal::ModulatingThermostat th, HeatRegulator reg,
-             std::size_t widx)
-        : room(std::move(rm)), thermostat(th), regulator(std::move(reg)), worker_index(widx) {}
+    [[nodiscard]] std::size_t size() const { return server.size(); }
   };
 
   struct TankUnit {
     thermal::WaterTank tank;
     HeatRegulator regulator;
     std::size_t worker_index = 0;
+    hw::DfServer* server = nullptr;
+    util::Watts rating{0.0};        ///< cfg.server.rated_power(), frozen
     util::Watts last_demand{0.0};
     util::Joules energy_mark{0.0};
+    // Physics-phase scratch, consumed by the serial control phase.
+    double scratch_delta_j = 0.0;
+    double scratch_useful_j = 0.0;
+    double scratch_draw_lps = 0.0;
 
     TankUnit(thermal::WaterTank t, HeatRegulator reg, std::size_t widx)
         : tank(std::move(t)), regulator(std::move(reg)), worker_index(widx) {}
@@ -196,12 +232,20 @@ class Df3Platform {
     net::NodeId device_node = 0;
     net::NodeId wifi_node = 0;
     std::unique_ptr<Cluster> cluster;
-    std::vector<RoomUnit> rooms;
+    std::size_t room_begin = 0;  ///< [room_begin, room_end) in the fleet arrays
+    std::size_t room_end = 0;
     std::optional<TankUnit> tank_unit;
     metrics::ComfortMetrics comfort_metrics;
   };
 
   void tick(sim::Time t);
+  /// Physics phase for one building: server/room/tank integration and
+  /// per-building metrics. Touches only building-owned state plus this
+  /// building's slice of the fleet arrays, so buildings can run on any
+  /// thread in any order without changing a single bit of the result.
+  void physics_building(std::size_t b, sim::Time t, util::Celsius t_out,
+                        util::Celsius seasonal, double hour);
+  [[nodiscard]] std::size_t physics_thread_count() const;
   [[nodiscard]] Cluster* route_cloud_target();
   void deliver_to_cluster(workload::Request r, std::size_t b, bool direct, bool via_wifi);
 
@@ -214,6 +258,15 @@ class Df3Platform {
   std::vector<std::unique_ptr<Building>> buildings_;
   std::vector<std::unique_ptr<workload::WorkloadSource>> sources_;
   std::unique_ptr<sim::PeriodicProcess> physics_;
+  FleetState fleet_;
+  /// Per-building scratch filled by the physics phase (comfort target and
+  /// heating-season flag for the tick), consumed by the control phase.
+  std::vector<double> bld_target_c_;
+  std::vector<std::uint8_t> bld_season_;
+  std::unique_ptr<util::ThreadPool> physics_pool_;  ///< lazily created
+  /// Resolved physics_threads (0 = not yet queried); hardware_concurrency
+  /// is a per-call sysconf lookup, far too slow for the tick path.
+  mutable std::size_t physics_threads_resolved_ = 0;
   CloudRouting cloud_routing_ = CloudRouting::kDfFirst;
   std::size_t rr_next_ = 0;
   std::uint64_t source_counter_ = 0;

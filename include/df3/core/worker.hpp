@@ -56,8 +56,22 @@ class Worker : public sim::Entity {
 
   /// Re-evaluate speed after a hardware change (P-state, throttle, gating).
   /// Must be called by whoever mutates the server. Paused tasks (speed 0)
-  /// resume automatically when speed returns.
-  void sync_speed();
+  /// resume automatically when speed returns. Header-inline: the city tick
+  /// calls this once per worker per tick and the common case (no running
+  /// shards, speed unchanged) must cost a handful of instructions.
+  void sync_speed() {
+    const double new_speed = server_.core_speed_gcps();
+    for (auto& r : running_) {
+      if (r.speed_gcps == new_speed) continue;
+      settle(r);
+      r.speed_gcps = new_speed;
+      arm_completion(r);
+    }
+    // Re-assert busy-core accounting: gating clears it inside the server.
+    if (server_.usable_cores() > 0) {
+      server_.set_busy_cores(std::min(busy_cores(), server_.usable_cores()));
+    }
+  }
 
   /// Sum of remaining gigacycles across running shards.
   [[nodiscard]] double backlog_gigacycles() const;

@@ -13,6 +13,7 @@
 /// Work is measured in **gigacycles**: a core at f GHz retires f gigacycles
 /// per second, so job service times scale inversely with frequency.
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -48,10 +49,23 @@ class CpuModel {
   [[nodiscard]] const CpuSpec& spec() const { return spec_; }
 
   /// Electrical power at P-state `ps` with `util` in [0,1] of cores busy.
-  [[nodiscard]] util::Watts power(std::size_t ps, double util) const;
+  /// Header-inline: the server refresh path calls this on every operating-
+  /// point change.
+  [[nodiscard]] util::Watts power(std::size_t ps, double util) const {
+    if (ps >= spec_.pstates.size()) throw std::out_of_range("CpuModel::power: bad P-state");
+    if (util < 0.0 || util > 1.0) {
+      throw std::invalid_argument("CpuModel::power: util outside [0,1]");
+    }
+    return util::Watts{spec_.static_power.value() + dyn_coeff_[ps] * util};
+  }
 
   /// Per-core throughput at P-state `ps` (gigacycles per second == GHz).
-  [[nodiscard]] double core_speed_gcps(std::size_t ps) const;
+  [[nodiscard]] double core_speed_gcps(std::size_t ps) const {
+    if (ps >= spec_.pstates.size()) {
+      throw std::out_of_range("CpuModel::core_speed: bad P-state");
+    }
+    return spec_.pstates[ps].freq_ghz;
+  }
 
   /// Whole-CPU throughput at full utilization (gigacycles per second).
   [[nodiscard]] double max_throughput_gcps(std::size_t ps) const;
@@ -64,8 +78,13 @@ class CpuModel {
   /// Energy efficiency at a state: gigacycles per joule at full utilization.
   [[nodiscard]] double efficiency_gc_per_joule(std::size_t ps) const;
 
+  /// Dynamic-power coefficient at `ps`: P_dyn_max * (f/f_max) * (V/V_max)^2,
+  /// so power(ps, util) == static + dyn_coeff(ps) * util.
+  [[nodiscard]] double dyn_coeff(std::size_t ps) const { return dyn_coeff_[ps]; }
+
  private:
   CpuSpec spec_;
+  std::vector<double> dyn_coeff_;  ///< per-P-state, precomputed at construction
 };
 
 /// Intel-i7-class CPU as embedded in a Q.rad (paper: "3-4 CPUs" per heater).

@@ -3,6 +3,8 @@
 /// \brief Experiment metric collectors: response times per flow/app,
 ///        outcome counts, energy ledger and PUE accounting.
 
+#include <cmath>
+#include <cstdint>
 #include <map>
 #include <string>
 
@@ -58,11 +60,13 @@ class FlowMetrics {
 /// difference (the paper cites CloudandHeat's PUE of 1.026 vs classic DCs).
 class EnergyLedger {
  public:
-  void add_it(util::Joules e);        ///< energy consumed by servers doing work
-  void add_overhead(util::Joules e);  ///< standby, network gear, PSU losses
-  void add_cooling(util::Joules e);   ///< chillers/CRAC (zero for DF servers)
-  void add_useful_heat(util::Joules e);  ///< heat delivered as requested heating
-  void add_waste_heat(util::Joules e);   ///< heat rejected outdoors/unwanted
+  // The add_* accumulators are header-inline: the platform posts four of
+  // them per room per physics tick.
+  void add_it(util::Joules e) { add_checked(it_, e, "IT energy"); }         ///< servers doing work
+  void add_overhead(util::Joules e) { add_checked(overhead_, e, "overhead"); }  ///< standby, PSU losses
+  void add_cooling(util::Joules e) { add_checked(cooling_, e, "cooling"); }     ///< chillers (zero for DF)
+  void add_useful_heat(util::Joules e) { add_checked(useful_heat_, e, "useful heat"); }  ///< requested heating
+  void add_waste_heat(util::Joules e) { add_checked(waste_heat_, e, "waste heat"); }     ///< rejected heat
 
   [[nodiscard]] util::Joules it() const { return it_; }
   [[nodiscard]] util::Joules overhead() const { return overhead_; }
@@ -80,7 +84,55 @@ class EnergyLedger {
 
   void merge(const EnergyLedger& other);
 
+  /// Register-resident view for hot accumulation loops: reads the slots
+  /// once, takes adds in locals (same per-call sequence and checks as the
+  /// ledger itself, so totals stay bit-identical), and commits on scope
+  /// exit — including during unwinding, matching the eager per-call
+  /// commit of direct add_* calls.
+  class Accumulator {
+   public:
+    explicit Accumulator(EnergyLedger& ledger)
+        : ledger_(ledger),
+          it_(ledger.it_.value()),
+          overhead_(ledger.overhead_.value()),
+          useful_(ledger.useful_heat_.value()),
+          waste_(ledger.waste_heat_.value()) {}
+    ~Accumulator() { commit(); }
+    Accumulator(const Accumulator&) = delete;
+    Accumulator& operator=(const Accumulator&) = delete;
+
+    void add_it(util::Joules e) { add_local(it_, e, "IT energy"); }
+    void add_overhead(util::Joules e) { add_local(overhead_, e, "overhead"); }
+    void add_useful_heat(util::Joules e) { add_local(useful_, e, "useful heat"); }
+    void add_waste_heat(util::Joules e) { add_local(waste_, e, "waste heat"); }
+
+    void commit() {
+      ledger_.it_ = util::Joules{it_};
+      ledger_.overhead_ = util::Joules{overhead_};
+      ledger_.useful_heat_ = util::Joules{useful_};
+      ledger_.waste_heat_ = util::Joules{waste_};
+    }
+
+   private:
+    static void add_local(double& slot, util::Joules e, const char* what) {
+      if (e.value() < 0.0) throw_negative(what);
+      slot += e.value();
+    }
+
+    EnergyLedger& ledger_;
+    double it_;
+    double overhead_;
+    double useful_;
+    double waste_;
+  };
+
  private:
+  static void add_checked(util::Joules& slot, util::Joules e, const char* what) {
+    if (e.value() < 0.0) throw_negative(what);
+    slot += e;
+  }
+  [[noreturn]] static void throw_negative(const char* what);
+
   util::Joules it_{0.0};
   util::Joules overhead_{0.0};
   util::Joules cooling_{0.0};
@@ -91,8 +143,12 @@ class EnergyLedger {
 /// Comfort tracking for one room: time-weighted deviation from target.
 class ComfortMetrics {
  public:
-  /// Record the instantaneous state at time `t`.
-  void sample(double t, util::Celsius room, util::Celsius target);
+  /// Record the instantaneous state at time `t`. Header-inline: called once
+  /// per room per physics tick.
+  void sample(double t, util::Celsius room, util::Celsius target) {
+    abs_dev_.record(t, std::abs(room.value() - target.value()));
+    temp_.record(t, room.value());
+  }
 
   /// Mean absolute deviation from target (K), time-weighted.
   [[nodiscard]] double mean_abs_deviation_k(double until) const;

@@ -58,6 +58,10 @@ class Room {
  private:
   RoomParams params_;
   util::Celsius temp_;
+  // Memoized decay factor: the platform ticks at one fixed period, so
+  // exp(-dt/tau) is computed once and reused every advance thereafter.
+  double decay_dt_ = -1.0;
+  double decay_ = 0.0;
 };
 
 /// Parameters of a 2R2C room (air node + envelope node).
@@ -87,10 +91,19 @@ class Room2R2C {
   /// Steady-state heater power holding the air at `target` (series R).
   [[nodiscard]] util::Watts holding_power(util::Celsius target, util::Celsius t_out) const;
 
+  /// Largest stable explicit step (s); depends only on the parameters.
+  [[nodiscard]] double max_step_s() const { return max_step_; }
+
  private:
   Room2R2CParams params_;
   util::Celsius t_air_;
   util::Celsius t_env_;
+  double max_step_;  ///< stability bound, precomputed at construction
+  // Memoized substep schedule for a fixed dt: n_full_ steps of max_step_
+  // followed by one step of h_last_ (0 when dt divides exactly).
+  double sched_dt_ = -1.0;
+  std::size_t n_full_ = 0;
+  double h_last_ = 0.0;
 };
 
 /// Fidelity-erased room handle: the platform drives either RC model behind

@@ -69,6 +69,12 @@ class WaterTank {
   util::Celsius temp_;
   double below_sanitary_s_ = 0.0;
   double litres_served_ = 0.0;
+  // Memoized exp(-dt/tau): the draw profile is piecewise constant over
+  // hours and the tick period fixed, so (dt, loss coefficient) — and hence
+  // the decay factor — repeat for long stretches.
+  double decay_dt_ = -1.0;
+  double decay_loss_ = -1.0;
+  double decay_ = 0.0;
 };
 
 /// Residential draw profile: litres/second as a function of time-of-day,

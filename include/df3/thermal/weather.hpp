@@ -42,7 +42,10 @@ struct ClimateNormals {
 [[nodiscard]] ClimateNormals stockholm_climate();  ///< the long-winter best case
 [[nodiscard]] ClimateNormals seville_climate();    ///< the no-winter worst case
 
-/// Deterministic synthetic weather. Thread-compatible: all queries const.
+/// Deterministic synthetic weather. All queries are const and reproducible
+/// in any order. Note: the noise memo below makes concurrent queries on the
+/// *same instance* racy — share-nothing across threads (one model per
+/// simulation, as the bench harness does) or query from one thread only.
 class WeatherModel {
  public:
   WeatherModel(ClimateNormals normals, std::uint64_t seed);
@@ -67,6 +70,13 @@ class WeatherModel {
 
   ClimateNormals normals_;
   std::uint64_t seed_;
+  // Single-entry memo for the AR(1) reconstruction: the noise value is a
+  // function of the hour index alone and the platform queries it once per
+  // physics tick (60 s), so the 240-term window is rebuilt only when the
+  // hour rolls over instead of 60x per simulated hour.
+  mutable bool noise_valid_ = false;
+  mutable std::int64_t noise_hour_ = 0;
+  mutable double noise_k_ = 0.0;
 };
 
 /// A constant-temperature stub, useful in unit tests of rooms and servers.

@@ -3,8 +3,10 @@
 /// \brief Streaming summary statistics, percentile collection, and
 ///        time-weighted accumulators used by metric collectors.
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -13,7 +15,21 @@ namespace df3::util {
 /// Welford online mean/variance accumulator. O(1) memory, numerically stable.
 class StreamingStats {
  public:
-  void add(double x);
+  // Header-inline: this accumulator sits on the per-room-tick hot path of
+  // the platform (regulator error tracking), ~1e8 calls per simulated year.
+  void add(double x) {
+    if (n_ == 0) {
+      min_ = max_ = x;
+    } else {
+      min_ = std::min(min_, x);
+      max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
 
   [[nodiscard]] std::size_t count() const { return n_; }
   [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
@@ -72,8 +88,20 @@ class PercentileSampler {
 class TimeWeightedValue {
  public:
   /// Record that the signal takes `value` from time `t` onwards.
-  /// Times must be non-decreasing.
-  void record(double t, double value);
+  /// Times must be non-decreasing. Header-inline: called twice per room per
+  /// physics tick by the comfort collectors.
+  void record(double t, double value) {
+    if (!started_) {
+      started_ = true;
+      first_t_ = last_t_ = t;
+      last_value_ = value;
+      return;
+    }
+    if (t < last_t_) throw std::invalid_argument("TimeWeightedValue: time went backwards");
+    weighted_sum_ += last_value_ * (t - last_t_);
+    last_t_ = t;
+    last_value_ = value;
+  }
 
   /// Close the observation window at time `t` and return the time-weighted
   /// mean over [first_record, t]. Does not mutate state.

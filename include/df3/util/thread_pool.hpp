@@ -8,10 +8,12 @@
 /// `Simulation`, so no shared mutable state crosses threads.
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -45,6 +47,14 @@ class ThreadPool {
   }
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Run `fn(i)` for every i in [0, n) and return once all calls finished.
+  /// The calling thread participates, so a pool of T threads gives T+1
+  /// concurrent lanes. Unlike submit(), indices are handed out through one
+  /// shared atomic counter — no per-item futures or queue traffic — which
+  /// makes it cheap enough to call every physics tick. The first exception
+  /// thrown by `fn` is rethrown here after the batch drains.
+  void for_each_index(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
   void worker_loop();

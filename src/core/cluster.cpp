@@ -33,12 +33,6 @@ std::size_t Cluster::add_worker(hw::ServerSpec spec, net::NodeId node) {
   return idx;
 }
 
-int Cluster::usable_cores() const {
-  int n = 0;
-  for (const auto& w : workers_) n += w->server().usable_cores();
-  return n;
-}
-
 int Cluster::free_cores() const {
   int n = 0;
   for (const auto& w : workers_) n += w->free_cores();
@@ -347,11 +341,6 @@ void Cluster::complete(const std::shared_ptr<RequestState>& state) {
         rec.served_by = via + ":return-partition";
         p->sink(std::move(rec));
       });
-}
-
-void Cluster::sync_workers() {
-  for (auto& w : workers_) w->sync_speed();
-  pump();
 }
 
 }  // namespace df3::core

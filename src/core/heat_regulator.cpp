@@ -12,60 +12,6 @@ HeatRegulator::HeatRegulator(RegulatorConfig config) : config_(config) {
   }
 }
 
-util::Watts HeatRegulator::regulate(hw::DfServer& server, const thermal::HeatDemand& demand) {
-  const double want = demand.power.value();
-  if (!demand.heating_season || want <= config_.demand_epsilon_w) {
-    if (config_.gating == GatingPolicy::kAggressive) {
-      server.set_powered(false);
-      return server.spec().standby_power;
-    }
-    server.set_powered(true);
-    server.set_pstate(0);
-    server.set_filler_cores(0);
-    return server.max_power_now();
-  }
-  // Coarse stage: the *lowest* P-state whose full-load power reaches the
-  // demand, so utilization can modulate down onto the target exactly.
-  // Low states also retire more cycles per joule (V^2 scaling), so this
-  // maximizes compute sold per watt of heat. Demands above the chassis
-  // rating saturate at the top state.
-  server.set_powered(true);
-  const auto& pstates = server.spec().cpu.pstates;
-  std::size_t chosen = pstates.size() - 1;
-  for (std::size_t ps = 0; ps < pstates.size(); ++ps) {
-    server.set_pstate(ps);
-    if (server.max_power_now() >= demand.power) {
-      chosen = ps;
-      break;
-    }
-  }
-  server.set_pstate(chosen);
-  const util::Watts ceiling = server.max_power_now();
-  // Fine stage: when real work does not draw enough power, burn filler
-  // cores (Liu et al.'s seasonal space-heating computations) so the chassis
-  // emits the requested heat. Power is linear in loaded cores between idle
-  // and the ceiling.
-  const double idle = server.idle_power().value();
-  const double maxp = server.max_power_now().value();
-  int filler = 0;
-  if (maxp > idle) {
-    const double util_target = std::clamp((want - idle) / (maxp - idle), 0.0, 1.0);
-    const int desired_loaded =
-        static_cast<int>(std::lround(util_target * server.spec().total_cores()));
-    filler = std::max(0, desired_loaded - server.busy_cores());
-  }
-  server.set_filler_cores(filler);
-  return ceiling;
-}
-
-void HeatRegulator::record(util::Seconds dt, util::Watts delivered, util::Watts requested) {
-  if (dt.value() < 0.0) throw std::invalid_argument("HeatRegulator::record: negative dt");
-  abs_error_w_.add(std::abs(delivered.value() - requested.value()));
-  delivered_ += delivered * dt;
-  requested_ += requested * dt;
-  abs_error_ += util::Watts{std::abs(delivered.value() - requested.value())} * dt;
-}
-
 double HeatRegulator::mean_abs_error_w() const { return abs_error_w_.mean(); }
 
 double HeatRegulator::relative_error() const {

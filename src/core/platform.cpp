@@ -1,8 +1,10 @@
 #include "df3/core/platform.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <ostream>
 #include <stdexcept>
+#include <thread>
 
 #include "df3/thermal/calendar.hpp"
 
@@ -52,7 +54,12 @@ std::size_t Df3Platform::add_building(const BuildingConfig& cfg) {
     const std::size_t widx = b->cluster->add_worker(cfg.server, node);
     thermal::WaterTank tank(*cfg.water_tank, cfg.water_tank->setpoint);
     b->tank_unit.emplace(std::move(tank), HeatRegulator(config_.regulator), widx);
-    b->cluster->worker(widx).server().set_inlet_temperature(cfg.water_tank->setpoint);
+    b->tank_unit->server = &b->cluster->worker(widx).server();
+    b->tank_unit->rating = rating;
+    b->tank_unit->server->set_inlet_temperature(cfg.water_tank->setpoint);
+    b->room_begin = b->room_end = fleet_.size();
+    bld_target_c_.push_back(0.0);
+    bld_season_.push_back(0);
     buildings_.push_back(std::move(b));
     const std::size_t n_tank = buildings_.size();
     if (n_tank > 1) {
@@ -62,6 +69,13 @@ std::size_t Df3Platform::add_building(const BuildingConfig& cfg) {
     }
     return n_tank - 1;
   }
+  // Validate the thermal/control parameters through the model constructors
+  // (same exceptions as before the SoA refactor), then flatten the per-room
+  // state into the contiguous fleet arrays.
+  thermal::ModulatingThermostat thermostat(cfg.comfort.day_target, cfg.thermostat_gain_w_per_k,
+                                           rating);
+  (void)thermostat;
+  b->room_begin = fleet_.size();
   for (int i = 0; i < cfg.rooms; ++i) {
     const net::NodeId node = network_->add_node(cfg.name + "/srv" + std::to_string(i));
     network_->add_link(b->gateway_node, node, cfg.lan);
@@ -70,16 +84,65 @@ std::size_t Df3Platform::add_building(const BuildingConfig& cfg) {
       network_->add_link(b->wifi_node, node, cfg.wifi_link);
     }
     const std::size_t widx = b->cluster->add_worker(cfg.server, node);
-    thermal::AnyRoom room =
-        cfg.high_fidelity_rooms
-            ? thermal::AnyRoom(thermal::Room2R2C(cfg.room_2r2c, cfg.initial_temperature))
-            : thermal::AnyRoom(thermal::Room(cfg.room, cfg.initial_temperature));
-    thermal::ModulatingThermostat thermostat(cfg.comfort.day_target, cfg.thermostat_gain_w_per_k,
-                                             rating);
-    b->rooms.emplace_back(std::move(room), thermostat, HeatRegulator(config_.regulator), widx);
+    hw::DfServer& server = b->cluster->worker(widx).server();
     // Servers start cold-set: inlet = initial room temperature.
-    b->cluster->worker(widx).server().set_inlet_temperature(cfg.initial_temperature);
+    server.set_inlet_temperature(cfg.initial_temperature);
+
+    fleet_.server.push_back(&server);
+    fleet_.high_fidelity.push_back(cfg.high_fidelity_rooms ? 1 : 0);
+    fleet_.dual_pipe.push_back(cfg.server.routing == hw::HeatRouting::kDualPipe ? 1 : 0);
+    fleet_.kp_w_per_k.push_back(cfg.thermostat_gain_w_per_k);
+    fleet_.rating_w.push_back(rating.value());
+    if (cfg.high_fidelity_rooms) {
+      const thermal::Room2R2C model(cfg.room_2r2c, cfg.initial_temperature);
+      fleet_.gains_w.push_back(cfg.room_2r2c.internal_gains.value());
+      fleet_.hold_r.push_back(cfg.room_2r2c.r_air_env_k_per_w + cfg.room_2r2c.r_env_out_k_per_w);
+      fleet_.r1_resistance.push_back(0.0);
+      fleet_.r1_decay.push_back(0.0);
+      fleet_.r2_r_ae.push_back(cfg.room_2r2c.r_air_env_k_per_w);
+      fleet_.r2_r_eo.push_back(cfg.room_2r2c.r_env_out_k_per_w);
+      fleet_.r2_c_air.push_back(cfg.room_2r2c.c_air_j_per_k);
+      fleet_.r2_c_env.push_back(cfg.room_2r2c.c_env_j_per_k);
+      // Memoize the substep schedule for the fixed tick by replaying the
+      // integrator's subtractive chain (bit-exact step sequence).
+      const double max_step = model.max_step_s();
+      double rem = config_.tick_s;
+      std::uint32_t n_full = 0;
+      while (rem > max_step) {
+        ++n_full;
+        rem -= max_step;
+      }
+      fleet_.r2_max_step.push_back(max_step);
+      fleet_.r2_h_last.push_back(rem);
+      fleet_.r2_n_full.push_back(n_full);
+    } else {
+      const thermal::Room model(cfg.room, cfg.initial_temperature);
+      (void)model;
+      fleet_.gains_w.push_back(cfg.room.internal_gains.value());
+      fleet_.hold_r.push_back(cfg.room.resistance_k_per_w);
+      fleet_.r1_resistance.push_back(cfg.room.resistance_k_per_w);
+      fleet_.r1_decay.push_back(std::exp(-config_.tick_s / cfg.room.tau_s()));
+      fleet_.r2_r_ae.push_back(0.0);
+      fleet_.r2_r_eo.push_back(0.0);
+      fleet_.r2_c_air.push_back(0.0);
+      fleet_.r2_c_env.push_back(0.0);
+      fleet_.r2_max_step.push_back(0.0);
+      fleet_.r2_h_last.push_back(0.0);
+      fleet_.r2_n_full.push_back(0);
+    }
+    fleet_.temp_c.push_back(cfg.initial_temperature.value());
+    fleet_.env_c.push_back(cfg.initial_temperature.value());
+    fleet_.last_demand_w.push_back(0.0);
+    fleet_.last_season.push_back(1);
+    fleet_.energy_mark_j.push_back(0.0);
+    fleet_.regulator.emplace_back(config_.regulator);
+    fleet_.delta_j.push_back(0.0);
+    fleet_.useful_j.push_back(0.0);
+    fleet_.indoors.push_back(0);
   }
+  b->room_end = fleet_.size();
+  bld_target_c_.push_back(0.0);
+  bld_season_.push_back(0);
   buildings_.push_back(std::move(b));
 
   // Horizontal-offload ring: each cluster's peer is the next one.
@@ -202,106 +265,210 @@ void Df3Platform::deliver_to_cluster(workload::Request r, std::size_t b, bool di
       });
 }
 
-void Df3Platform::tick(sim::Time t) {
+void Df3Platform::physics_building(std::size_t b, sim::Time t, util::Celsius t_out,
+                                   util::Celsius seasonal, double hour) {
   const double dt = config_.tick_s;
+  const util::Seconds dts{dt};
+  Building& bd = *buildings_[b];
+  const bool heating_season = seasonal < bd.cfg.comfort.heating_cutoff_outdoor;
+  const util::Celsius target = bd.cfg.comfort.target_at_hour(hour);
+  bld_season_[b] = heating_season ? 1 : 0;
+  bld_target_c_[b] = target.value();
+  // Solar/occupancy gains ramp with the season (zero in deep winter);
+  // identical for every room of the building.
+  const double solar_frac = std::clamp((seasonal.value() - 5.0) / 12.0, 0.0, 1.0);
+  const double solar_w = bd.cfg.solar_gain_peak_w * solar_frac;
+
+  for (std::size_t i = bd.room_begin; i < bd.room_end; ++i) {
+    hw::DfServer& server = *fleet_.server[i];
+    const bool last_season = fleet_.last_season[i] != 0;
+
+    // 1. Integrate the interval that just elapsed at the server's current
+    //    operating point (piecewise-constant approximation at tick scale).
+    server.advance(dts, last_season);
+    const double delta_j = server.energy_consumed().value() - fleet_.energy_mark_j[i];
+    fleet_.energy_mark_j[i] = server.energy_consumed().value();
+
+    // 2. Heat the room with what was actually emitted indoors. The RC math
+    //    mirrors Room/Room2R2C::advance term for term (bit-exact), with the
+    //    decay factor / substep schedule precomputed at add_building.
+    const double emitted_w = delta_j / dt;
+    const bool indoors = fleet_.dual_pipe[i] == 0 || last_season;
+    const double q_heat = (indoors ? emitted_w : 0.0) + solar_w;
+    const double q_total = q_heat + fleet_.gains_w[i];
+    if (fleet_.high_fidelity[i] == 0) {
+      const double eq = t_out.value() + q_total * fleet_.r1_resistance[i];
+      fleet_.temp_c[i] = eq + (fleet_.temp_c[i] - eq) * fleet_.r1_decay[i];
+    } else {
+      double t_air = fleet_.temp_c[i];
+      double t_env = fleet_.env_c[i];
+      const double r_ae = fleet_.r2_r_ae[i];
+      const double r_eo = fleet_.r2_r_eo[i];
+      const double c_air = fleet_.r2_c_air[i];
+      const double c_env = fleet_.r2_c_env[i];
+      const auto step = [&](double h) {
+        const double flow_ae = (t_air - t_env) / r_ae;
+        const double flow_eo = (t_env - t_out.value()) / r_eo;
+        t_air += h * ((q_total - flow_ae) / c_air);
+        t_env += h * ((flow_ae - flow_eo) / c_env);
+      };
+      const std::uint32_t n_full = fleet_.r2_n_full[i];
+      for (std::uint32_t k = 0; k < n_full; ++k) step(fleet_.r2_max_step[i]);
+      if (fleet_.r2_h_last[i] > 0.0) step(fleet_.r2_h_last[i]);
+      fleet_.temp_c[i] = t_air;
+      fleet_.env_c[i] = t_env;
+    }
+
+    // 3. Stage the energy split for the serial ledger reduction and track
+    //    regulation fidelity / comfort (building-owned collectors).
+    const double wanted_j = fleet_.last_demand_w[i] * dt;
+    fleet_.delta_j[i] = delta_j;
+    fleet_.useful_j[i] = std::min(delta_j, wanted_j);
+    fleet_.indoors[i] = indoors ? 1 : 0;
+    fleet_.regulator[i].record(dts, util::Watts{emitted_w},
+                               util::Watts{fleet_.last_demand_w[i]});
+    bd.comfort_metrics.sample(t, util::Celsius{fleet_.temp_c[i]}, target);
+  }
+
+  if (bd.tank_unit) {
+    // Digital-boiler plant: the hot-water store is the "thermostat" and it
+    // wants heat in every season.
+    TankUnit& tu = *bd.tank_unit;
+    hw::DfServer& server = *tu.server;
+    server.advance(dts, /*heating_season=*/true);
+    const double delta_j = server.energy_consumed().value() - tu.energy_mark.value();
+    tu.energy_mark = server.energy_consumed();
+    const util::Watts emitted{delta_j / dt};
+    const double draw = thermal::hot_water_draw_lps(t, bd.cfg.daily_hot_water_l);
+    tu.tank.advance(dts, emitted, draw);
+    tu.regulator.record(dts, emitted, tu.last_demand);
+    bd.comfort_metrics.sample(t, tu.tank.temperature(), tu.tank.params().setpoint);
+    const util::Joules wanted = tu.last_demand * dts;
+    tu.scratch_delta_j = delta_j;
+    tu.scratch_useful_j = std::min(delta_j, wanted.value());
+    tu.scratch_draw_lps = draw;
+  }
+}
+
+std::size_t Df3Platform::physics_thread_count() const {
+  // hardware_concurrency() is a sysconf query (~microseconds) — resolve it
+  // once and reuse; the machine's core count does not change mid-run.
+  if (physics_threads_resolved_ == 0) {
+    physics_threads_resolved_ = config_.physics_threads != 0
+                                    ? config_.physics_threads
+                                    : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  return physics_threads_resolved_;
+}
+
+void Df3Platform::tick(sim::Time t) {
   const util::Celsius t_out = weather_.outdoor_temperature(t);
   const util::Celsius seasonal = weather_.seasonal_component(t);
   const double hour = thermal::hour_of_day(t);
+  const std::size_t nb = buildings_.size();
 
+  // Serial reduction + control state. The control sweep replays the exact
+  // accumulation order of the old interleaved loop (ledger adds and city
+  // aggregates are floating-point order-sensitive), then closes the control
+  // loop: thermostat -> regulator -> inlet feedback -> cluster speed sync.
+  // The ledger accumulator keeps the four energy slots in registers for the
+  // whole tick with the identical per-room add sequence.
   double city_demand_w = 0.0;
   double city_cores = 0.0;
   double temp_sum = 0.0;
   std::size_t room_count = 0;
+  metrics::EnergyLedger::Accumulator energy(df_energy_);
 
-  for (auto& bptr : buildings_) {
-    Building& b = *bptr;
-    const bool heating_season = seasonal < b.cfg.comfort.heating_cutoff_outdoor;
-    const util::Celsius target = b.cfg.comfort.target_at_hour(hour);
-    for (auto& unit : b.rooms) {
-      Worker& worker = b.cluster->worker(unit.worker_index);
-      hw::DfServer& server = worker.server();
-
-      // 1. Integrate the interval that just elapsed at the server's current
-      //    operating point (piecewise-constant approximation at tick scale).
-      server.advance(util::Seconds{dt}, unit.last_season);
-      const util::Joules delta{server.energy_consumed().value() - unit.energy_mark.value()};
-      unit.energy_mark = server.energy_consumed();
-
-      // 2. Heat the room with what was actually emitted indoors.
-      const util::Watts emitted{delta.value() / dt};
-      const bool indoors = server.spec().routing != hw::HeatRouting::kDualPipe ||
-                           unit.last_season;
-      // Solar/occupancy gains ramp with the season (zero in deep winter).
-      const double solar_frac = std::clamp((seasonal.value() - 5.0) / 12.0, 0.0, 1.0);
-      const util::Watts solar{b.cfg.solar_gain_peak_w * solar_frac};
-      unit.room.advance(util::Seconds{dt},
-                        (indoors ? emitted : util::Watts{0.0}) + solar, t_out);
-
-      // 3. Account energy and regulation fidelity.
-      df_energy_.add_it(delta);
-      df_energy_.add_overhead(delta * kDfOverheadFraction);
-      const util::Joules wanted = unit.last_demand * util::Seconds{dt};
-      const util::Joules useful{std::min(delta.value(), wanted.value())};
-      if (indoors) {
-        df_energy_.add_useful_heat(useful);
-        df_energy_.add_waste_heat(delta - useful);
+  const auto control_building = [&](std::size_t b) {
+    Building& bd = *buildings_[b];
+    const bool heating_season = bld_season_[b] != 0;
+    const double target_c = bld_target_c_[b];
+    for (std::size_t i = bd.room_begin; i < bd.room_end; ++i) {
+      const util::Joules delta{fleet_.delta_j[i]};
+      energy.add_it(delta);
+      energy.add_overhead(delta * kDfOverheadFraction);
+      const util::Joules useful{fleet_.useful_j[i]};
+      if (fleet_.indoors[i] != 0) {
+        energy.add_useful_heat(useful);
+        energy.add_waste_heat(delta - useful);
       } else {
-        df_energy_.add_waste_heat(delta);
+        energy.add_waste_heat(delta);
       }
-      unit.regulator.record(util::Seconds{dt}, emitted, unit.last_demand);
-      b.comfort_metrics.sample(t, unit.room.temperature(), target);
 
-      // 4. Close the control loop for the next interval.
-      unit.thermostat.set_target(target);
-      thermal::HeatDemand demand{util::Watts{0.0}, false};
+      // Modulating thermostat (pure math, mirrored from
+      // ModulatingThermostat::demand + holding_power of the room model).
+      double demand_w = 0.0;
       if (heating_season) {
-        demand = unit.thermostat.demand(unit.room.temperature(),
-                                        unit.room.holding_power(target, t_out));
+        const double needed =
+            (target_c - t_out.value()) / fleet_.hold_r[i] - fleet_.gains_w[i];
+        const double hold = std::max(0.0, needed);
+        const double raw = hold + fleet_.kp_w_per_k[i] * (target_c - fleet_.temp_c[i]);
+        demand_w = std::clamp(raw, 0.0, fleet_.rating_w[i]);
       }
-      unit.regulator.regulate(server, demand);
-      server.set_inlet_temperature(unit.room.temperature());
-      unit.last_demand = demand.power;
-      unit.last_season = heating_season;
+      hw::DfServer& server = *fleet_.server[i];
+      fleet_.regulator[i].regulate(server,
+                                   thermal::HeatDemand{util::Watts{demand_w}, heating_season});
+      server.set_inlet_temperature(util::Celsius{fleet_.temp_c[i]});
+      fleet_.last_demand_w[i] = demand_w;
+      fleet_.last_season[i] = heating_season ? 1 : 0;
 
-      city_demand_w += demand.power.value();
-      temp_sum += unit.room.temperature().value();
+      city_demand_w += demand_w;
+      temp_sum += fleet_.temp_c[i];
       ++room_count;
     }
-    if (b.tank_unit) {
-      // Digital-boiler plant: the hot-water store is the "thermostat" and
-      // it wants heat in every season.
-      TankUnit& tu = *b.tank_unit;
-      Worker& worker = b.cluster->worker(tu.worker_index);
-      hw::DfServer& server = worker.server();
-      server.advance(util::Seconds{dt}, /*heating_season=*/true);
-      const util::Joules delta{server.energy_consumed().value() - tu.energy_mark.value()};
-      tu.energy_mark = server.energy_consumed();
-      const util::Watts emitted{delta.value() / dt};
-      const double draw = thermal::hot_water_draw_lps(t, b.cfg.daily_hot_water_l);
-      tu.tank.advance(util::Seconds{dt}, emitted, draw);
-      df_energy_.add_it(delta);
-      df_energy_.add_overhead(delta * kDfOverheadFraction);
-      const util::Joules wanted = tu.last_demand * util::Seconds{dt};
-      const util::Joules useful{std::min(delta.value(), wanted.value())};
-      df_energy_.add_useful_heat(useful);
-      df_energy_.add_waste_heat(delta - useful);
-      tu.regulator.record(util::Seconds{dt}, emitted, tu.last_demand);
-      b.comfort_metrics.sample(t, tu.tank.temperature(), tu.tank.params().setpoint);
-      const auto demand = tu.tank.demand(draw, b.cfg.server.rated_power());
-      tu.regulator.regulate(server, demand);
+    if (bd.tank_unit) {
+      TankUnit& tu = *bd.tank_unit;
+      const util::Joules delta{tu.scratch_delta_j};
+      energy.add_it(delta);
+      energy.add_overhead(delta * kDfOverheadFraction);
+      const util::Joules useful{tu.scratch_useful_j};
+      energy.add_useful_heat(useful);
+      energy.add_waste_heat(delta - useful);
+      const auto demand = tu.tank.demand(tu.scratch_draw_lps, tu.rating);
+      tu.regulator.regulate(*tu.server, demand);
       // The immersion oil returns cooled from the tank heat exchanger:
       // inlet sits a design approach (~15 K) below the store, so a store
       // at setpoint keeps the boiler inside its thermal envelope while an
       // overheating store still triggers the throttle.
-      server.set_inlet_temperature(util::Celsius{tu.tank.temperature().value() - 15.0});
+      tu.server->set_inlet_temperature(util::Celsius{tu.tank.temperature().value() - 15.0});
       tu.last_demand = demand.power;
       city_demand_w += demand.power.value();
     }
-    b.cluster->sync_workers();
-    city_cores += b.cluster->usable_cores();
-  }
+    bd.cluster->sync_workers();
+    city_cores += bd.cluster->usable_cores();
+  };
 
-  if (room_count > 0) temp_series_.add(t, temp_sum / static_cast<double>(room_count));
+  // --- Phase 1: fleet physics. Every building evolves only state it owns
+  // (its fleet slice, servers, tank, comfort collectors), so the sweep can
+  // fan out across threads; nothing here touches the event calendar, the
+  // ledger, or another building. Bit-for-bit identical for any thread
+  // count and scheduling order.
+  //
+  // --- Phase 2: serial reduction + control (control_building above), in
+  // building order.
+  //
+  // In the serial case the two phases fuse per building: physics(b) only
+  // reads/writes building-b state and control(b) touches shared state in
+  // building order either way, so the interleaving
+  //   physics(0), control(0), physics(1), control(1), ...
+  // performs the identical operation sequence on every accumulator as
+  //   physics(0..n), control(0..n)
+  // — same bits, one pass over each server's cache lines instead of two.
+  const std::size_t threads = physics_thread_count();
+  if (threads > 1 && nb > 1) {
+    if (!physics_pool_) physics_pool_ = std::make_unique<util::ThreadPool>(threads - 1);
+    physics_pool_->for_each_index(
+        nb, [&](std::size_t b) { physics_building(b, t, t_out, seasonal, hour); });
+    for (std::size_t b = 0; b < nb; ++b) control_building(b);
+  } else {
+    for (std::size_t b = 0; b < nb; ++b) {
+      physics_building(b, t, t_out, seasonal, hour);
+      control_building(b);
+    }
+  }
+  energy.commit();
+
+  temp_series_.add(t, room_count > 0 ? temp_sum / static_cast<double>(room_count) : 0.0);
   capacity_series_.add(t, city_cores);
   demand_series_.add(t, city_demand_w);
   outdoor_series_.add(t, t_out.value());
@@ -319,9 +486,10 @@ void Df3Platform::run(util::Seconds duration) {
 double Df3Platform::regulator_relative_error() const {
   double err = 0.0, req = 0.0;
   for (const auto& b : buildings_) {
-    for (const auto& unit : b->rooms) {
-      req += unit.regulator.requested_total().value();
-      err += unit.regulator.relative_error() * unit.regulator.requested_total().value();
+    for (std::size_t i = b->room_begin; i < b->room_end; ++i) {
+      const HeatRegulator& reg = fleet_.regulator[i];
+      req += reg.requested_total().value();
+      err += reg.relative_error() * reg.requested_total().value();
     }
   }
   return req <= 0.0 ? 0.0 : err / req;
@@ -334,16 +502,22 @@ std::uint64_t Df3Platform::total_preemptions() const {
 }
 
 util::Celsius Df3Platform::room_temperature(std::size_t b, std::size_t r) const {
-  return buildings_.at(b)->rooms.at(r).room.temperature();
+  const Building& bd = *buildings_.at(b);
+  if (r >= bd.room_end - bd.room_begin) {
+    throw std::out_of_range("Df3Platform::room_temperature: bad room index");
+  }
+  return util::Celsius{fleet_.temp_c[bd.room_begin + r]};
 }
 
 void Df3Platform::export_series_csv(std::ostream& os) const {
   os << "time_s,room_mean_c,usable_cores,heat_demand_w,outdoor_c\n";
   const auto old_precision = os.precision(10);
+  // All four series are appended once per tick (the room column records 0.0
+  // for cities without rooms), so rows index them in lockstep.
   for (std::size_t i = 0; i < capacity_series_.size(); ++i) {
-    const double room = i < temp_series_.size() ? temp_series_.values[i] : 0.0;
-    os << capacity_series_.times[i] << ',' << room << ',' << capacity_series_.values[i] << ','
-       << demand_series_.values[i] << ',' << outdoor_series_.values[i] << '\n';
+    os << capacity_series_.times[i] << ',' << temp_series_.values[i] << ','
+       << capacity_series_.values[i] << ',' << demand_series_.values[i] << ','
+       << outdoor_series_.values[i] << '\n';
   }
   os.precision(old_precision);
 }

@@ -108,20 +108,6 @@ int Worker::running_below(Priority p) const {
   return n;
 }
 
-void Worker::sync_speed() {
-  const double new_speed = server_.core_speed_gcps();
-  for (auto& r : running_) {
-    if (r.speed_gcps == new_speed) continue;
-    settle(r);
-    r.speed_gcps = new_speed;
-    arm_completion(r);
-  }
-  // Re-assert busy-core accounting: gating clears it inside the server.
-  if (server_.usable_cores() > 0) {
-    server_.set_busy_cores(std::min(busy_cores(), server_.usable_cores()));
-  }
-}
-
 double Worker::backlog_gigacycles() const {
   double total = 0.0;
   for (const auto& r : running_) total += r.task.remaining_gigacycles;

@@ -17,22 +17,15 @@ CpuModel::CpuModel(CpuSpec spec) : spec_(std::move(spec)) {
       throw std::invalid_argument("CpuModel: P-state values must be positive");
     }
   }
-}
-
-util::Watts CpuModel::power(std::size_t ps, double util) const {
-  if (ps >= spec_.pstates.size()) throw std::out_of_range("CpuModel::power: bad P-state");
-  if (util < 0.0 || util > 1.0) throw std::invalid_argument("CpuModel::power: util outside [0,1]");
+  // Freeze the frequency/voltage ratios: the ladder never changes after
+  // construction, so power() reduces to one fused multiply-add.
   const PState& top = spec_.pstates.back();
-  const PState& cur = spec_.pstates[ps];
-  const double f_ratio = cur.freq_ghz / top.freq_ghz;
-  const double v_ratio = cur.voltage_v / top.voltage_v;
-  return util::Watts{spec_.static_power.value() +
-                     spec_.dynamic_power_max.value() * f_ratio * v_ratio * v_ratio * util};
-}
-
-double CpuModel::core_speed_gcps(std::size_t ps) const {
-  if (ps >= spec_.pstates.size()) throw std::out_of_range("CpuModel::core_speed: bad P-state");
-  return spec_.pstates[ps].freq_ghz;
+  dyn_coeff_.reserve(spec_.pstates.size());
+  for (const auto& ps : spec_.pstates) {
+    const double f_ratio = ps.freq_ghz / top.freq_ghz;
+    const double v_ratio = ps.voltage_v / top.voltage_v;
+    dyn_coeff_.push_back(spec_.dynamic_power_max.value() * f_ratio * v_ratio * v_ratio);
+  }
 }
 
 double CpuModel::max_throughput_gcps(std::size_t ps) const {

@@ -66,95 +66,35 @@ ServerSpec stimergy_boiler_spec() {
   return s;
 }
 
-DfServer::DfServer(ServerSpec spec)
-    : spec_(std::move(spec)), cpu_model_(spec_.cpu), pstate_(spec_.cpu.top_pstate()) {
+DfServer::DfServer(ServerSpec spec) : spec_(std::move(spec)), cpu_model_(spec_.cpu) {
   if (spec_.cpu_count <= 0) throw std::invalid_argument("DfServer: cpu_count must be positive");
   if (spec_.shutdown_temp <= spec_.throttle_start) {
     throw std::invalid_argument("DfServer: shutdown_temp must exceed throttle_start");
   }
-}
+  // Mirror the spec scalars the per-tick path reads into the hot block.
+  aging_reference_c_ = spec_.aging_reference_junction.value();
+  standby_power_w_ = spec_.standby_power.value();
+  throttle_start_c_ = spec_.throttle_start.value();
+  shutdown_temp_c_ = spec_.shutdown_temp.value();
+  static_power_w_ = spec_.cpu.static_power.value();
+  total_cores_ = spec_.total_cores();
+  cpu_count_ = spec_.cpu_count;
+  routing_ = spec_.routing;
+  pstate_ = spec_.cpu.top_pstate();
 
-void DfServer::set_powered(bool on) {
-  powered_ = on;
-  if (!on) {
-    busy_cores_ = 0;
-    filler_cores_ = 0;
+  const auto n = spec_.cpu.pstates.size();
+  n_pstates_ = n;
+  tables_.resize(5 * n);
+  for (std::size_t ps = 0; ps < n; ++ps) {
+    tables_[ps] = cpu_model_.power(ps, 1.0).value() * static_cast<double>(spec_.cpu_count);
+    tables_[n + ps] = cpu_model_.power(ps, 0.0).value() * static_cast<double>(spec_.cpu_count);
+    tables_[2 * n + ps] = cpu_model_.core_speed_gcps(ps) /
+                          cpu_model_.core_speed_gcps(spec_.cpu.top_pstate());
+    tables_[3 * n + ps] = cpu_model_.dyn_coeff(ps);
+    tables_[4 * n + ps] = cpu_model_.core_speed_gcps(ps);
   }
-}
-
-void DfServer::set_pstate(std::size_t ps) {
-  if (ps >= spec_.cpu.pstates.size()) throw std::out_of_range("DfServer::set_pstate");
-  pstate_ = ps;
-}
-
-void DfServer::set_busy_cores(int cores) {
-  if (cores < 0 || cores > spec_.total_cores()) {
-    throw std::invalid_argument("DfServer::set_busy_cores: out of range");
-  }
-  busy_cores_ = cores;
-}
-
-void DfServer::set_filler_cores(int cores) {
-  if (cores < 0 || cores > spec_.total_cores()) {
-    throw std::invalid_argument("DfServer::set_filler_cores: out of range");
-  }
-  filler_cores_ = cores;
-}
-
-int DfServer::loaded_cores() const {
-  if (!powered_ || thermally_shut_down()) return 0;
-  return std::min(spec_.total_cores(), busy_cores_ + filler_cores_);
-}
-
-void DfServer::set_inlet_temperature(util::Celsius t) {
-  inlet_ = t;
-  if (thermally_shut_down()) {
-    busy_cores_ = 0;
-    filler_cores_ = 0;
-  }
-}
-
-bool DfServer::thermally_shut_down() const { return inlet_ >= spec_.shutdown_temp; }
-
-std::size_t DfServer::effective_pstate() const {
-  if (inlet_ <= spec_.throttle_start) return pstate_;
-  if (thermally_shut_down()) return 0;
-  // Linear derating across the throttle window: the available fraction of
-  // the P-state ladder shrinks as the inlet approaches shutdown.
-  const double window = spec_.shutdown_temp.value() - spec_.throttle_start.value();
-  const double excess = inlet_.value() - spec_.throttle_start.value();
-  const double fraction = 1.0 - excess / window;
-  const auto ladder = static_cast<double>(spec_.cpu.pstates.size() - 1);
-  const auto cap = static_cast<std::size_t>(std::floor(ladder * fraction));
-  return std::min(pstate_, cap);
-}
-
-int DfServer::usable_cores() const {
-  if (!powered_ || thermally_shut_down()) return 0;
-  return spec_.total_cores();
-}
-
-double DfServer::core_speed_gcps() const {
-  if (usable_cores() == 0) return 0.0;
-  return cpu_model_.core_speed_gcps(effective_pstate());
-}
-
-util::Watts DfServer::power() const {
-  if (!powered_) return spec_.standby_power;
-  if (thermally_shut_down()) return spec_.standby_power;
-  const double util_frac =
-      static_cast<double>(loaded_cores()) / static_cast<double>(spec_.total_cores());
-  return cpu_model_.power(effective_pstate(), util_frac) * static_cast<double>(spec_.cpu_count);
-}
-
-util::Watts DfServer::max_power_now() const {
-  if (usable_cores() == 0) return spec_.standby_power;
-  return cpu_model_.power(effective_pstate(), 1.0) * static_cast<double>(spec_.cpu_count);
-}
-
-util::Watts DfServer::idle_power() const {
-  if (usable_cores() == 0) return spec_.standby_power;
-  return cpu_model_.power(effective_pstate(), 0.0) * static_cast<double>(spec_.cpu_count);
+  refresh_thermal();
+  refresh_operating();
 }
 
 util::Watts DfServer::apply_power_cap(util::Watts cap, bool allow_gating) {
@@ -172,37 +112,6 @@ util::Watts DfServer::apply_power_cap(util::Watts cap, bool allow_gating) {
   set_powered(true);
   set_pstate(0);
   return max_power_now();
-}
-
-void DfServer::advance(util::Seconds dt, bool heating_season) {
-  if (dt.value() < 0.0) throw std::invalid_argument("DfServer::advance: negative dt");
-  const util::Joules e = power() * dt;
-  energy_ += e;
-  switch (spec_.routing) {
-    case HeatRouting::kIndoor:
-    case HeatRouting::kWaterLoop:
-      heat_indoor_ += e;
-      break;
-    case HeatRouting::kDualPipe:
-      (heating_season ? heat_indoor_ : heat_outdoor_) += e;
-      break;
-  }
-  // Arrhenius-style stress accumulation: doubles per +10 K of junction
-  // temperature over the reference.
-  const double tj = junction_temperature().value();
-  const double accel = std::pow(2.0, (tj - spec_.aging_reference_junction.value()) / 10.0);
-  stress_hours_ += accel * dt.value() / 3600.0;
-}
-
-util::Celsius DfServer::junction_temperature() const {
-  if (usable_cores() == 0 || !powered_) return inlet_;
-  const double util_frac =
-      static_cast<double>(loaded_cores()) / static_cast<double>(spec_.total_cores());
-  // Free-cooled parts run hot: ~25 K rise at idle clocks, up to ~45 K at
-  // full load and top frequency.
-  const double freq_ratio = cpu_model_.core_speed_gcps(effective_pstate()) /
-                            cpu_model_.core_speed_gcps(spec_.cpu.top_pstate());
-  return util::Celsius{inlet_.value() + 25.0 + 20.0 * util_frac * freq_ratio};
 }
 
 }  // namespace df3::hw

@@ -52,18 +52,9 @@ std::uint64_t FlowMetrics::served_by_prefix(const std::string& prefix) const {
   return n;
 }
 
-namespace {
-void add_checked(util::Joules& slot, util::Joules e, const char* what) {
-  if (e.value() < 0.0) throw std::invalid_argument(std::string("EnergyLedger: negative ") + what);
-  slot += e;
+void EnergyLedger::throw_negative(const char* what) {
+  throw std::invalid_argument(std::string("EnergyLedger: negative ") + what);
 }
-}  // namespace
-
-void EnergyLedger::add_it(util::Joules e) { add_checked(it_, e, "IT energy"); }
-void EnergyLedger::add_overhead(util::Joules e) { add_checked(overhead_, e, "overhead"); }
-void EnergyLedger::add_cooling(util::Joules e) { add_checked(cooling_, e, "cooling"); }
-void EnergyLedger::add_useful_heat(util::Joules e) { add_checked(useful_heat_, e, "useful heat"); }
-void EnergyLedger::add_waste_heat(util::Joules e) { add_checked(waste_heat_, e, "waste heat"); }
 
 double EnergyLedger::pue() const {
   if (it_.value() <= 0.0) return 1.0;
@@ -83,10 +74,6 @@ void EnergyLedger::merge(const EnergyLedger& other) {
   waste_heat_ += other.waste_heat_;
 }
 
-void ComfortMetrics::sample(double t, util::Celsius room, util::Celsius target) {
-  abs_dev_.record(t, std::abs(room.value() - target.value()));
-  temp_.record(t, room.value());
-}
 
 double ComfortMetrics::mean_abs_deviation_k(double until) const {
   return abs_dev_.empty() ? 0.0 : abs_dev_.mean_until(until);

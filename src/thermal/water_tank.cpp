@@ -45,9 +45,13 @@ void WaterTank::advance(util::Seconds dt, util::Watts q, double draw_lps) {
     temp_ = util::Celsius{temp_.value() + q.value() * dt.value() / capacity};
   } else {
     const util::Celsius eq = equilibrium(q, draw_lps);
-    const double tau = capacity / loss_coeff;
-    const double decay = std::exp(-dt.value() / tau);
-    temp_ = util::Celsius{eq.value() + (temp_.value() - eq.value()) * decay};
+    if (dt.value() != decay_dt_ || loss_coeff != decay_loss_) {
+      const double tau = capacity / loss_coeff;
+      decay_ = std::exp(-dt.value() / tau);
+      decay_dt_ = dt.value();
+      decay_loss_ = loss_coeff;
+    }
+    temp_ = util::Celsius{eq.value() + (temp_.value() - eq.value()) * decay_};
   }
   litres_served_ += draw_lps * dt.value();
   if (temp_ < params_.legionella_min) below_sanitary_s_ += dt.value();

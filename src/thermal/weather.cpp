@@ -98,6 +98,7 @@ double WeatherModel::innovation(std::int64_t h) const {
 util::KelvinDelta WeatherModel::noise_component(sim::Time t) const {
   if (normals_.noise_stddev_k <= 0.0) return util::KelvinDelta{0.0};
   const auto hour = static_cast<std::int64_t>(std::floor(t / 3600.0));
+  if (noise_valid_ && hour == noise_hour_) return util::KelvinDelta{noise_k_};
   const double phi = normals_.noise_phi;
   const double sigma_innov = normals_.noise_stddev_k * std::sqrt(1.0 - phi * phi);
   // AR(1) reconstructed from a truncated moving-average window. phi^240 at
@@ -109,7 +110,10 @@ util::KelvinDelta WeatherModel::noise_component(sim::Time t) const {
     x += weight * innovation(hour - k);
     weight *= phi;
   }
-  return util::KelvinDelta{sigma_innov * x};
+  noise_hour_ = hour;
+  noise_k_ = sigma_innov * x;
+  noise_valid_ = true;
+  return util::KelvinDelta{noise_k_};
 }
 
 util::Celsius WeatherModel::outdoor_temperature(sim::Time t) const {

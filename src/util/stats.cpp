@@ -6,19 +6,6 @@
 
 namespace df3::util {
 
-void StreamingStats::add(double x) {
-  if (n_ == 0) {
-    min_ = max_ = x;
-  } else {
-    min_ = std::min(min_, x);
-    max_ = std::max(max_, x);
-  }
-  ++n_;
-  sum_ += x;
-  const double delta = x - mean_;
-  mean_ += delta / static_cast<double>(n_);
-  m2_ += delta * (x - mean_);
-}
 
 double StreamingStats::variance() const {
   if (n_ < 2) return 0.0;
@@ -78,18 +65,6 @@ void PercentileSampler::clear() {
   summary_ = StreamingStats{};
 }
 
-void TimeWeightedValue::record(double t, double value) {
-  if (!started_) {
-    started_ = true;
-    first_t_ = last_t_ = t;
-    last_value_ = value;
-    return;
-  }
-  if (t < last_t_) throw std::invalid_argument("TimeWeightedValue: time went backwards");
-  weighted_sum_ += last_value_ * (t - last_t_);
-  last_t_ = t;
-  last_value_ = value;
-}
 
 double TimeWeightedValue::mean_until(double t) const {
   if (!started_ || t <= first_t_) return started_ ? last_value_ : 0.0;

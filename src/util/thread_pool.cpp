@@ -23,6 +23,58 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+void ThreadPool::for_each_index(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // Shared by value with every helper task: a worker that loses the race
+  // for the last index may still touch the batch after the caller has been
+  // released, so the state must outlive the caller's stack frame.
+  struct Batch {
+    const std::function<void(std::size_t)>* fn;
+    std::size_t n;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::exception_ptr error;
+    std::mutex m;
+    std::condition_variable cv;
+  };
+  auto batch = std::make_shared<Batch>();
+  batch->fn = &fn;
+  batch->n = n;
+  const auto drain = [](const std::shared_ptr<Batch>& b) {
+    for (;;) {
+      const std::size_t i = b->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= b->n) return;
+      try {
+        (*b->fn)(i);
+      } catch (...) {
+        std::lock_guard lock(b->m);
+        if (!b->error) b->error = std::current_exception();
+      }
+      if (b->done.fetch_add(1, std::memory_order_acq_rel) + 1 == b->n) {
+        std::lock_guard lock(b->m);
+        b->cv.notify_all();
+      }
+    }
+  };
+  const std::size_t helpers = std::min(workers_.size(), n - 1);
+  if (helpers > 0) {
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) throw std::runtime_error("ThreadPool: for_each_index after shutdown");
+      for (std::size_t i = 0; i < helpers; ++i) {
+        queue_.emplace([batch, drain] { drain(batch); });
+      }
+    }
+    cv_.notify_all();
+  }
+  drain(batch);
+  {
+    std::unique_lock lock(batch->m);
+    batch->cv.wait(lock, [&] { return batch->done.load(std::memory_order_acquire) == n; });
+  }
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
