@@ -81,18 +81,53 @@ struct ClusterConfig {
 };
 
 /// Per-cluster activity counters (fairness accounting, section III-B).
+///
+/// The counters obey a conservation identity the lifecycle auditor checks
+/// at every audit point (DESIGN.md §9): every request that entered the
+/// cluster (`intake()`) is either still in flight or reached exactly one
+/// terminal disposition (`terminal()`):
+///
+///     intake() == terminal() + in_flight
+///
+/// The identity holds *instantaneously* at every simulation instant, not
+/// just at quiescence: intake counters, terminal counters and the pending
+/// map are always updated within the same event.
 struct ClusterStats {
   std::uint64_t received_edge = 0;
   std::uint64_t received_cloud = 0;
+  /// Pinned composition-stage executions (run_pinned).
+  std::uint64_t received_pinned = 0;
   std::uint64_t completed = 0;
   std::uint64_t preemptions = 0;
+  /// Times an unplaceable edge shard was left queued by the kDelay rung
+  /// (or by exhausting the ladder). Activity counter, not a terminal: the
+  /// shard stays in flight.
+  std::uint64_t edge_delays = 0;
   std::uint64_t offloaded_vertical = 0;
   std::uint64_t offloaded_horizontal_out = 0;
   std::uint64_t offloaded_horizontal_in = 0;
   std::uint64_t rejected = 0;
+  /// Lost to a network partition (staging or horizontal hand-off transfer).
+  std::uint64_t dropped = 0;
+  /// Abandoned at dispatch because the absolute deadline had already
+  /// passed. Requests whose *result* arrives late count as `completed`
+  /// here (the cluster did the work); the CompletionRecord carries the
+  /// kDeadlineMissed outcome for the platform-level metrics.
+  std::uint64_t deadline_missed = 0;
   /// Gigacycles completed on behalf of peer clusters (fairness accounting
   /// for multi-organization cooperation, paper ref. [16]).
   double foreign_gigacycles = 0.0;
+
+  /// Requests this cluster became responsible for.
+  [[nodiscard]] std::uint64_t intake() const {
+    return received_edge + received_cloud + received_pinned + offloaded_horizontal_in;
+  }
+  /// Requests that reached a terminal disposition here (including handing
+  /// responsibility to a peer or the datacenter).
+  [[nodiscard]] std::uint64_t terminal() const {
+    return completed + rejected + dropped + deadline_missed + offloaded_vertical +
+           offloaded_horizontal_out;
+  }
 };
 
 class Cluster : public sim::Entity {
@@ -152,6 +187,16 @@ class Cluster : public sim::Entity {
 
   [[nodiscard]] const ClusterStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t queued() const { return queue_.size(); }
+  /// Requests accepted but not yet resolved (the pending map's size) —
+  /// the `in_flight` term of the conservation identity.
+  [[nodiscard]] std::size_t in_flight() const { return pending_.size(); }
+
+  /// Lifecycle-auditor invariant sweep (DESIGN.md §9). Appends one
+  /// human-readable line per violation: conservation identity
+  /// (intake == terminal + in_flight), EDF lane sortedness, non-negative
+  /// remaining work, and per-worker busy-core consistency. Observation
+  /// only — never mutates cluster state.
+  void audit(std::vector<std::string>& out) const;
   [[nodiscard]] int usable_cores() const {
     int n = 0;
     for (const auto& w : workers_) n += w->server().usable_cores();
@@ -166,6 +211,11 @@ class Cluster : public sim::Entity {
     net::NodeId origin;
     /// Worker affinity for direct requests; SIZE_MAX = none.
     std::size_t preferred_worker = SIZE_MAX;
+    /// Worker that actually started the request's shard(s); SIZE_MAX until
+    /// first placement. For direct requests the result ships from this
+    /// worker's node — which may differ from `preferred_worker` when the
+    /// preferred one was busy/gated and placement fell through to another.
+    std::size_t served_worker = SIZE_MAX;
     /// True when this request arrived via horizontal offload.
     bool foreign = false;
     /// True for composition stages: report straight to the sink with no

@@ -1,0 +1,85 @@
+#pragma once
+/// \file fault.hpp
+/// \brief Deterministic worker fault injection: outage/thermal-gating churn.
+///
+/// DF servers live in apartments and offices, not machine rooms: residents
+/// unplug them, breakers trip, and summer heat pushes the free-cooling
+/// envelope past its shutdown threshold (paper III-A). `WorkerChurn` drives
+/// a set of a cluster's workers through alternating up/down dwell periods
+/// with exponentially distributed durations from a named `util::RngStream`:
+///
+///  * `kPowerGate`  — the chassis is gated off (`DfServer::set_powered`),
+///    dropping running shards to zero speed until power returns;
+///  * `kThermalGate` — the inlet temperature is forced past the thermal
+///    shutdown threshold (`DfServer::set_inlet_temperature`), exercising
+///    the throttle/shutdown path the heat regulator normally drives.
+///
+/// Every toggle is followed by `Cluster::sync_workers()`, exactly what the
+/// city physics tick does after mutating hardware, so paused shards settle
+/// their progress and the queue is re-pumped onto whatever capacity
+/// remains. Same seed, same outage schedule — soak tests asserting request
+/// conservation under churn are bit-for-bit reproducible.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "df3/core/cluster.hpp"
+#include "df3/sim/engine.hpp"
+#include "df3/util/rng.hpp"
+
+namespace df3::core {
+
+/// What an injected outage does to the chassis.
+enum class OutageKind : std::uint8_t {
+  kPowerGate,    ///< set_powered(false) — resident unplugged the heater
+  kThermalGate,  ///< hot inlet past the shutdown threshold — summer spike
+};
+
+struct WorkerChurnConfig {
+  /// Worker indices within the cluster to churn, each independently.
+  std::vector<std::size_t> workers;
+  OutageKind kind = OutageKind::kPowerGate;
+  /// Mean dwell in the healthy state before the next outage, seconds.
+  double mean_up_s = 600.0;
+  /// Mean outage duration, seconds.
+  double mean_down_s = 60.0;
+  /// Inlet forced during a kThermalGate outage (past shutdown_temp).
+  double hot_inlet_c = 40.0;
+  /// Inlet restored at recovery (comfortably inside the envelope).
+  double cool_inlet_c = 20.0;
+  /// First toggles are scheduled from this instant.
+  sim::Time start = 0.0;
+};
+
+/// Injects worker outages into one cluster with seeded exponential dwell
+/// times. `start()` arms the schedule; `stop()` cancels pending toggles and
+/// restores every managed worker to the healthy state (powered, cool), so
+/// a soak scenario can end churn and drain to quiescence.
+class WorkerChurn : public sim::Entity {
+ public:
+  WorkerChurn(sim::Simulation& sim, std::string name, Cluster& cluster, WorkerChurnConfig config,
+              util::RngStream rng);
+
+  void start();
+  void stop();
+
+  /// Number of healthy->outage transitions injected so far.
+  [[nodiscard]] std::uint64_t outages() const { return outages_; }
+  [[nodiscard]] bool running() const { return running_; }
+
+ private:
+  void arm(std::size_t slot);
+  void toggle(std::size_t slot);
+  void apply(std::size_t widx, bool down);
+
+  Cluster& cluster_;
+  WorkerChurnConfig config_;
+  util::RngStream rng_;
+  std::vector<sim::EventHandle> next_;  ///< pending toggle per managed worker
+  std::vector<bool> down_;              ///< current injected state per worker
+  std::uint64_t outages_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace df3::core

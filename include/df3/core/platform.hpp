@@ -29,6 +29,7 @@
 #include "df3/util/thread_pool.hpp"
 #include "df3/core/cluster.hpp"
 #include "df3/core/heat_regulator.hpp"
+#include "df3/metrics/audit.hpp"
 #include "df3/metrics/collectors.hpp"
 #include "df3/net/network.hpp"
 #include "df3/thermal/room.hpp"
@@ -91,6 +92,11 @@ struct PlatformConfig {
   /// bit-for-bit identical for every value (see DESIGN.md, "Fleet-physics
   /// kernel").
   std::size_t physics_threads = 0;
+  /// Lifecycle-auditor level (DESIGN.md §9). Defaults to kCounters, or
+  /// kFull when built with -DDF3_AUDIT=ON. Observation-only at any level:
+  /// the simulation trajectory is bit-for-bit identical with auditing on
+  /// or off.
+  metrics::AuditLevel audit = metrics::kDefaultAuditLevel;
 };
 
 /// How cloud requests are routed to the city (placement policy, bench A3).
@@ -129,6 +135,11 @@ class Df3Platform {
 
   void set_cloud_routing(CloudRouting r) { cloud_routing_ = r; }
 
+  /// Stop every attached workload source (pending arrivals are cancelled).
+  /// Lets a scenario stop injecting and drain to quiescence, the state in
+  /// which the lifecycle auditor's conservation check is exact.
+  void stop_sources();
+
   /// Run the simulation for `duration` of simulated time.
   void run(util::Seconds duration);
 
@@ -143,6 +154,15 @@ class Df3Platform {
 
   // --- results ---
   [[nodiscard]] const metrics::FlowMetrics& flow_metrics() const { return flow_metrics_; }
+  /// The request-lifecycle conservation auditor. Fed every platform-routed
+  /// submission and every terminal completion record; at kFull the physics
+  /// tick additionally sweeps the structural invariants of every cluster.
+  [[nodiscard]] const metrics::LifecycleAuditor& auditor() const { return auditor_; }
+  [[nodiscard]] metrics::LifecycleAuditor& auditor() { return auditor_; }
+  /// Run the structural invariant sweep over every cluster right now
+  /// (regardless of audit level), report findings into the auditor, and
+  /// return them. Cheap enough to call after every test scenario.
+  std::vector<std::string> audit_now();
   [[nodiscard]] metrics::EnergyLedger& df_energy() { return df_energy_; }
   /// Mean room temperature across all rooms, per sample tick (Fig 4 input).
   [[nodiscard]] const util::TimeSeries& room_temperature_series() const { return temp_series_; }
@@ -248,6 +268,10 @@ class Df3Platform {
   [[nodiscard]] std::size_t physics_thread_count() const;
   [[nodiscard]] Cluster* route_cloud_target();
   void deliver_to_cluster(workload::Request r, std::size_t b, bool direct, bool via_wifi);
+  /// Single funnel for terminal completion records: auditor first, then the
+  /// flow metrics. Every sink and drop callback the platform installs must
+  /// come through here so no terminal can bypass conservation accounting.
+  void record_completion(const workload::CompletionRecord& rec);
 
   PlatformConfig config_;
   sim::Simulation sim_;
@@ -272,6 +296,7 @@ class Df3Platform {
   std::uint64_t source_counter_ = 0;
 
   metrics::FlowMetrics flow_metrics_;
+  metrics::LifecycleAuditor auditor_;
   metrics::EnergyLedger df_energy_;
   util::TimeSeries temp_series_;
   util::TimeSeries capacity_series_;

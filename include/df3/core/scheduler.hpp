@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "df3/core/task.hpp"
 
@@ -35,8 +37,10 @@ class TaskQueue {
   /// Enqueue a fresh shard (back of its class, subject to discipline).
   void push(Task t);
 
-  /// Requeue a preemption victim: it resumes before fresh work of the same
-  /// class (it has already waited once).
+  /// Requeue a preemption/delay victim. FCFS: true front-insert (it has
+  /// already waited once). EDF: re-insert by deadline, ahead of fresh work
+  /// with an equal key — a blind front-insert would break the sorted-lane
+  /// invariant the binary-search insert of push() depends on.
   void push_front(Task t);
 
   /// Remove and return the best shard to run next; nullopt when empty.
@@ -57,6 +61,11 @@ class TaskQueue {
 
   /// Total queued gigacycles, for backlog-based offload decisions.
   [[nodiscard]] double backlog_gigacycles() const;
+
+  /// Structural invariant sweep (lifecycle auditor, DESIGN.md §9): EDF
+  /// lanes sorted by deadline, no negative remaining work. Appends one
+  /// human-readable line per violation, prefixed with `who`.
+  void audit(std::vector<std::string>& out, const std::string& who) const;
 
   [[nodiscard]] QueueDiscipline discipline() const { return discipline_; }
 

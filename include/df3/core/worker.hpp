@@ -11,6 +11,7 @@
 /// accounting is exact: on every speed change the remaining gigacycles of
 /// each running shard are updated and completion events re-armed.
 
+#include <algorithm>
 #include <functional>
 #include <string>
 #include <vector>
@@ -68,9 +69,7 @@ class Worker : public sim::Entity {
       arm_completion(r);
     }
     // Re-assert busy-core accounting: gating clears it inside the server.
-    if (server_.usable_cores() > 0) {
-      server_.set_busy_cores(std::min(busy_cores(), server_.usable_cores()));
-    }
+    sync_busy_cores();
   }
 
   /// Sum of remaining gigacycles across running shards.
@@ -81,6 +80,12 @@ class Worker : public sim::Entity {
   [[nodiscard]] std::uint64_t tasks_preempted() const { return preempted_; }
   /// Core-seconds of executed work (at whatever speed), for utilization.
   [[nodiscard]] double busy_core_seconds() const;
+
+  /// Structural invariant sweep (lifecycle auditor, DESIGN.md §9): the
+  /// server's busy-core count must match the running set clamped to what is
+  /// usable, and no running shard may carry negative remaining work.
+  /// Appends one human-readable line per violation.
+  void audit(std::vector<std::string>& out) const;
 
  private:
   struct Running {
@@ -93,6 +98,12 @@ class Worker : public sim::Entity {
   void arm_completion(Running& r);
   void settle(Running& r);  ///< fold elapsed progress into remaining work
   void finish(std::size_t idx);
+
+  /// Re-assert the server's busy-core count from the running set, clamped
+  /// to what is currently usable (0 while gated or thermally shut down).
+  /// finish/preempt/sync all funnel through this so the chassis count can
+  /// never diverge from the running set, even across gate/ungate cycles.
+  void sync_busy_cores() { server_.set_busy_cores(std::min(busy_cores(), server_.usable_cores())); }
 
   hw::DfServer server_;
   net::NodeId node_;

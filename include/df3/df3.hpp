@@ -22,6 +22,7 @@
 #include "df3/baselines/desktop_grid.hpp"
 #include "df3/core/cluster.hpp"
 #include "df3/core/clustering.hpp"
+#include "df3/core/fault.hpp"
 #include "df3/core/heat_regulator.hpp"
 #include "df3/core/platform.hpp"
 #include "df3/core/scheduler.hpp"
@@ -30,7 +31,9 @@
 #include "df3/hw/cpu.hpp"
 #include "df3/hw/mining.hpp"
 #include "df3/hw/server.hpp"
+#include "df3/metrics/audit.hpp"
 #include "df3/metrics/collectors.hpp"
+#include "df3/net/fault.hpp"
 #include "df3/net/network.hpp"
 #include "df3/net/protocol.hpp"
 #include "df3/sim/engine.hpp"

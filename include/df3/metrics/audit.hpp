@@ -1,0 +1,120 @@
+#pragma once
+/// \file audit.hpp
+/// \brief Request-lifecycle conservation auditor.
+///
+/// Every `Request` entering the system must reach **exactly one** terminal
+/// outcome (completed / rejected / dropped / deadline-missed), no matter
+/// which path it took: preemption re-queue, horizontal hand-off to a peer
+/// cluster, vertical offload to the datacenter, staging or return-transport
+/// partition, direct or pinned submission. A request that silently vanishes
+/// (never resolved) or resolves twice (double-counted) is a middleware bug;
+/// this auditor is the safety net that turns either into a named violation
+/// instead of a skewed experiment table.
+///
+/// Two audit levels, mirroring how fog/edge simulators treat fault modeling
+/// as first-class (LEAF; Sustainable Edge Computing, Arroba et al. 2023):
+///
+///  * `kCounters` (always compiled in, the default) — O(1) counter deltas
+///    per request. Conservation is checked as identities over the counters:
+///    `submitted == terminals + open` city-wide, and per-cluster
+///    `intake == terminal + in_flight` (see ClusterStats::intake/terminal).
+///  * `kFull` — additionally tracks every request id in a hash map so a
+///    *specific* lost or double-resolved request can be named, and enables
+///    the per-tick structural sweeps (EDF lane sortedness, non-negative
+///    remaining work, busy-core/running-set consistency) that the cluster,
+///    queue and worker `audit()` hooks implement.
+///
+/// The `DF3_AUDIT` CMake option (wired like `DF3_SANITIZE`) flips the
+/// build-time default from `kCounters` to `kFull`; either level is
+/// observation-only — it never mutates simulation state, so golden
+/// determinism digests are identical with auditing on or off.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "df3/workload/request.hpp"
+
+namespace df3::metrics {
+
+/// How much lifecycle auditing to perform. Levels are strictly additive.
+enum class AuditLevel : std::uint8_t {
+  kOff,       ///< count nothing (the auditor becomes a no-op)
+  kCounters,  ///< O(1) counter deltas; identity checks at quiescence
+  kFull,      ///< per-request-id tracking + structural invariant sweeps
+};
+
+/// Build-time default: DF3_AUDIT=ON promotes every auditor to kFull.
+#if defined(DF3_AUDIT)
+inline constexpr AuditLevel kDefaultAuditLevel = AuditLevel::kFull;
+#else
+inline constexpr AuditLevel kDefaultAuditLevel = AuditLevel::kCounters;
+#endif
+
+/// Tracks request intake and terminal outcomes and accumulates violations.
+/// Feed it every submission (`on_submitted`) and every terminal completion
+/// record (`on_terminal`); ask `check_quiescent()` once the simulation has
+/// drained. Structural checkers (Cluster/TaskQueue/Worker `audit()`) report
+/// through `report()`.
+class LifecycleAuditor {
+ public:
+  explicit LifecycleAuditor(AuditLevel level = kDefaultAuditLevel) : level_(level) {}
+
+  [[nodiscard]] AuditLevel level() const { return level_; }
+  void set_level(AuditLevel level) { level_ = level; }
+
+  /// A request entered the system (gateway submission, direct submission,
+  /// pinned run). Call exactly once per request.
+  void on_submitted(const workload::Request& r);
+
+  /// A terminal CompletionRecord was produced for the request. At kFull a
+  /// second terminal for the same id is recorded as a duplicate violation
+  /// and a terminal for an id never submitted as an unknown violation.
+  void on_terminal(const workload::CompletionRecord& rec);
+
+  /// Report a violation found by an external invariant sweep.
+  void report(std::string what);
+
+  // --- counters ---
+  [[nodiscard]] std::uint64_t submitted() const { return submitted_; }
+  [[nodiscard]] std::uint64_t terminals() const { return terminals_; }
+  [[nodiscard]] std::uint64_t completed() const { return completed_; }
+  [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t deadline_missed() const { return deadline_missed_; }
+  /// Requests submitted but not yet resolved (kFull: exact; kCounters:
+  /// derived as submitted - terminals, valid only while no duplicates).
+  [[nodiscard]] std::uint64_t open_requests() const;
+  [[nodiscard]] std::uint64_t duplicate_terminals() const { return duplicates_; }
+  [[nodiscard]] std::uint64_t unknown_terminals() const { return unknowns_; }
+
+  /// All violations recorded so far (duplicates, unknowns, reported sweeps).
+  /// Capped at kMaxStoredViolations; `violation_count()` keeps exact count.
+  [[nodiscard]] const std::vector<std::string>& violations() const { return violations_; }
+  [[nodiscard]] std::uint64_t violation_count() const { return violation_count_; }
+
+  /// Conservation check once the simulation has drained: every submitted
+  /// request resolved exactly once. Returns the accumulated violations plus
+  /// any open-request findings (at kFull, naming up to 8 unresolved ids).
+  [[nodiscard]] std::vector<std::string> check_quiescent() const;
+
+  static constexpr std::size_t kMaxStoredViolations = 64;
+
+ private:
+  AuditLevel level_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t terminals_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t deadline_missed_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t unknowns_ = 0;
+  std::uint64_t violation_count_ = 0;
+  std::vector<std::string> violations_;
+  /// kFull only: id -> resolved flag for every request ever submitted.
+  std::unordered_map<std::uint64_t, bool> lifecycle_;
+};
+
+}  // namespace df3::metrics

@@ -1,0 +1,68 @@
+#pragma once
+/// \file fault.hpp
+/// \brief Deterministic network fault injection: link flapping.
+///
+/// The paper's distributed fabric lives in buildings on consumer-grade
+/// access links; partitions are an operating condition, not an exception.
+/// `LinkFlapper` drives a set of links through alternating up/down dwell
+/// periods with exponentially distributed durations drawn from a named
+/// `util::RngStream` — the same seed always produces the same flap
+/// schedule, so soak tests that assert conservation under churn are
+/// bit-for-bit reproducible.
+///
+/// Messages in flight when a link goes down are not recalled (routes are
+/// resolved at send time); what the flapper exercises is every `on_drop`
+/// path of `Network::send` — staging transfers, horizontal hand-offs and
+/// result returns — which is exactly where lifecycle bugs hide.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "df3/net/network.hpp"
+#include "df3/sim/engine.hpp"
+#include "df3/util/rng.hpp"
+
+namespace df3::net {
+
+struct LinkFlapConfig {
+  /// Link indices (from Network::add_link) to flap, each independently.
+  std::vector<std::size_t> links;
+  /// Mean dwell in the up state before the next outage, seconds.
+  double mean_up_s = 300.0;
+  /// Mean outage duration, seconds.
+  double mean_down_s = 30.0;
+  /// First toggles are scheduled from this instant.
+  sim::Time start = 0.0;
+};
+
+/// Flaps a set of network links with seeded exponential dwell times.
+/// `start()` arms the schedule; `stop()` cancels all pending toggles and
+/// restores every managed link to the up state (so a soak scenario can end
+/// churn, drain, and expect the network to be whole again).
+class LinkFlapper : public sim::Entity {
+ public:
+  LinkFlapper(sim::Simulation& sim, std::string name, Network& network, LinkFlapConfig config,
+              util::RngStream rng);
+
+  void start();
+  void stop();
+
+  /// Number of up->down transitions injected so far.
+  [[nodiscard]] std::uint64_t flaps() const { return flaps_; }
+  [[nodiscard]] bool running() const { return running_; }
+
+ private:
+  void arm(std::size_t slot);    ///< schedule the next toggle for links[slot]
+  void toggle(std::size_t slot);
+
+  Network& network_;
+  LinkFlapConfig config_;
+  util::RngStream rng_;
+  std::vector<sim::EventHandle> next_;  ///< pending toggle per managed link
+  std::vector<bool> down_;              ///< current injected state per link
+  std::uint64_t flaps_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace df3::net

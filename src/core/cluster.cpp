@@ -83,6 +83,7 @@ void Cluster::submit_direct(workload::Request r, net::NodeId origin, std::size_t
 void Cluster::run_pinned(workload::Request r, std::size_t widx, CompletionSink done) {
   if (widx >= workers_.size()) throw std::out_of_range("run_pinned: bad worker index");
   if (!done) throw std::invalid_argument("run_pinned: null completion callback");
+  ++stats_.received_pinned;
   auto state = std::make_shared<RequestState>(std::move(r));
   auto p = std::make_shared<Pending>();
   p->state = state;
@@ -130,6 +131,7 @@ void Cluster::stage_and_enqueue(workload::Request r, net::NodeId origin, std::si
       [this, p] {
         // Partitioned from our own workers: the request is lost.
         pending_.erase(p->state.get());
+        ++stats_.dropped;
         workload::CompletionRecord rec;
         rec.request = p->state->request;
         rec.outcome = workload::Outcome::kDropped;
@@ -157,7 +159,10 @@ bool Cluster::place(Task& t) {
   const auto it = pending_.find(t.request.get());
   if (it != pending_.end() && it->second->preferred_worker != SIZE_MAX) {
     const std::size_t w = it->second->preferred_worker;
-    if (w < workers_.size() && workers_[w]->available() && workers_[w]->try_start(t)) return true;
+    if (w < workers_.size() && workers_[w]->available() && workers_[w]->try_start(t)) {
+      it->second->served_worker = w;
+      return true;
+    }
   }
   // Edge shards scan from the dedicated pool up; cloud shards only the
   // shared pool.
@@ -165,7 +170,10 @@ bool Cluster::place(Task& t) {
       prio == Priority::kEdge ? 0 : static_cast<std::size_t>(config_.dedicated_edge_workers);
   for (std::size_t w = start; w < workers_.size(); ++w) {
     if (!worker_eligible(w, prio)) continue;
-    if (workers_[w]->available() && workers_[w]->try_start(t)) return true;
+    if (workers_[w]->available() && workers_[w]->try_start(t)) {
+      if (it != pending_.end()) it->second->served_worker = w;
+      return true;
+    }
   }
   return false;
 }
@@ -174,14 +182,19 @@ bool Cluster::handle_unplaceable_edge(Task t) {
   for (const PeakAction action : config_.edge_peak_ladder) {
     switch (action) {
       case PeakAction::kPreempt: {
-        for (auto& w : workers_) {
-          if (w->running_below(Priority::kEdge) == 0) continue;
-          auto victim = w->preempt_one(Priority::kEdge);
+        for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
+          Worker& w = *workers_[wi];
+          if (w.running_below(Priority::kEdge) == 0) continue;
+          auto victim = w.preempt_one(Priority::kEdge);
           if (!victim) continue;
           ++stats_.preemptions;
           victim->remaining_gigacycles += config_.preemption_overhead_gc;
           queue_.push_front(std::move(*victim));
-          if (w->try_start(t)) return true;
+          if (w.try_start(t)) {
+            const auto pit = pending_.find(t.request.get());
+            if (pit != pending_.end()) pit->second->served_worker = wi;
+            return true;
+          }
           // Freed core vanished (thermal gating race): wait instead.
           queue_.push_front(std::move(t));
           return false;
@@ -208,8 +221,12 @@ bool Cluster::handle_unplaceable_edge(Task t) {
             [peer = peer_, moved, origin = p->origin, wrap](sim::Time) mutable {
               peer->submit_offloaded(std::move(moved), origin, wrap);
             },
-            [this, moved, wrap]() mutable {
-              ++stats_.rejected;
+            [moved, wrap, this]() mutable {
+              // No counter here: responsibility already left this cluster
+              // when offloaded_horizontal_out was incremented above, and
+              // bumping `rejected` as well would double-count the request
+              // in the conservation identity. The platform still sees the
+              // loss through the kDropped record.
               workload::CompletionRecord rec;
               rec.request = std::move(moved);
               rec.outcome = workload::Outcome::kDropped;
@@ -233,11 +250,13 @@ bool Cluster::handle_unplaceable_edge(Task t) {
         return true;
       }
       case PeakAction::kDelay:
+        ++stats_.edge_delays;
         queue_.push_front(std::move(t));
         return false;
     }
   }
   // Ladder exhausted: the request waits anyway (equivalent to kDelay).
+  ++stats_.edge_delays;
   queue_.push_front(std::move(t));
   return false;
 }
@@ -275,6 +294,7 @@ void Cluster::abandon_expired(Task t) {
   if (it == pending_.end()) return;  // already resolved elsewhere
   auto p = it->second;
   pending_.erase(it);
+  ++stats_.deadline_missed;
   auto state = t.request;
   sim().schedule_in(0.0, [p, state, this] {
     workload::CompletionRecord rec;
@@ -315,10 +335,13 @@ void Cluster::complete(const std::shared_ptr<RequestState>& state) {
     });
     return;
   }
-  // Ship the result back to the origin: straight from the worker for
-  // direct requests, relayed via the gateway otherwise.
-  const net::NodeId from = (p->preferred_worker != SIZE_MAX && p->preferred_worker < workers_.size())
-                               ? workers_[p->preferred_worker]->node()
+  // Ship the result back to the origin: straight from the serving worker
+  // for direct requests, relayed via the gateway otherwise. The serving
+  // worker can differ from the preferred one — placement falls through to
+  // the shared scan when the preferred worker is busy or gated — and the
+  // result lives where the work ran, not where the device first connected.
+  const net::NodeId from = (p->preferred_worker != SIZE_MAX && p->served_worker < workers_.size())
+                               ? workers_[p->served_worker]->node()
                                : gateway_node_;
   const std::string via = name() + (p->foreign ? ":foreign" : ":local");
   network_.send(
@@ -334,6 +357,8 @@ void Cluster::complete(const std::shared_ptr<RequestState>& state) {
         p->sink(std::move(rec));
       },
       [p, state, via, this] {
+        // The work was done (stats_.completed already counted it); only
+        // the result transport was lost, so no further cluster counter.
         workload::CompletionRecord rec;
         rec.request = state->request;
         rec.completed_at = now();
@@ -341,6 +366,19 @@ void Cluster::complete(const std::shared_ptr<RequestState>& state) {
         rec.served_by = via + ":return-partition";
         p->sink(std::move(rec));
       });
+}
+
+void Cluster::audit(std::vector<std::string>& out) const {
+  const std::uint64_t intake = stats_.intake();
+  const std::uint64_t terminal = stats_.terminal();
+  const auto in_flight = static_cast<std::uint64_t>(pending_.size());
+  if (intake != terminal + in_flight) {
+    out.push_back(name() + ": conservation violated — intake " + std::to_string(intake) +
+                  " != terminal " + std::to_string(terminal) + " + in_flight " +
+                  std::to_string(in_flight));
+  }
+  queue_.audit(out, name() + "/queue");
+  for (const auto& w : workers_) w->audit(out);
 }
 
 }  // namespace df3::core

@@ -1,0 +1,77 @@
+#include "df3/core/fault.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace df3::core {
+
+WorkerChurn::WorkerChurn(sim::Simulation& sim, std::string name, Cluster& cluster,
+                         WorkerChurnConfig config, util::RngStream rng)
+    : sim::Entity(sim, std::move(name)),
+      cluster_(cluster),
+      config_(std::move(config)),
+      rng_(rng),
+      next_(config_.workers.size()),
+      down_(config_.workers.size(), false) {
+  if (config_.mean_up_s <= 0.0 || config_.mean_down_s <= 0.0) {
+    throw std::invalid_argument("WorkerChurn: dwell means must be positive");
+  }
+  for (const std::size_t w : config_.workers) {
+    if (w >= cluster_.worker_count()) {
+      throw std::out_of_range("WorkerChurn: worker index out of range");
+    }
+  }
+}
+
+void WorkerChurn::start() {
+  if (running_) return;
+  running_ = true;
+  for (std::size_t slot = 0; slot < config_.workers.size(); ++slot) arm(slot);
+}
+
+void WorkerChurn::stop() {
+  if (!running_) return;
+  running_ = false;
+  bool restored = false;
+  for (std::size_t slot = 0; slot < config_.workers.size(); ++slot) {
+    next_[slot].cancel();
+    if (down_[slot]) {
+      apply(config_.workers[slot], /*down=*/false);
+      down_[slot] = false;
+      restored = true;
+    }
+  }
+  if (restored) cluster_.sync_workers();
+}
+
+void WorkerChurn::arm(std::size_t slot) {
+  const double mean = down_[slot] ? config_.mean_down_s : config_.mean_up_s;
+  const double dwell = rng_.exponential(1.0 / mean);
+  const sim::Time at = std::max(now(), config_.start) + dwell;
+  next_[slot] = sim().schedule_at(at, [this, slot] { toggle(slot); });
+}
+
+void WorkerChurn::toggle(std::size_t slot) {
+  down_[slot] = !down_[slot];
+  if (down_[slot]) ++outages_;
+  apply(config_.workers[slot], down_[slot]);
+  // Same sequence as the physics tick after a hardware change: settle shard
+  // progress at the new speed, then pump the queue onto remaining capacity.
+  cluster_.sync_workers();
+  arm(slot);
+}
+
+void WorkerChurn::apply(std::size_t widx, bool down) {
+  hw::DfServer& server = cluster_.worker(widx).server();
+  switch (config_.kind) {
+    case OutageKind::kPowerGate:
+      server.set_powered(!down);
+      break;
+    case OutageKind::kThermalGate:
+      server.set_inlet_temperature(
+          util::Celsius{down ? config_.hot_inlet_c : config_.cool_inlet_c});
+      break;
+  }
+}
+
+}  // namespace df3::core

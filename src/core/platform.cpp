@@ -18,7 +18,9 @@ constexpr double kDfOverheadFraction = 0.026;
 }  // namespace
 
 Df3Platform::Df3Platform(PlatformConfig config)
-    : config_(std::move(config)), weather_(config_.climate, config_.seed ^ 0x5ca1ab1eULL) {
+    : config_(std::move(config)),
+      weather_(config_.climate, config_.seed ^ 0x5ca1ab1eULL),
+      auditor_(config_.audit) {
   if (config_.tick_s <= 0.0) throw std::invalid_argument("Df3Platform: tick must be positive");
   network_ = std::make_unique<net::Network>(sim_, "city-net");
   internet_node_ = network_->add_node("internet");
@@ -43,7 +45,7 @@ std::size_t Df3Platform::add_building(const BuildingConfig& cfg) {
   ccfg.fabric_gbps = cfg.lan.bandwidth.value() / 1e9;
   b->cluster = std::make_unique<Cluster>(
       sim_, cfg.name, ccfg, *network_, b->gateway_node,
-      [this](workload::CompletionRecord rec) { flow_metrics_.record(rec); });
+      [this](workload::CompletionRecord rec) { record_completion(rec); });
   if (datacenter_) b->cluster->set_datacenter(datacenter_.get());
 
   const util::Watts rating = cfg.server.rated_power();
@@ -186,6 +188,7 @@ void Df3Platform::add_cloud_source(workload::RequestFactory factory,
       sim_, name, config_.seed, std::move(arrivals), std::move(factory),
       [this](workload::Request r) {
         r.flow = workload::Flow::kCloud;
+        auditor_.on_submitted(r);
         Cluster* target = route_cloud_target();
         if (target == nullptr) {
           if (!datacenter_) {
@@ -194,12 +197,12 @@ void Df3Platform::add_cloud_source(workload::RequestFactory factory,
             rec.outcome = workload::Outcome::kRejected;
             rec.completed_at = sim_.now();
             rec.served_by = "nowhere";
-            flow_metrics_.record(rec);
+            record_completion(rec);
             return;
           }
           datacenter_->submit(std::move(r), internet_node_,
                               [this](workload::CompletionRecord rec) {
-                                flow_metrics_.record(rec);
+                                record_completion(rec);
                               });
           return;
         }
@@ -214,10 +217,14 @@ void Df3Platform::add_cloud_source(workload::RequestFactory factory,
               rec.outcome = workload::Outcome::kDropped;
               rec.completed_at = sim_.now();
               rec.served_by = "uplink-partition";
-              flow_metrics_.record(rec);
+              record_completion(rec);
             });
       }));
   sources_.back()->start();
+}
+
+void Df3Platform::stop_sources() {
+  for (auto& s : sources_) s->stop();
 }
 
 Cluster* Df3Platform::route_cloud_target() {
@@ -242,6 +249,7 @@ Cluster* Df3Platform::route_cloud_target() {
 void Df3Platform::deliver_to_cluster(workload::Request r, std::size_t b, bool direct,
                                      bool via_wifi) {
   Building& building = *buildings_[b];
+  auditor_.on_submitted(r);
   const net::NodeId origin = via_wifi ? building.wifi_node : building.device_node;
   const net::NodeId entry =
       direct ? building.cluster->worker(0).node() : building.cluster->gateway_node();
@@ -261,8 +269,20 @@ void Df3Platform::deliver_to_cluster(workload::Request r, std::size_t b, bool di
         rec.outcome = workload::Outcome::kDropped;
         rec.completed_at = sim_.now();
         rec.served_by = "lan-partition";
-        flow_metrics_.record(rec);
+        record_completion(rec);
       });
+}
+
+void Df3Platform::record_completion(const workload::CompletionRecord& rec) {
+  auditor_.on_terminal(rec);
+  flow_metrics_.record(rec);
+}
+
+std::vector<std::string> Df3Platform::audit_now() {
+  std::vector<std::string> findings;
+  for (const auto& b : buildings_) b->cluster->audit(findings);
+  for (const auto& f : findings) auditor_.report(f);
+  return findings;
 }
 
 void Df3Platform::physics_building(std::size_t b, sim::Time t, util::Celsius t_out,
@@ -472,6 +492,15 @@ void Df3Platform::tick(sim::Time t) {
   capacity_series_.add(t, city_cores);
   demand_series_.add(t, city_demand_w);
   outdoor_series_.add(t, t_out.value());
+
+  // Heavyweight structural sweep (EDF lane order, busy-core consistency,
+  // per-cluster conservation) once per physics tick at kFull only; the
+  // default level keeps auditing to O(1) counter deltas per request.
+  if (auditor_.level() == metrics::AuditLevel::kFull) {
+    std::vector<std::string> findings;
+    for (const auto& b : buildings_) b->cluster->audit(findings);
+    for (auto& f : findings) auditor_.report(std::move(f));
+  }
 }
 
 void Df3Platform::run(util::Seconds duration) {

@@ -42,7 +42,26 @@ void TaskQueue::push(Task t) {
 
 void TaskQueue::push_front(Task t) {
   auto& q = lane(t.priority());
-  q.push_front(std::move(t));
+  if (discipline_ == QueueDiscipline::kFcfs) {
+    // FCFS: a re-queued shard has already waited once, so a true
+    // front-insert is both correct and the intended fairness.
+    q.push_front(std::move(t));
+    return;
+  }
+  // EDF: a blind front-insert would break the sorted-lane invariant that
+  // insert_by_discipline's binary search relies on — every later
+  // upper_bound would probe a lane that is no longer ordered and could
+  // land fresh shards at the wrong position. Re-queue by deadline instead,
+  // in front of any entry with an equal key so the returning shard still
+  // resumes ahead of fresh work with the same deadline.
+  const double key = edf_key(t);
+  if (q.empty() || key <= edf_key(q.front())) {
+    q.push_front(std::move(t));
+    return;
+  }
+  const auto it = std::lower_bound(
+      q.begin(), q.end(), key, [](const Task& other, double k) { return edf_key(other) < k; });
+  q.insert(it, std::move(t));
 }
 
 std::optional<Task> TaskQueue::pop() {
@@ -71,6 +90,26 @@ const Task* TaskQueue::peek() const {
   if (!edge_.empty()) return &edge_.front();
   if (!cloud_.empty()) return &cloud_.front();
   return nullptr;
+}
+
+void TaskQueue::audit(std::vector<std::string>& out, const std::string& who) const {
+  const auto check_lane = [&](const std::deque<Task>& q, const char* lane_name) {
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      if (q[i].remaining_gigacycles < 0.0) {
+        out.push_back(who + ": negative remaining work (" +
+                      std::to_string(q[i].remaining_gigacycles) + " Gc) queued in " + lane_name +
+                      " lane at position " + std::to_string(i));
+      }
+      if (discipline_ == QueueDiscipline::kEdf && i + 1 < q.size() &&
+          edf_key(q[i]) > edf_key(q[i + 1])) {
+        out.push_back(who + ": EDF " + lane_name + " lane out of order at position " +
+                      std::to_string(i) + " (deadline " + std::to_string(edf_key(q[i])) +
+                      " before " + std::to_string(edf_key(q[i + 1])) + ")");
+      }
+    }
+  };
+  check_lane(edge_, "edge");
+  check_lane(cloud_, "cloud");
 }
 
 double TaskQueue::backlog_gigacycles() const {

@@ -71,7 +71,7 @@ void Worker::finish(std::size_t idx) {
   running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(idx));
   settle(r);
   r.task.remaining_gigacycles = 0.0;
-  if (server_.usable_cores() > 0) server_.set_busy_cores(busy_cores());
+  sync_busy_cores();
   ++completed_;
   on_task_done_(std::move(r.task));
 }
@@ -95,9 +95,25 @@ std::optional<Task> Worker::preempt_one(Priority min_keep) {
   running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(best));
   victim.completion.cancel();
   settle(victim);
-  if (server_.usable_cores() > 0) server_.set_busy_cores(busy_cores());
+  sync_busy_cores();
   ++preempted_;
   return std::move(victim.task);
+}
+
+void Worker::audit(std::vector<std::string>& out) const {
+  const int expect = std::min(busy_cores(), server_.usable_cores());
+  if (server_.busy_cores() != expect) {
+    out.push_back(name() + ": server busy-core count " + std::to_string(server_.busy_cores()) +
+                  " inconsistent with running set (" + std::to_string(busy_cores()) +
+                  " running, " + std::to_string(server_.usable_cores()) + " usable)");
+  }
+  for (const auto& r : running_) {
+    if (r.task.remaining_gigacycles < 0.0) {
+      out.push_back(name() + ": running shard " + std::to_string(r.task.shard_index) +
+                    " of request id " + std::to_string(r.task.request->request.id) +
+                    " has negative remaining work");
+    }
+  }
 }
 
 int Worker::running_below(Priority p) const {

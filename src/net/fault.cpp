@@ -1,0 +1,53 @@
+#include "df3/net/fault.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace df3::net {
+
+LinkFlapper::LinkFlapper(sim::Simulation& sim, std::string name, Network& network,
+                         LinkFlapConfig config, util::RngStream rng)
+    : sim::Entity(sim, std::move(name)),
+      network_(network),
+      config_(std::move(config)),
+      rng_(rng),
+      next_(config_.links.size()),
+      down_(config_.links.size(), false) {
+  if (config_.mean_up_s <= 0.0 || config_.mean_down_s <= 0.0) {
+    throw std::invalid_argument("LinkFlapper: dwell means must be positive");
+  }
+}
+
+void LinkFlapper::start() {
+  if (running_) return;
+  running_ = true;
+  for (std::size_t slot = 0; slot < config_.links.size(); ++slot) arm(slot);
+}
+
+void LinkFlapper::stop() {
+  if (!running_) return;
+  running_ = false;
+  for (std::size_t slot = 0; slot < config_.links.size(); ++slot) {
+    next_[slot].cancel();
+    if (down_[slot]) {
+      network_.set_link_up(config_.links[slot], true);
+      down_[slot] = false;
+    }
+  }
+}
+
+void LinkFlapper::arm(std::size_t slot) {
+  const double mean = down_[slot] ? config_.mean_down_s : config_.mean_up_s;
+  const double dwell = rng_.exponential(1.0 / mean);
+  const sim::Time at = std::max(now(), config_.start) + dwell;
+  next_[slot] = sim().schedule_at(at, [this, slot] { toggle(slot); });
+}
+
+void LinkFlapper::toggle(std::size_t slot) {
+  down_[slot] = !down_[slot];
+  if (down_[slot]) ++flaps_;
+  network_.set_link_up(config_.links[slot], !down_[slot]);
+  arm(slot);
+}
+
+}  // namespace df3::net

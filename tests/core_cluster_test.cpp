@@ -364,6 +364,133 @@ TEST(Cluster, CoupledSlowdownAppliedOnSlowFabric) {
   EXPECT_LT(f.records[0].response_time(), 560.0);
 }
 
+TEST(Cluster, HorizontalPartitionDropDoesNotDoubleCount) {
+  core::ClusterConfig cfg;
+  cfg.edge_peak_ladder = {core::PeakAction::kHorizontal, core::PeakAction::kDelay};
+  ClusterFixture f(cfg);
+  wl::Request pinned = cloud_request(6400.0, 32);
+  pinned.preemptible = false;
+  f.cluster->submit(pinned, f.device);
+  f.sim.run_until(10.0);
+  // Sever the gateway-to-peer hop: the hand-off transfer will be dropped
+  // mid-flight, *after* responsibility already left via
+  // offloaded_horizontal_out. The drop must not also bump `rejected` —
+  // that double-counted the request and broke the conservation identity.
+  f.netw.set_link_up(3, false);
+  wl::Request e = edge_request(3.2, 5.0);
+  e.arrival = f.sim.now();
+  f.cluster->submit(e, f.device);
+  f.sim.run();
+  EXPECT_EQ(f.cluster->stats().offloaded_horizontal_out, 1u);
+  EXPECT_EQ(f.cluster->stats().rejected, 0u);
+  EXPECT_EQ(f.cluster->stats().dropped, 0u);
+  std::uint64_t drops = 0;
+  for (const auto& rec : f.records) {
+    if (rec.outcome == wl::Outcome::kDropped) ++drops;
+  }
+  EXPECT_EQ(drops, 1u);  // the platform still sees the loss
+  EXPECT_EQ(f.cluster->stats().intake(),
+            f.cluster->stats().terminal() + f.cluster->in_flight());
+  std::vector<std::string> violations;
+  f.cluster->audit(violations);
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(Cluster, ReturnPartitionRecordsDrop) {
+  ClusterFixture f;
+  f.cluster->submit(cloud_request(320.0), f.device);
+  f.sim.run_until(10.0);  // staging done, compute in progress
+  // Isolate the device: the result (gateway -> device) cannot be shipped.
+  f.netw.set_link_up(0, false);  // device-gateway
+  f.netw.set_link_up(5, false);  // device-w0 back door
+  f.sim.run();
+  ASSERT_EQ(f.records.size(), 1u);
+  EXPECT_EQ(f.records[0].outcome, wl::Outcome::kDropped);
+  EXPECT_EQ(f.records[0].served_by, "c0:local:return-partition");
+  // The cluster did the work: completed counts it, and only the record
+  // carries the transport loss. The identity still balances.
+  EXPECT_EQ(f.cluster->stats().completed, 1u);
+  EXPECT_EQ(f.cluster->stats().intake(),
+            f.cluster->stats().terminal() + f.cluster->in_flight());
+}
+
+TEST(Cluster, PreemptThermalGateRaceRequeuesBoth) {
+  core::ClusterConfig cfg;
+  cfg.edge_peak_ladder = {core::PeakAction::kPreempt, core::PeakAction::kDelay};
+  ClusterFixture f(cfg);
+  f.cluster->submit(cloud_request(3200.0, 32), f.device);  // saturate both workers
+  f.sim.run_until(10.0);
+  EXPECT_EQ(f.cluster->free_cores(), 0);
+  // Thermal shutdown on both workers: running shards pause, usable cores
+  // drop to zero — but the running set (and running_below) stays populated.
+  f.cluster->worker(0).server().set_inlet_temperature(u::celsius(40.0));
+  f.cluster->worker(1).server().set_inlet_temperature(u::celsius(40.0));
+  f.cluster->sync_workers();
+  wl::Request e = edge_request(3.2, 1000.0);
+  e.arrival = f.sim.now();
+  f.cluster->submit(e, f.device);
+  f.sim.run_until(15.0);
+  // The preempt rung freed a core that immediately vanished (gated): both
+  // the victim and the edge shard must end up queued, nothing lost.
+  EXPECT_EQ(f.cluster->stats().preemptions, 1u);
+  EXPECT_EQ(f.cluster->queued(), 2u);
+  std::vector<std::string> violations;
+  f.cluster->audit(violations);
+  EXPECT_TRUE(violations.empty());
+  // Recovery: both requests drain to completion, no shard went missing.
+  f.cluster->worker(0).server().set_inlet_temperature(u::celsius(20.0));
+  f.cluster->worker(1).server().set_inlet_temperature(u::celsius(20.0));
+  f.cluster->sync_workers();
+  f.sim.run();
+  ASSERT_EQ(f.records.size(), 2u);
+  for (const auto& rec : f.records) EXPECT_EQ(rec.outcome, wl::Outcome::kCompleted);
+  EXPECT_EQ(f.cluster->worker(0).tasks_completed() + f.cluster->worker(1).tasks_completed(), 33u);
+  EXPECT_EQ(f.cluster->stats().intake(),
+            f.cluster->stats().terminal() + f.cluster->in_flight());
+  f.cluster->audit(violations);
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(Cluster, DirectRequestReturnsFromActualServingWorker) {
+  ClusterFixture f;
+  // Fill worker 0 with 16 long direct requests, one per core.
+  for (int i = 0; i < 16; ++i) {
+    wl::Request r = edge_request(320.0, 10000.0);
+    r.flow = wl::Flow::kEdgeDirect;
+    f.cluster->submit_direct(r, f.device, 0);
+  }
+  EXPECT_EQ(f.cluster->worker(0).free_cores(), 0);
+  // The 17th direct request prefers worker 0 but falls through to worker 1.
+  wl::Request r17 = edge_request(3.2, 10000.0);
+  r17.flow = wl::Flow::kEdgeDirect;
+  f.cluster->submit_direct(r17, f.device, 0);
+  EXPECT_EQ(f.cluster->worker(1).busy_cores(), 1);
+  // Isolate worker 0 from the device before any result ships. The short
+  // request ran on worker 1, so its result must leave from there (links
+  // gw-w1 and device-gw are still up); shipping from the *preferred*
+  // worker — the pre-fix behavior — would have dropped it too.
+  f.sim.run_until(0.5);
+  f.netw.set_link_up(1, false);  // gateway-w0
+  f.netw.set_link_up(5, false);  // device-w0
+  f.sim.run();
+  ASSERT_EQ(f.records.size(), 17u);
+  std::uint64_t completed = 0, dropped = 0;
+  for (const auto& rec : f.records) {
+    if (rec.outcome == wl::Outcome::kCompleted) {
+      ++completed;
+      EXPECT_DOUBLE_EQ(rec.request.work_gigacycles, 3.2);
+    } else {
+      EXPECT_EQ(rec.outcome, wl::Outcome::kDropped);
+      ++dropped;
+    }
+  }
+  EXPECT_EQ(completed, 1u);
+  EXPECT_EQ(dropped, 16u);
+  EXPECT_EQ(f.cluster->stats().completed, 17u);
+  EXPECT_EQ(f.cluster->stats().intake(),
+            f.cluster->stats().terminal() + f.cluster->in_flight());
+}
+
 TEST(Cluster, ValidatesConfig) {
   Simulation sim;
   net::Network netw(sim, "n");

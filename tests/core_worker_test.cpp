@@ -194,6 +194,44 @@ TEST(WorkerRuntime, PreemptsLeastProgressedVictim) {
   EXPECT_NEAR(victim->remaining_gigacycles, 32.0, 1e-9);  // evicted the fresh one
 }
 
+TEST(WorkerRuntime, BusyCoreSyncSurvivesGatePreemptUngate) {
+  WorkerFixture f;
+  auto tasks = core::make_tasks(cloud_request(32.0, 2));
+  ASSERT_TRUE(f.worker.try_start(tasks[0]));
+  ASSERT_TRUE(f.worker.try_start(tasks[1]));
+  EXPECT_EQ(f.worker.server().busy_cores(), 2);
+  f.sim.run_until(5.0);
+
+  // Thermal shutdown zeroes the chassis count; the running set pauses.
+  f.worker.server().set_inlet_temperature(u::celsius(40.0));
+  f.worker.sync_speed();
+  EXPECT_EQ(f.worker.server().usable_cores(), 0);
+  EXPECT_EQ(f.worker.server().busy_cores(), 0);
+  std::vector<std::string> violations;
+  f.worker.audit(violations);
+  EXPECT_TRUE(violations.empty());
+
+  // Preempting while gated must keep the chassis count clamped at zero —
+  // the pre-fix guard skipped the sync entirely when no cores were usable.
+  auto victim = f.worker.preempt_one(core::Priority::kEdge);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(f.worker.busy_cores(), 1);
+  EXPECT_EQ(f.worker.server().busy_cores(), 0);
+  f.worker.audit(violations);
+  EXPECT_TRUE(violations.empty());
+
+  // Recovery re-asserts the chassis count from the running set.
+  f.worker.server().set_inlet_temperature(u::celsius(20.0));
+  f.worker.sync_speed();
+  EXPECT_EQ(f.worker.server().busy_cores(), 1);
+  f.worker.audit(violations);
+  EXPECT_TRUE(violations.empty());
+
+  f.sim.run();
+  EXPECT_EQ(f.worker.server().busy_cores(), 0);
+  EXPECT_EQ(f.worker.tasks_completed(), 1u);
+}
+
 TEST(WorkerRuntime, BusyCoreSecondsUtilization) {
   WorkerFixture f;
   auto tasks = core::make_tasks(cloud_request(32.0, 2));
@@ -245,6 +283,79 @@ TEST(TaskQueueTest, PushFrontJumpsClassQueue) {
   q.push(a[0]);
   q.push_front(b[0]);
   EXPECT_DOUBLE_EQ(q.pop()->remaining_gigacycles, 20.0);
+}
+
+TEST(TaskQueueTest, EdfPushFrontReinsertsByDeadline) {
+  core::TaskQueue q(core::QueueDiscipline::kEdf);
+  auto d1 = core::make_tasks(edge_request(1.0, 1.0));
+  auto d3 = core::make_tasks(edge_request(1.0, 3.0));
+  auto d5 = core::make_tasks(edge_request(1.0, 5.0));
+  q.push(d1[0]);
+  q.push(d3[0]);
+  q.push(d5[0]);
+  // A delayed/preempted shard with deadline 4 must slot between 3 and 5 —
+  // a blind front-insert would break the sorted lane and starve deadline 1.
+  auto d4 = core::make_tasks(edge_request(1.0, 4.0));
+  q.push_front(d4[0]);
+  std::vector<std::string> violations;
+  q.audit(violations, "q");
+  EXPECT_TRUE(violations.empty());
+  EXPECT_DOUBLE_EQ(*q.pop()->deadline(), 1.0);
+  EXPECT_DOUBLE_EQ(*q.pop()->deadline(), 3.0);
+  EXPECT_DOUBLE_EQ(*q.pop()->deadline(), 4.0);
+  EXPECT_DOUBLE_EQ(*q.pop()->deadline(), 5.0);
+}
+
+TEST(TaskQueueTest, EdfPushFrontResumesAheadOfEqualDeadline) {
+  core::TaskQueue q(core::QueueDiscipline::kEdf);
+  auto fresh = core::make_tasks(edge_request(1.0, 3.0));
+  q.push(fresh[0]);
+  auto resumed = core::make_tasks(edge_request(1.0, 3.0));
+  resumed[0].remaining_gigacycles = 0.25;  // partially executed
+  q.push_front(resumed[0]);
+  // Equal keys: the returning shard goes first (it already waited once).
+  EXPECT_DOUBLE_EQ(q.pop()->remaining_gigacycles, 0.25);
+  EXPECT_DOUBLE_EQ(q.pop()->remaining_gigacycles, 1.0);
+}
+
+TEST(TaskQueueTest, EdfPushFrontDeadlinelessVictimLeadsCloudLane) {
+  core::TaskQueue q(core::QueueDiscipline::kEdf);
+  auto a = core::make_tasks(cloud_request(10.0));
+  auto b = core::make_tasks(cloud_request(20.0));
+  q.push(a[0]);
+  q.push(b[0]);
+  // Preemption victims are deadline-less (key = +inf): they still resume
+  // at the head of the cloud lane, ahead of other +inf entries.
+  auto victim = core::make_tasks(cloud_request(30.0));
+  q.push_front(victim[0]);
+  EXPECT_DOUBLE_EQ(q.pop()->remaining_gigacycles, 30.0);
+  std::vector<std::string> violations;
+  q.audit(violations, "q");
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(TaskQueueTest, FcfsPushFrontIsTrueFrontInsert) {
+  core::TaskQueue q(core::QueueDiscipline::kFcfs);
+  auto first = core::make_tasks(edge_request(1.0, 1.0));
+  auto second = core::make_tasks(edge_request(1.0, 10.0));
+  q.push(first[0]);
+  q.push(second[0]);
+  auto returning = core::make_tasks(edge_request(1.0, 5.0));
+  q.push_front(returning[0]);
+  EXPECT_DOUBLE_EQ(*q.pop()->deadline(), 5.0);  // jumped the whole class
+  EXPECT_DOUBLE_EQ(*q.pop()->deadline(), 1.0);
+  EXPECT_DOUBLE_EQ(*q.pop()->deadline(), 10.0);
+}
+
+TEST(TaskQueueTest, AuditFlagsNegativeRemainingWork) {
+  core::TaskQueue q(core::QueueDiscipline::kEdf);
+  auto t = core::make_tasks(cloud_request(10.0));
+  t[0].remaining_gigacycles = -1.0;
+  q.push(t[0]);
+  std::vector<std::string> violations;
+  q.audit(violations, "q");
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("negative remaining work"), std::string::npos);
 }
 
 TEST(TaskQueueTest, PopClassAndBacklog) {
