@@ -78,6 +78,7 @@ class WorkerChurn : public sim::Entity {
   util::RngStream rng_;
   std::vector<sim::EventHandle> next_;  ///< pending toggle per managed worker
   std::vector<bool> down_;              ///< current injected state per worker
+  std::vector<sim::Time> down_since_;   ///< outage start per worker (trace spans)
   std::uint64_t outages_ = 0;
   bool running_ = false;
 };

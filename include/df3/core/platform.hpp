@@ -32,6 +32,7 @@
 #include "df3/metrics/audit.hpp"
 #include "df3/metrics/collectors.hpp"
 #include "df3/net/network.hpp"
+#include "df3/obs/obs.hpp"
 #include "df3/thermal/room.hpp"
 #include "df3/thermal/thermostat.hpp"
 #include "df3/thermal/water_tank.hpp"
@@ -97,6 +98,12 @@ struct PlatformConfig {
   /// the simulation trajectory is bit-for-bit identical with auditing on
   /// or off.
   metrics::AuditLevel audit = metrics::kDefaultAuditLevel;
+  /// Observability level + trace ring size (DESIGN.md §10). kOff records
+  /// nothing; kCounters feeds and snapshots the metric registry each tick;
+  /// kFull additionally records lifecycle/tick/fault trace events. All
+  /// levels are observation-only: the simulation trajectory is bit-for-bit
+  /// identical whatever the level. Ignored when built with -DDF3_OBS=OFF.
+  obs::ObsConfig obs = {};
 };
 
 /// How cloud requests are routed to the city (placement policy, bench A3).
@@ -164,6 +171,12 @@ class Df3Platform {
   /// return them. Cheap enough to call after every test scenario.
   std::vector<std::string> audit_now();
   [[nodiscard]] metrics::EnergyLedger& df_energy() { return df_energy_; }
+  /// The run's telemetry sink (trace ring + metric registry), or nullptr
+  /// when the configured obs level is kOff or the build compiled the hooks
+  /// out (-DDF3_OBS=OFF). Export with obs::write_chrome_trace /
+  /// obs::write_metrics_csv after the run.
+  [[nodiscard]] obs::Observability* observability() { return obs_.get(); }
+  [[nodiscard]] const obs::Observability* observability() const { return obs_.get(); }
   /// Mean room temperature across all rooms, per sample tick (Fig 4 input).
   [[nodiscard]] const util::TimeSeries& room_temperature_series() const { return temp_series_; }
   /// City usable cores sampled per tick (seasonality / capacity series, E9).
@@ -272,6 +285,10 @@ class Df3Platform {
   /// flow metrics. Every sink and drop callback the platform installs must
   /// come through here so no terminal can bypass conservation accounting.
   void record_completion(const workload::CompletionRecord& rec);
+  /// Feed the metric registry from the tick's aggregates and the cluster /
+  /// energy / outcome counters, then snapshot. kCounters and above.
+  void feed_metrics(sim::Time t, double room_mean_c, double city_cores, double city_demand_w,
+                    double outdoor_c);
 
   PlatformConfig config_;
   sim::Simulation sim_;
@@ -298,6 +315,22 @@ class Df3Platform {
   metrics::FlowMetrics flow_metrics_;
   metrics::LifecycleAuditor auditor_;
   metrics::EnergyLedger df_energy_;
+  /// Telemetry sink; created in the constructor when config_.obs.level is
+  /// above kOff (and the hooks are compiled in), installed as the process
+  /// sink for the duration of each run() call.
+  std::unique_ptr<obs::Observability> obs_;
+  /// Registry handles + previous cumulative counter values for the per-tick
+  /// metric feed (counters are fed by delta).
+  struct ObsFeed {
+    obs::MetricId room_mean_c, usable_cores, heat_demand_w, outdoor_c, regulator_err;
+    obs::MetricId energy_it_j, energy_useful_j, energy_waste_j, energy_overhead_j, pue,
+        heat_reuse;
+    obs::MetricId preemptions, offload_horizontal, offload_vertical, edge_delays;
+    obs::MetricId completed, deadline_missed, rejected, dropped;
+    obs::MetricId response_s;
+    std::uint64_t prev_preemptions = 0, prev_horizontal = 0, prev_vertical = 0, prev_delays = 0;
+    std::uint64_t prev_completed = 0, prev_missed = 0, prev_rejected = 0, prev_dropped = 0;
+  } feed_;
   util::TimeSeries temp_series_;
   util::TimeSeries capacity_series_;
   util::TimeSeries demand_series_;

@@ -34,6 +34,10 @@ struct Task {
   /// Multiplier >= 1 applied to service time for communication overhead of
   /// tightly coupled tasks on the hosting fabric (computed at dispatch).
   double slowdown = 1.0;
+  /// When this shard last started waiting in a queue; -1 before the first
+  /// enqueue. Observability bookkeeping only (queue-wait trace spans) —
+  /// nothing in the scheduler reads it.
+  sim::Time enqueued_at = -1.0;
 
   [[nodiscard]] Priority priority() const;
   [[nodiscard]] bool preemptible() const;

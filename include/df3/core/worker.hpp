@@ -91,6 +91,7 @@ class Worker : public sim::Entity {
   struct Running {
     Task task;
     sim::Time started_at = 0.0;        ///< last (re)start instant
+    sim::Time dispatched_at = 0.0;     ///< core acquired (survives speed changes)
     double speed_gcps = 0.0;           ///< per-core speed when (re)started
     sim::EventHandle completion;
   };

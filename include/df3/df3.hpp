@@ -14,6 +14,7 @@
 ///   df3/core/...              the DF3 middleware (the paper's contribution)
 ///   df3/baselines/...         datacenter, micro-DC/CDN, desktop grid
 ///   df3/metrics/...           response/energy/comfort collectors
+///   df3/obs/...               tracing, metric registry, telemetry export
 ///   df3/analytics/...         thermosensitivity + demand forecasting
 
 #include "df3/analytics/forecaster.hpp"
@@ -36,6 +37,10 @@
 #include "df3/net/fault.hpp"
 #include "df3/net/network.hpp"
 #include "df3/net/protocol.hpp"
+#include "df3/obs/export.hpp"
+#include "df3/obs/metrics.hpp"
+#include "df3/obs/obs.hpp"
+#include "df3/obs/trace.hpp"
 #include "df3/sim/engine.hpp"
 #include "df3/thermal/calendar.hpp"
 #include "df3/thermal/pv.hpp"

@@ -61,6 +61,7 @@ class LinkFlapper : public sim::Entity {
   util::RngStream rng_;
   std::vector<sim::EventHandle> next_;  ///< pending toggle per managed link
   std::vector<bool> down_;              ///< current injected state per link
+  std::vector<sim::Time> down_since_;   ///< outage start per link (trace spans)
   std::uint64_t flaps_ = 0;
   bool running_ = false;
 };

@@ -1,0 +1,41 @@
+#pragma once
+/// \file export.hpp
+/// \brief Telemetry exporters: Chrome trace-event JSON (Perfetto /
+///        chrome://tracing loadable) and metric time-series CSV / JSON.
+///
+/// Chrome trace mapping (see DESIGN.md section 10):
+///  * simulated seconds -> microseconds (`ts`/`dur` fields), so one trace
+///    second of wall display equals one simulated millisecond;
+///  * sim-clock records live under pid 1 ("simulated time"), host-clock
+///    tick-phase scopes under pid 2 ("host compute");
+///  * recorder tracks become threads (`tid` + thread_name metadata);
+///  * spans are "X" (complete) events, instants are "i" with thread scope,
+///    and every event carries its record id in `args.id`.
+
+#include <iosfwd>
+#include <string>
+
+#include "df3/obs/metrics.hpp"
+#include "df3/obs/trace.hpp"
+
+namespace df3::obs {
+
+/// Write the retained trace as Chrome trace-event JSON.
+void write_chrome_trace(std::ostream& os, const TraceRecorder& rec);
+
+/// Write the metric time series as long-format CSV:
+/// `metric,kind,t_s,value,count,p50,p99` (one row per instrument per
+/// snapshot; count/p50/p99 are empty for counters and gauges).
+void write_metrics_csv(std::ostream& os, const MetricRegistry& reg);
+
+/// Write the metric time series as JSON:
+/// `{"metrics":[{"name":...,"kind":...,"series":[{"t_s":...,...}]}]}`.
+void write_metrics_json(std::ostream& os, const MetricRegistry& reg);
+
+/// File-opening wrappers; return false (and write nothing) if the file
+/// cannot be opened.
+bool write_chrome_trace_file(const std::string& path, const TraceRecorder& rec);
+bool write_metrics_csv_file(const std::string& path, const MetricRegistry& reg);
+bool write_metrics_json_file(const std::string& path, const MetricRegistry& reg);
+
+}  // namespace df3::obs

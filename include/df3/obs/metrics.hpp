@@ -1,0 +1,185 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief Central registry of named counters / gauges / log-bucketed
+///        histograms with periodic snapshots into time series.
+///
+/// The registry is the low-frequency half of the obs layer: instruments are
+/// registered once (by the platform, regulator, ledger, and ladder feeds at
+/// setup or on first use) and handle-addressed afterwards, so the per-tick
+/// feed path never hashes a metric name. `snapshot(t)` appends one row per
+/// instrument to an in-memory time series that the exporters (obs/export.hpp)
+/// turn into CSV or JSON.
+///
+/// Everything here is observation-only and deterministic: instruments store
+/// plain doubles/uint64s, ids are assigned in registration order, and
+/// snapshots happen at simulated-time tick boundaries.
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace df3::obs {
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] constexpr const char* metric_kind_name(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+/// Monotone event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written point sample.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Log-bucketed histogram: bucket i holds samples in
+/// [base * growth^i, base * growth^(i+1)), with one underflow bucket below
+/// `base`. Covers ~9 decades at the default 2x growth in 32 buckets, which
+/// is plenty for response times spanning milliseconds to hours.
+class LogHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 32;
+
+  explicit LogHistogram(double base = 1e-3, double growth = 2.0)
+      : base_(base), inv_log_growth_(1.0 / std::log(growth)) {
+    counts_.assign(kBuckets + 1, 0);  // [0] = underflow
+  }
+
+  void observe(double v) {
+    ++n_;
+    sum_ += v;
+    if (n_ == 1 || v < min_) min_ = v;
+    if (n_ == 1 || v > max_) max_ = v;
+    ++counts_[bucket_index(v)];
+  }
+
+  /// Index into counts(): 0 is the underflow bucket, i>0 covers
+  /// [lower_bound(i), lower_bound(i+1)).
+  [[nodiscard]] std::size_t bucket_index(double v) const {
+    if (!(v >= base_)) return 0;
+    const double idx = std::log(v / base_) * inv_log_growth_;
+    const auto i = static_cast<std::size_t>(idx);
+    return (i >= kBuckets - 1) ? kBuckets : i + 1;
+  }
+
+  /// Inclusive lower bound of bucket i (i >= 1); bucket 0 is (-inf, base).
+  [[nodiscard]] double lower_bound(std::size_t i) const {
+    return (i == 0) ? 0.0 : base_ * std::exp(static_cast<double>(i - 1) / inv_log_growth_);
+  }
+
+  /// Approximate quantile from bucket boundaries (upper-bound biased): the
+  /// value returned is the upper edge of the bucket containing the q-th
+  /// sample, so the true quantile is <= the estimate within one bucket.
+  [[nodiscard]] double quantile(double q) const {
+    if (n_ == 0) return 0.0;
+    const auto target = static_cast<std::uint64_t>(q * static_cast<double>(n_ - 1)) + 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      seen += counts_[i];
+      if (seen >= target) {
+        const double hi = (i >= kBuckets) ? max_ : lower_bound(i + 1);
+        return (hi > max_) ? max_ : hi;
+      }
+    }
+    return max_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+ private:
+  double base_;
+  double inv_log_growth_;
+  std::uint64_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::vector<std::uint64_t> counts_;
+};
+
+/// Handle to a registered instrument. Opaque index into the registry.
+struct MetricId {
+  std::uint32_t index = UINT32_MAX;
+  [[nodiscard]] bool valid() const { return index != UINT32_MAX; }
+};
+
+/// One snapshot row: instrument values at a simulated timestamp. Counter
+/// snapshots store the cumulative value; histogram snapshots store count,
+/// mean and two tail quantiles so rate/latency trajectories can be plotted
+/// straight from the CSV.
+struct MetricSample {
+  double t_s = 0.0;
+  double value = 0.0;   ///< counter cumulative / gauge level / histogram mean
+  double p50 = 0.0;     ///< histograms only
+  double p99 = 0.0;     ///< histograms only
+  std::uint64_t count = 0;  ///< histograms only
+};
+
+class MetricRegistry {
+ public:
+  MetricId counter(std::string_view name);
+  MetricId gauge(std::string_view name);
+  MetricId histogram(std::string_view name, double base = 1e-3, double growth = 2.0);
+
+  Counter& at_counter(MetricId id) { return counters_[slot(id, MetricKind::kCounter)]; }
+  Gauge& at_gauge(MetricId id) { return gauges_[slot(id, MetricKind::kGauge)]; }
+  LogHistogram& at_histogram(MetricId id) { return histograms_[slot(id, MetricKind::kHistogram)]; }
+
+  /// Append one row per instrument at simulated time `t_s`.
+  void snapshot(double t_s);
+
+  struct Instrument {
+    std::string name;
+    MetricKind kind;
+    std::uint32_t slot;  ///< index into the per-kind storage vector
+    std::vector<MetricSample> series;
+  };
+
+  [[nodiscard]] const std::vector<Instrument>& instruments() const { return instruments_; }
+  [[nodiscard]] std::size_t size() const { return instruments_.size(); }
+  [[nodiscard]] std::size_t snapshots() const { return snapshots_; }
+
+ private:
+  MetricId intern(std::string_view name, MetricKind kind);
+  [[nodiscard]] std::uint32_t slot(MetricId id, [[maybe_unused]] MetricKind kind) const {
+    assert(id.index < instruments_.size());
+    assert(instruments_[id.index].kind == kind);
+    return instruments_[id.index].slot;
+  }
+
+  std::vector<Instrument> instruments_;
+  std::unordered_map<std::string, std::uint32_t> by_name_;
+  std::vector<Counter> counters_;
+  std::vector<Gauge> gauges_;
+  std::vector<LogHistogram> histograms_;
+  std::size_t snapshots_ = 0;
+};
+
+}  // namespace df3::obs

@@ -1,0 +1,130 @@
+#pragma once
+/// \file obs.hpp
+/// \brief Observability aggregate: trace recorder + metric registry behind a
+///        single install point and compile-to-nothing hook macros.
+///
+/// Instrumented code never talks to `TraceRecorder`/`MetricRegistry`
+/// directly; it goes through two macros:
+///
+/// ```cpp
+/// DF3_OBS_IF(o) { o->registry()...; }          // level >= kCounters
+/// DF3_OBS_TRACE_IF(o) {                        // level == kFull
+///   o->span(this, name(), obs::Phase::kRun, t0, t1, req.id);
+/// }
+/// ```
+///
+/// With the `DF3_OBS` CMake option OFF, `DF3_OBS_DISABLED` is defined and
+/// both macros expand to an `if constexpr (false)` guard: the hook body is
+/// type-checked but emits no code at any optimisation level. With the
+/// option ON (the default) the cost of a hook while nothing is installed is
+/// one relaxed pointer load and a predictable branch.
+///
+/// Installation is scoped: `Df3Platform::run` installs its `Observability`
+/// for the duration of the event loop via `Install`, so hooks fire only for
+/// the platform being run — concurrent platforms in tests/benches don't see
+/// each other's recorders, and a platform at level kOff installs nothing.
+
+#include <cstdint>
+#include <string_view>
+
+#include "df3/obs/metrics.hpp"
+#include "df3/obs/trace.hpp"
+
+namespace df3::obs {
+
+struct ObsConfig {
+  TraceLevel level = TraceLevel::kOff;
+  /// Ring capacity in records (32 B each). The default keeps ~1M records.
+  std::size_t trace_capacity = TraceRecorder::kDefaultCapacity;
+};
+
+/// Everything a run records: the span ring plus the metric registry.
+class Observability {
+ public:
+  explicit Observability(ObsConfig cfg) : cfg_(cfg), trace_(cfg.trace_capacity) {}
+
+  [[nodiscard]] TraceLevel level() const { return cfg_.level; }
+  [[nodiscard]] bool tracing() const { return cfg_.level == TraceLevel::kFull; }
+
+  [[nodiscard]] TraceRecorder& trace() { return trace_; }
+  [[nodiscard]] const TraceRecorder& trace() const { return trace_; }
+  [[nodiscard]] MetricRegistry& registry() { return registry_; }
+  [[nodiscard]] const MetricRegistry& registry() const { return registry_; }
+
+  /// One-call hook helpers: register-or-lookup the track for `key` and
+  /// record. Only meaningful at kFull; callers guard with
+  /// DF3_OBS_TRACE_IF so the track hash lookup never runs below that.
+  void span(const void* key, std::string_view track, Phase p, double t0_s, double t1_s,
+            std::uint64_t id) {
+    trace_.span(trace_.track(key, track), p, t0_s, t1_s, id);
+  }
+  void instant(const void* key, std::string_view track, Phase p, double t_s, std::uint64_t id) {
+    trace_.instant(trace_.track(key, track), p, t_s, id);
+  }
+  void host_span(const void* key, std::string_view track, Phase p, double t0_s, double t1_s) {
+    trace_.host_span(trace_.track(key, track), p, t0_s, t1_s);
+  }
+
+ private:
+  ObsConfig cfg_;
+  TraceRecorder trace_;
+  MetricRegistry registry_;
+};
+
+#ifndef DF3_OBS_DISABLED
+
+namespace detail {
+/// The currently installed sink, or nullptr. Not thread_local: the physics
+/// phase is the only parallel region and it contains no hooks; every hook
+/// site runs on the event-loop thread.
+extern Observability* g_current;
+}  // namespace detail
+
+[[nodiscard]] inline Observability* current() { return detail::g_current; }
+
+/// RAII install scope. Installs `o` unless it is null or at level kOff;
+/// restores the previous sink on destruction (scopes nest).
+class Install {
+ public:
+  explicit Install(Observability* o) : prev_(detail::g_current) {
+    if (o != nullptr && o->level() != TraceLevel::kOff) detail::g_current = o;
+  }
+  ~Install() { detail::g_current = prev_; }
+  Install(const Install&) = delete;
+  Install& operator=(const Install&) = delete;
+
+ private:
+  Observability* prev_;
+};
+
+/// Hook guard: body runs iff an Observability at level >= kCounters is
+/// installed. `o` names the sink inside the body.
+#define DF3_OBS_IF(o) if (::df3::obs::Observability* o = ::df3::obs::current(); o != nullptr)
+
+/// Trace-hook guard: body runs iff the installed sink is at level kFull.
+#define DF3_OBS_TRACE_IF(o) \
+  if (::df3::obs::Observability* o = ::df3::obs::current(); o != nullptr && o->tracing())
+
+#else  // DF3_OBS_DISABLED
+
+[[nodiscard]] constexpr Observability* current() { return nullptr; }
+
+class Install {
+ public:
+  explicit constexpr Install(Observability*) {}
+  Install(const Install&) = delete;
+  Install& operator=(const Install&) = delete;
+};
+
+// The body is still type-checked but dead: the constant-false condition is
+// folded away in the front end, so no code survives at any -O level. The
+// binding is deliberately *not* constexpr — a constexpr null would make the
+// o->... calls in the (unreachable) body constant null dereferences, which
+// GCC's front end rejects under -Werror=nonnull.
+#define DF3_OBS_IF(o) \
+  if ([[maybe_unused]] ::df3::obs::Observability* o = nullptr; false)
+#define DF3_OBS_TRACE_IF(o) DF3_OBS_IF(o)
+
+#endif  // DF3_OBS_DISABLED
+
+}  // namespace df3::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "df3/obs/obs.hpp"
+
 namespace df3::core {
 
 Cluster::Cluster(sim::Simulation& sim, std::string name, ClusterConfig config,
@@ -50,6 +52,7 @@ double Cluster::slowdown_for(const workload::Request& r) const {
 
 void Cluster::submit(workload::Request r, net::NodeId origin) {
   (workload::is_edge(r.flow) ? stats_.received_edge : stats_.received_cloud)++;
+  DF3_OBS_TRACE_IF(o) { o->instant(this, name(), obs::Phase::kArrival, now(), r.id); }
   // Hybrid-infrastructure relief valve: deep cloud backlog goes straight to
   // the datacenter (Qarnot processes surplus Internet requests in classic
   // datacenter nodes when heaters cannot absorb them).
@@ -59,6 +62,9 @@ void Cluster::submit(workload::Request r, net::NodeId origin) {
         (queue_.backlog_gigacycles() + r.total_work()) / static_cast<double>(cores);
     if (backlog_per_core > config_.cloud_offload_backlog_gc_per_core) {
       ++stats_.offloaded_vertical;
+      DF3_OBS_TRACE_IF(o) {
+        o->span(this, name(), obs::Phase::kOffloadVertical, now(), now(), r.id);
+      }
       datacenter_->submit(std::move(r), origin, sink_);
       return;
     }
@@ -69,6 +75,7 @@ void Cluster::submit(workload::Request r, net::NodeId origin) {
 void Cluster::submit_direct(workload::Request r, net::NodeId origin, std::size_t widx) {
   if (widx >= workers_.size()) throw std::out_of_range("submit_direct: bad worker index");
   ++stats_.received_edge;
+  DF3_OBS_TRACE_IF(o) { o->instant(this, name(), obs::Phase::kArrival, now(), r.id); }
   // The device talked to the worker directly; input is already on it.
   auto state = std::make_shared<RequestState>(std::move(r));
   auto p = std::make_shared<Pending>();
@@ -98,6 +105,7 @@ void Cluster::run_pinned(workload::Request r, std::size_t widx, CompletionSink d
 void Cluster::submit_offloaded(workload::Request r, net::NodeId origin,
                                CompletionSink peer_sink) {
   ++stats_.offloaded_horizontal_in;
+  DF3_OBS_TRACE_IF(o) { o->instant(this, name(), obs::Phase::kArrival, now(), r.id); }
   stage_and_enqueue(std::move(r), origin, SIZE_MAX, /*foreign=*/true, std::move(peer_sink));
 }
 
@@ -127,7 +135,12 @@ void Cluster::stage_and_enqueue(workload::Request r, net::NodeId origin, std::si
       workers_[preferred == SIZE_MAX ? 0 : preferred]->node();
   network_.send(
       net::Message{gateway_node_, staging, state->request.input_size, state->request.id},
-      [this, p](sim::Time) { enqueue_ready(p); },
+      [this, p, sent = now()](sim::Time at) {
+        DF3_OBS_TRACE_IF(o) {
+          o->span(this, name(), obs::Phase::kStaging, sent, at, p->state->request.id);
+        }
+        enqueue_ready(p);
+      },
       [this, p] {
         // Partitioned from our own workers: the request is lost.
         pending_.erase(p->state.get());
@@ -143,6 +156,7 @@ void Cluster::stage_and_enqueue(workload::Request r, net::NodeId origin, std::si
 
 void Cluster::enqueue_ready(const std::shared_ptr<Pending>& p) {
   for (Task& t : make_tasks(p->state, slowdown_for(p->state->request))) {
+    t.enqueued_at = now();
     queue_.push(std::move(t));
   }
   pump();
@@ -188,7 +202,11 @@ bool Cluster::handle_unplaceable_edge(Task t) {
           auto victim = w.preempt_one(Priority::kEdge);
           if (!victim) continue;
           ++stats_.preemptions;
+          DF3_OBS_TRACE_IF(o) {
+            o->span(this, name(), obs::Phase::kPreempt, now(), now(), t.request->request.id);
+          }
           victim->remaining_gigacycles += config_.preemption_overhead_gc;
+          victim->enqueued_at = now();
           queue_.push_front(std::move(*victim));
           if (w.try_start(t)) {
             const auto pit = pending_.find(t.request.get());
@@ -208,6 +226,10 @@ bool Cluster::handle_unplaceable_edge(Task t) {
         auto p = it->second;
         pending_.erase(it);
         ++stats_.offloaded_horizontal_out;
+        DF3_OBS_TRACE_IF(o) {
+          o->span(this, name(), obs::Phase::kOffloadHorizontal, now(), now(),
+                  t.request->request.id);
+        }
         const std::string via = "horizontal:" + peer_->name();
         auto wrap = [sink = p->sink, via](workload::CompletionRecord rec) {
           rec.served_by = via;
@@ -244,6 +266,10 @@ bool Cluster::handle_unplaceable_edge(Task t) {
         auto p = it->second;
         pending_.erase(it);
         ++stats_.offloaded_vertical;
+        DF3_OBS_TRACE_IF(o) {
+          o->span(this, name(), obs::Phase::kOffloadVertical, now(), now(),
+                  t.request->request.id);
+        }
         workload::Request moved = p->state->request;
         moved.work_gigacycles = t.remaining_gigacycles;
         datacenter_->submit(std::move(moved), p->origin, p->sink);
@@ -251,12 +277,18 @@ bool Cluster::handle_unplaceable_edge(Task t) {
       }
       case PeakAction::kDelay:
         ++stats_.edge_delays;
+        DF3_OBS_TRACE_IF(o) {
+          o->span(this, name(), obs::Phase::kDelay, now(), now(), t.request->request.id);
+        }
         queue_.push_front(std::move(t));
         return false;
     }
   }
   // Ladder exhausted: the request waits anyway (equivalent to kDelay).
   ++stats_.edge_delays;
+  DF3_OBS_TRACE_IF(o) {
+    o->span(this, name(), obs::Phase::kDelay, now(), now(), t.request->request.id);
+  }
   queue_.push_front(std::move(t));
   return false;
 }

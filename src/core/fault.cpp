@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "df3/obs/obs.hpp"
+
 namespace df3::core {
 
 WorkerChurn::WorkerChurn(sim::Simulation& sim, std::string name, Cluster& cluster,
@@ -12,7 +14,8 @@ WorkerChurn::WorkerChurn(sim::Simulation& sim, std::string name, Cluster& cluste
       config_(std::move(config)),
       rng_(rng),
       next_(config_.workers.size()),
-      down_(config_.workers.size(), false) {
+      down_(config_.workers.size(), false),
+      down_since_(config_.workers.size(), 0.0) {
   if (config_.mean_up_s <= 0.0 || config_.mean_down_s <= 0.0) {
     throw std::invalid_argument("WorkerChurn: dwell means must be positive");
   }
@@ -39,6 +42,10 @@ void WorkerChurn::stop() {
       apply(config_.workers[slot], /*down=*/false);
       down_[slot] = false;
       restored = true;
+      DF3_OBS_TRACE_IF(o) {
+        o->span(this, name(), obs::Phase::kWorkerOutage, down_since_[slot], now(),
+                config_.workers[slot]);
+      }
     }
   }
   if (restored) cluster_.sync_workers();
@@ -53,7 +60,18 @@ void WorkerChurn::arm(std::size_t slot) {
 
 void WorkerChurn::toggle(std::size_t slot) {
   down_[slot] = !down_[slot];
-  if (down_[slot]) ++outages_;
+  if (down_[slot]) {
+    ++outages_;
+    down_since_[slot] = now();
+    DF3_OBS_TRACE_IF(o) {
+      o->instant(this, name(), obs::Phase::kWorkerChurn, now(), config_.workers[slot]);
+    }
+  } else {
+    DF3_OBS_TRACE_IF(o) {
+      o->span(this, name(), obs::Phase::kWorkerOutage, down_since_[slot], now(),
+              config_.workers[slot]);
+    }
+  }
   apply(config_.workers[slot], down_[slot]);
   // Same sequence as the physics tick after a hardware change: settle shard
   // progress at the new speed, then pump the queue onto remaining capacity.

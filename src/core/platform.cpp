@@ -22,6 +22,34 @@ Df3Platform::Df3Platform(PlatformConfig config)
       weather_(config_.climate, config_.seed ^ 0x5ca1ab1eULL),
       auditor_(config_.audit) {
   if (config_.tick_s <= 0.0) throw std::invalid_argument("Df3Platform: tick must be positive");
+#ifndef DF3_OBS_DISABLED
+  if (config_.obs.level != obs::TraceLevel::kOff) {
+    obs_ = std::make_unique<obs::Observability>(config_.obs);
+    // Register every instrument up front: the per-tick feed is pure
+    // handle-indexed stores, no name hashing on the hot path.
+    auto& reg = obs_->registry();
+    feed_.room_mean_c = reg.gauge("city/room_mean_c");
+    feed_.usable_cores = reg.gauge("city/usable_cores");
+    feed_.heat_demand_w = reg.gauge("city/heat_demand_w");
+    feed_.outdoor_c = reg.gauge("city/outdoor_c");
+    feed_.regulator_err = reg.gauge("regulator/rel_error");
+    feed_.energy_it_j = reg.gauge("energy/it_j");
+    feed_.energy_useful_j = reg.gauge("energy/useful_heat_j");
+    feed_.energy_waste_j = reg.gauge("energy/waste_heat_j");
+    feed_.energy_overhead_j = reg.gauge("energy/overhead_j");
+    feed_.pue = reg.gauge("energy/pue");
+    feed_.heat_reuse = reg.gauge("energy/heat_reuse_fraction");
+    feed_.preemptions = reg.counter("ladder/preemptions");
+    feed_.offload_horizontal = reg.counter("ladder/offload_horizontal");
+    feed_.offload_vertical = reg.counter("ladder/offload_vertical");
+    feed_.edge_delays = reg.counter("ladder/edge_delays");
+    feed_.completed = reg.counter("requests/completed");
+    feed_.deadline_missed = reg.counter("requests/deadline_missed");
+    feed_.rejected = reg.counter("requests/rejected");
+    feed_.dropped = reg.counter("requests/dropped");
+    feed_.response_s = reg.histogram("requests/response_s");
+  }
+#endif
   network_ = std::make_unique<net::Network>(sim_, "city-net");
   internet_node_ = network_->add_node("internet");
   if (config_.with_datacenter) {
@@ -273,9 +301,30 @@ void Df3Platform::deliver_to_cluster(workload::Request r, std::size_t b, bool di
       });
 }
 
+namespace {
+[[maybe_unused]] constexpr obs::Phase terminal_phase(workload::Outcome o) {
+  switch (o) {
+    case workload::Outcome::kCompleted: return obs::Phase::kCompleted;
+    case workload::Outcome::kDeadlineMissed: return obs::Phase::kDeadlineMissed;
+    case workload::Outcome::kRejected: return obs::Phase::kRejected;
+    case workload::Outcome::kDropped: return obs::Phase::kDropped;
+  }
+  return obs::Phase::kCompleted;
+}
+}  // namespace
+
 void Df3Platform::record_completion(const workload::CompletionRecord& rec) {
   auditor_.on_terminal(rec);
   flow_metrics_.record(rec);
+  DF3_OBS_IF(o) {
+    if (rec.outcome == workload::Outcome::kCompleted) {
+      o->registry().at_histogram(feed_.response_s).observe(rec.response_time());
+    }
+    if (o->tracing()) {
+      o->instant(this, "lifecycle", terminal_phase(rec.outcome), rec.completed_at,
+                 rec.request.id);
+    }
+  }
 }
 
 std::vector<std::string> Df3Platform::audit_now() {
@@ -474,24 +523,51 @@ void Df3Platform::tick(sim::Time t) {
   // performs the identical operation sequence on every accumulator as
   //   physics(0..n), control(0..n)
   // — same bits, one pass over each server's cache lines instead of two.
+  // Tick-phase scopes run on the *host* clock: every sub-phase of a tick
+  // happens at one simulated instant, so only wall time gives the spans
+  // extent. Trace content for these spans is machine-dependent by nature;
+  // the simulated trajectory stays bit-identical (hooks observe only).
+#ifndef DF3_OBS_DISABLED
+  obs::Observability* const sink = obs::current();
+  const bool phase_scopes = sink != nullptr && sink->tracing();
+  double phase_mark_s = phase_scopes ? sink->trace().host_now_s() : 0.0;
+  const auto close_phase = [&](obs::Phase p) {
+    const double end_s = sink->trace().host_now_s();
+    sink->host_span(this, "tick", p, phase_mark_s, end_s);
+    phase_mark_s = end_s;
+  };
+#else
+  constexpr obs::Observability* sink = nullptr;
+  constexpr bool phase_scopes = false;
+  const auto close_phase = [](obs::Phase) {};
+#endif
+
   const std::size_t threads = physics_thread_count();
   if (threads > 1 && nb > 1) {
     if (!physics_pool_) physics_pool_ = std::make_unique<util::ThreadPool>(threads - 1);
     physics_pool_->for_each_index(
         nb, [&](std::size_t b) { physics_building(b, t, t_out, seasonal, hour); });
+    if (phase_scopes) close_phase(obs::Phase::kPhysicsPhase);
     for (std::size_t b = 0; b < nb; ++b) control_building(b);
+    if (phase_scopes) close_phase(obs::Phase::kControlPhase);
   } else {
+    // Serial mode fuses physics + control per building; the whole sweep is
+    // reported as one physics-phase span.
     for (std::size_t b = 0; b < nb; ++b) {
       physics_building(b, t, t_out, seasonal, hour);
       control_building(b);
     }
+    if (phase_scopes) close_phase(obs::Phase::kPhysicsPhase);
   }
   energy.commit();
 
-  temp_series_.add(t, room_count > 0 ? temp_sum / static_cast<double>(room_count) : 0.0);
+  const double room_mean =
+      room_count > 0 ? temp_sum / static_cast<double>(room_count) : 0.0;
+  temp_series_.add(t, room_mean);
   capacity_series_.add(t, city_cores);
   demand_series_.add(t, city_demand_w);
   outdoor_series_.add(t, t_out.value());
+  if (sink != nullptr) feed_metrics(t, room_mean, city_cores, city_demand_w, t_out.value());
 
   // Heavyweight structural sweep (EDF lane order, busy-core consistency,
   // per-cluster conservation) once per physics tick at kFull only; the
@@ -500,7 +576,60 @@ void Df3Platform::tick(sim::Time t) {
     std::vector<std::string> findings;
     for (const auto& b : buildings_) b->cluster->audit(findings);
     for (auto& f : findings) auditor_.report(std::move(f));
+    if (phase_scopes) {
+      // Reported from the control/feed mark: the sweep span absorbs the
+      // (sub-microsecond) series/feed work preceding it.
+      close_phase(obs::Phase::kAuditSweep);
+    }
   }
+}
+
+void Df3Platform::feed_metrics(sim::Time t, double room_mean_c, double city_cores,
+                               double city_demand_w, double outdoor_c) {
+#ifndef DF3_OBS_DISABLED
+  auto& reg = obs_->registry();
+  reg.at_gauge(feed_.room_mean_c).set(room_mean_c);
+  reg.at_gauge(feed_.usable_cores).set(city_cores);
+  reg.at_gauge(feed_.heat_demand_w).set(city_demand_w);
+  reg.at_gauge(feed_.outdoor_c).set(outdoor_c);
+  reg.at_gauge(feed_.regulator_err).set(regulator_relative_error());
+  reg.at_gauge(feed_.energy_it_j).set(df_energy_.it().value());
+  reg.at_gauge(feed_.energy_useful_j).set(df_energy_.useful_heat().value());
+  reg.at_gauge(feed_.energy_waste_j).set(df_energy_.waste_heat().value());
+  reg.at_gauge(feed_.energy_overhead_j).set(df_energy_.overhead().value());
+  reg.at_gauge(feed_.pue).set(df_energy_.pue());
+  reg.at_gauge(feed_.heat_reuse).set(df_energy_.heat_reuse_fraction());
+
+  std::uint64_t preempt = 0, horizontal = 0, vertical = 0, delays = 0;
+  for (const auto& b : buildings_) {
+    const ClusterStats& s = b->cluster->stats();
+    preempt += s.preemptions;
+    horizontal += s.offloaded_horizontal_out;
+    vertical += s.offloaded_vertical;
+    delays += s.edge_delays;
+  }
+  const auto bump = [&reg](obs::MetricId id, std::uint64_t& prev, std::uint64_t current) {
+    reg.at_counter(id).add(current - prev);
+    prev = current;
+  };
+  bump(feed_.preemptions, feed_.prev_preemptions, preempt);
+  bump(feed_.offload_horizontal, feed_.prev_horizontal, horizontal);
+  bump(feed_.offload_vertical, feed_.prev_vertical, vertical);
+  bump(feed_.edge_delays, feed_.prev_delays, delays);
+  const metrics::FlowMetrics::Slice& all = flow_metrics_.overall();
+  bump(feed_.completed, feed_.prev_completed, all.completed);
+  bump(feed_.deadline_missed, feed_.prev_missed, all.deadline_missed);
+  bump(feed_.rejected, feed_.prev_rejected, all.rejected);
+  bump(feed_.dropped, feed_.prev_dropped, all.dropped);
+
+  reg.snapshot(t);
+#else
+  (void)t;
+  (void)room_mean_c;
+  (void)city_cores;
+  (void)city_demand_w;
+  (void)outdoor_c;
+#endif
 }
 
 void Df3Platform::run(util::Seconds duration) {
@@ -509,6 +638,10 @@ void Df3Platform::run(util::Seconds duration) {
     physics_ = std::make_unique<sim::PeriodicProcess>(
         sim_, sim_.now() + config_.tick_s, config_.tick_s, [this](sim::Time t) { tick(t); });
   }
+  // Scope this platform's telemetry sink to the event loop: every request /
+  // network / fault hook in the process records here while (and only while)
+  // this platform is the one running.
+  [[maybe_unused]] obs::Install obs_scope(obs_.get());
   sim_.run_until(sim_.now() + duration.value());
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "df3/obs/obs.hpp"
+
 namespace df3::core {
 
 Worker::Worker(sim::Simulation& sim, std::string name, hw::ServerSpec spec, net::NodeId node,
@@ -51,9 +53,16 @@ bool Worker::try_start(Task task) {
   if (free_cores() <= 0) return false;
   busy_core_seconds_ = busy_core_seconds();
   busy_accum_mark_ = now();
+  DF3_OBS_TRACE_IF(o) {
+    if (task.enqueued_at >= 0.0) {
+      o->span(this, name(), obs::Phase::kQueueWait, task.enqueued_at, now(),
+              task.request->request.id);
+    }
+  }
   Running r;
   r.task = std::move(task);
   r.started_at = now();
+  r.dispatched_at = now();
   r.speed_gcps = server_.core_speed_gcps();
   running_.push_back(std::move(r));
   server_.set_busy_cores(busy_cores());
@@ -73,6 +82,9 @@ void Worker::finish(std::size_t idx) {
   r.task.remaining_gigacycles = 0.0;
   sync_busy_cores();
   ++completed_;
+  DF3_OBS_TRACE_IF(o) {
+    o->span(this, name(), obs::Phase::kRun, r.dispatched_at, now(), r.task.request->request.id);
+  }
   on_task_done_(std::move(r.task));
 }
 
@@ -97,6 +109,12 @@ std::optional<Task> Worker::preempt_one(Priority min_keep) {
   settle(victim);
   sync_busy_cores();
   ++preempted_;
+  // The partial execution segment still shows up in the trace; the ladder
+  // records the preemption event itself on the cluster track.
+  DF3_OBS_TRACE_IF(o) {
+    o->span(this, name(), obs::Phase::kRun, victim.dispatched_at, now(),
+            victim.task.request->request.id);
+  }
   return std::move(victim.task);
 }
 

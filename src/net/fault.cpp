@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "df3/obs/obs.hpp"
+
 namespace df3::net {
 
 LinkFlapper::LinkFlapper(sim::Simulation& sim, std::string name, Network& network,
@@ -12,7 +14,8 @@ LinkFlapper::LinkFlapper(sim::Simulation& sim, std::string name, Network& networ
       config_(std::move(config)),
       rng_(rng),
       next_(config_.links.size()),
-      down_(config_.links.size(), false) {
+      down_(config_.links.size(), false),
+      down_since_(config_.links.size(), 0.0) {
   if (config_.mean_up_s <= 0.0 || config_.mean_down_s <= 0.0) {
     throw std::invalid_argument("LinkFlapper: dwell means must be positive");
   }
@@ -32,6 +35,10 @@ void LinkFlapper::stop() {
     if (down_[slot]) {
       network_.set_link_up(config_.links[slot], true);
       down_[slot] = false;
+      DF3_OBS_TRACE_IF(o) {
+        o->span(this, name(), obs::Phase::kLinkOutage, down_since_[slot], now(),
+                config_.links[slot]);
+      }
     }
   }
 }
@@ -45,7 +52,18 @@ void LinkFlapper::arm(std::size_t slot) {
 
 void LinkFlapper::toggle(std::size_t slot) {
   down_[slot] = !down_[slot];
-  if (down_[slot]) ++flaps_;
+  if (down_[slot]) {
+    ++flaps_;
+    down_since_[slot] = now();
+    DF3_OBS_TRACE_IF(o) {
+      o->instant(this, name(), obs::Phase::kLinkFlap, now(), config_.links[slot]);
+    }
+  } else {
+    DF3_OBS_TRACE_IF(o) {
+      o->span(this, name(), obs::Phase::kLinkOutage, down_since_[slot], now(),
+              config_.links[slot]);
+    }
+  }
   network_.set_link_up(config_.links[slot], !down_[slot]);
   arm(slot);
 }

@@ -4,6 +4,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "df3/obs/obs.hpp"
+
 namespace df3::net {
 
 Network::Network(sim::Simulation& sim, std::string name) : sim::Entity(sim, std::move(name)) {}
@@ -122,6 +124,11 @@ void Network::send(const Message& msg, std::function<void(sim::Time)> on_deliver
     st.bytes += msg.size.value();
     st.busy_seconds += ser;
     at = (l.a == at) ? l.b : l.a;
+  }
+  // One span covers the whole multi-hop delivery: cut-through reserves
+  // every link at send time, so the delivery instant is already known here.
+  DF3_OBS_TRACE_IF(o) {
+    o->span(this, name(), obs::Phase::kNetHop, now(), t, msg.payload_tag);
   }
   sim().schedule_at(t, [cb = std::move(on_delivery), t] { cb(t); });
 }

@@ -1,0 +1,222 @@
+#include "df3/obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <string_view>
+
+namespace df3::obs {
+
+namespace {
+
+constexpr int kSimPid = 1;   ///< simulated-clock events
+constexpr int kHostPid = 2;  ///< host-clock tick-phase scopes
+
+/// Seconds -> trace microseconds, formatted with nanosecond resolution.
+void append_us(std::string& out, double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+  out += buf;
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_metadata(std::string& out, const char* kind, int pid, int tid, std::string_view name,
+                     bool with_tid) {
+  out += R"({"name":")";
+  out += kind;
+  out += R"(","ph":"M","pid":)";
+  out += std::to_string(pid);
+  if (with_tid) {
+    out += ",\"tid\":";
+    out += std::to_string(tid);
+  }
+  out += R"(,"args":{"name":")";
+  append_json_escaped(out, name);
+  out += "\"}}";
+}
+
+/// %.9g double for metric values: compact, round-trips to float precision.
+void append_value(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const TraceRecorder& rec) {
+  std::string out;
+  out.reserve(1 << 20);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+
+  sep();
+  append_metadata(out, "process_name", kSimPid, 0, "simulated time", false);
+  sep();
+  append_metadata(out, "process_name", kHostPid, 0, "host compute", false);
+
+  // A track can carry records on either clock; emit its thread_name under
+  // both pids so every event's (pid, tid) row is labelled.
+  const auto& names = rec.track_names();
+  for (std::size_t t = 0; t < names.size(); ++t) {
+    sep();
+    append_metadata(out, "thread_name", kSimPid, static_cast<int>(t), names[t], true);
+    sep();
+    append_metadata(out, "thread_name", kHostPid, static_cast<int>(t), names[t], true);
+  }
+
+  rec.for_each([&](const TraceEvent& e) {
+    sep();
+    const int pid = (e.clock == Clock::kHost) ? kHostPid : kSimPid;
+    out += R"({"name":")";
+    out += phase_name(e.phase);
+    out += R"(","cat":")";
+    out += phase_category(e.phase);
+    out += "\",\"ph\":\"";
+    out += e.is_span() ? 'X' : 'i';
+    out += "\",\"pid\":";
+    out += std::to_string(pid);
+    out += ",\"tid\":";
+    out += std::to_string(e.track);
+    out += ",\"ts\":";
+    append_us(out, e.t_s);
+    if (e.is_span()) {
+      out += ",\"dur\":";
+      append_us(out, e.dur_s);
+    } else {
+      out += ",\"s\":\"t\"";
+    }
+    out += ",\"args\":{\"id\":";
+    out += std::to_string(e.id);
+    out += "}}";
+  });
+
+  out += "\n]}\n";
+  os << out;
+}
+
+void write_metrics_csv(std::ostream& os, const MetricRegistry& reg) {
+  std::string out;
+  out.reserve(1 << 16);
+  out += "metric,kind,t_s,value,count,p50,p99\n";
+  for (const auto& inst : reg.instruments()) {
+    const bool hist = inst.kind == MetricKind::kHistogram;
+    for (const auto& s : inst.series) {
+      out += inst.name;
+      out += ',';
+      out += metric_kind_name(inst.kind);
+      out += ',';
+      append_value(out, s.t_s);
+      out += ',';
+      append_value(out, s.value);
+      out += ',';
+      if (hist) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, s.count);
+        out += buf;
+        out += ',';
+        append_value(out, s.p50);
+        out += ',';
+        append_value(out, s.p99);
+      } else {
+        out += ",,";
+      }
+      out += '\n';
+    }
+  }
+  os << out;
+}
+
+void write_metrics_json(std::ostream& os, const MetricRegistry& reg) {
+  std::string out;
+  out.reserve(1 << 16);
+  out += "{\"metrics\":[\n";
+  bool first_inst = true;
+  for (const auto& inst : reg.instruments()) {
+    if (!first_inst) out += ",\n";
+    first_inst = false;
+    out += R"({"name":")";
+    append_json_escaped(out, inst.name);
+    out += R"(","kind":")";
+    out += metric_kind_name(inst.kind);
+    out += "\",\"series\":[";
+    const bool hist = inst.kind == MetricKind::kHistogram;
+    bool first_row = true;
+    for (const auto& s : inst.series) {
+      if (!first_row) out += ',';
+      first_row = false;
+      out += "{\"t_s\":";
+      append_value(out, s.t_s);
+      out += ",\"value\":";
+      append_value(out, s.value);
+      if (hist) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, s.count);
+        out += ",\"count\":";
+        out += buf;
+        out += ",\"p50\":";
+        append_value(out, s.p50);
+        out += ",\"p99\":";
+        append_value(out, s.p99);
+      }
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "\n]}\n";
+  os << out;
+}
+
+namespace {
+template <class Writer, class Source>
+bool write_file(const std::string& path, const Source& src, Writer writer) {
+  std::ofstream os(path);
+  if (!os) return false;
+  writer(os, src);
+  return os.good();
+}
+}  // namespace
+
+bool write_chrome_trace_file(const std::string& path, const TraceRecorder& rec) {
+  return write_file(path, rec, [](std::ostream& os, const TraceRecorder& r) {
+    write_chrome_trace(os, r);
+  });
+}
+
+bool write_metrics_csv_file(const std::string& path, const MetricRegistry& reg) {
+  return write_file(path, reg, [](std::ostream& os, const MetricRegistry& r) {
+    write_metrics_csv(os, r);
+  });
+}
+
+bool write_metrics_json_file(const std::string& path, const MetricRegistry& reg) {
+  return write_file(path, reg, [](std::ostream& os, const MetricRegistry& r) {
+    write_metrics_json(os, r);
+  });
+}
+
+}  // namespace df3::obs

@@ -1,0 +1,11 @@
+#include "df3/obs/obs.hpp"
+
+namespace df3::obs {
+
+#ifndef DF3_OBS_DISABLED
+namespace detail {
+Observability* g_current = nullptr;
+}  // namespace detail
+#endif
+
+}  // namespace df3::obs

@@ -1,0 +1,86 @@
+#include "df3/obs/trace.hpp"
+
+#include <chrono>
+
+namespace df3::obs {
+
+namespace {
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity), host_epoch_ns_(steady_now_ns()) {
+  ring_.reserve(capacity_ < 4096 ? capacity_ : 4096);
+}
+
+std::uint32_t TraceRecorder::track(const void* key, std::string_view name) {
+  const auto it = track_by_key_.find(key);
+  if (it != track_by_key_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(track_names_.size());
+  track_names_.emplace_back(name);
+  track_by_key_.emplace(key, id);
+  return id;
+}
+
+void TraceRecorder::span(std::uint32_t track_id, Phase phase, double t0_s, double t1_s,
+                         std::uint64_t id) {
+  TraceEvent e;
+  e.t_s = t0_s;
+  e.dur_s = (t1_s > t0_s) ? (t1_s - t0_s) : 0.0;
+  e.id = id;
+  e.track = track_id;
+  e.phase = phase;
+  e.clock = Clock::kSim;
+  push(e);
+}
+
+void TraceRecorder::instant(std::uint32_t track_id, Phase phase, double t_s, std::uint64_t id) {
+  TraceEvent e;
+  e.t_s = t_s;
+  e.dur_s = -1.0;
+  e.id = id;
+  e.track = track_id;
+  e.phase = phase;
+  e.clock = Clock::kSim;
+  push(e);
+}
+
+void TraceRecorder::host_span(std::uint32_t track_id, Phase phase, double t0_s, double t1_s) {
+  TraceEvent e;
+  e.t_s = t0_s;
+  e.dur_s = (t1_s > t0_s) ? (t1_s - t0_s) : 0.0;
+  e.id = 0;
+  e.track = track_id;
+  e.phase = phase;
+  e.clock = Clock::kHost;
+  push(e);
+}
+
+double TraceRecorder::host_now_s() const {
+  return static_cast<double>(steady_now_ns() - host_epoch_ns_) * 1e-9;
+}
+
+void TraceRecorder::push(const TraceEvent& e) {
+  ++recorded_;
+  if (count_ < capacity_) {
+    ring_.push_back(e);
+    ++count_;
+    return;
+  }
+  ring_[head_] = e;
+  head_ = (head_ + 1 == capacity_) ? 0 : head_ + 1;
+}
+
+void TraceRecorder::clear() {
+  ring_.clear();
+  head_ = 0;
+  count_ = 0;
+  recorded_ = 0;
+}
+
+}  // namespace df3::obs

@@ -52,6 +52,46 @@ TEST(FlowMetrics, ServedByPrefix) {
   EXPECT_EQ(fm.served_by_prefix("local"), 0u);
 }
 
+TEST(FlowMetrics, ServedByPrefixEdgeCases) {
+  m::FlowMetrics fm;
+  EXPECT_EQ(fm.served_by_prefix(""), 0u);  // empty metrics, empty prefix
+  fm.record(record(wl::Flow::kCloud, wl::Outcome::kCompleted, 1.0, "vertical:dc"));
+  fm.record(record(wl::Flow::kEdgeIndirect, wl::Outcome::kDropped, 0.0, "partition"));
+  // The empty prefix matches every served_by label, any outcome included.
+  EXPECT_EQ(fm.served_by_prefix(""), 2u);
+  // Exact-label and longer-than-label prefixes.
+  EXPECT_EQ(fm.served_by_prefix("vertical:dc"), 1u);
+  EXPECT_EQ(fm.served_by_prefix("vertical:dc:extra"), 0u);
+  // A prefix must anchor at the start, not match mid-string.
+  EXPECT_EQ(fm.served_by_prefix("dc"), 0u);
+  EXPECT_EQ(fm.served_by_prefix("partition"), 1u);
+}
+
+TEST(FlowMetrics, PerAppSlicesTrackOffloadServingIndependently) {
+  m::FlowMetrics fm;
+  fm.record(record(wl::Flow::kEdgeIndirect, wl::Outcome::kCompleted, 0.2, "local", "alarm"));
+  fm.record(
+      record(wl::Flow::kEdgeIndirect, wl::Outcome::kCompleted, 0.8, "horizontal:b1", "alarm"));
+  fm.record(record(wl::Flow::kCloud, wl::Outcome::kCompleted, 30.0, "vertical:dc", "render"));
+  fm.record(record(wl::Flow::kCloud, wl::Outcome::kRejected, 0.0, "reject", "render"));
+
+  // Per-app slices aggregate across flows and serving locations...
+  EXPECT_EQ(fm.by_app("alarm").completed, 2u);
+  EXPECT_NEAR(fm.by_app("alarm").response_s.mean(), 0.5, 1e-12);
+  EXPECT_EQ(fm.by_app("render").total(), 2u);
+  EXPECT_EQ(fm.by_app("render").rejected, 1u);
+  EXPECT_NEAR(fm.by_app("render").success_rate(), 0.5, 1e-12);
+  // ...while the served_by ledger slices the same records by location.
+  EXPECT_EQ(fm.served_by_prefix("horizontal:"), 1u);
+  EXPECT_EQ(fm.served_by_prefix("vertical:"), 1u);
+  EXPECT_EQ(fm.served_by_prefix("local"), 1u);
+  // Rejected requests completed nowhere: they must not inflate any
+  // offload-serving bucket.
+  EXPECT_EQ(fm.served_by_prefix("horizontal:") + fm.served_by_prefix("vertical:") +
+                fm.served_by_prefix("local"),
+            3u);
+}
+
 TEST(EnergyLedger, PueComposition) {
   m::EnergyLedger led;
   led.add_it(u::kilowatt_hours(100.0));

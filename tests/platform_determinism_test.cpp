@@ -114,8 +114,10 @@ void populate_summer_city(core::Df3Platform& city) {
 }
 
 template <class Populate>
-Digest run_scenario(core::PlatformConfig pc, Populate populate, std::size_t physics_threads) {
+Digest run_scenario(core::PlatformConfig pc, Populate populate, std::size_t physics_threads,
+                    obs::TraceLevel obs_level = obs::TraceLevel::kOff) {
   pc.physics_threads = physics_threads;
+  pc.obs.level = obs_level;
   core::Df3Platform city(pc);
   populate(city);
   city.run(util::days(7.0));
@@ -172,6 +174,28 @@ TEST(PlatformDeterminism, BoilerPlantMatchesGoldenAtAnyThreadCount) {
 TEST(PlatformDeterminism, SummerCityMatchesGoldenAtAnyThreadCount) {
   expect_golden_across_threads("summer_city", summer_city_config, populate_summer_city,
                                kSummerGolden);
+}
+
+// Observation must not perturb the simulation: recording metrics or a full
+// trace reproduces the golden digests bit-for-bit at every thread count
+// (DESIGN.md section 10, "observation-only" contract).
+TEST(PlatformDeterminism, ObservabilityLevelsPreserveGoldensAtAnyThreadCount) {
+  for (const obs::TraceLevel level : {obs::TraceLevel::kCounters, obs::TraceLevel::kFull}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+      SCOPED_TRACE(std::string("winter_city obs=") + obs::trace_level_name(level) +
+                   " physics_threads=" + std::to_string(threads));
+      const Digest d = run_scenario(winter_city_config(), populate_winter_city, threads, level);
+      EXPECT_EQ(d.csv_hash, kWinterGolden.csv_hash);
+      EXPECT_EQ(d.raw_hash, kWinterGolden.raw_hash);
+    }
+    SCOPED_TRACE(std::string("obs=") + obs::trace_level_name(level));
+    const Digest boiler = run_scenario(boiler_plant_config(), populate_boiler_plant, 2, level);
+    EXPECT_EQ(boiler.csv_hash, kBoilerGolden.csv_hash);
+    EXPECT_EQ(boiler.raw_hash, kBoilerGolden.raw_hash);
+    const Digest summer = run_scenario(summer_city_config(), populate_summer_city, 2, level);
+    EXPECT_EQ(summer.csv_hash, kSummerGolden.csv_hash);
+    EXPECT_EQ(summer.raw_hash, kSummerGolden.raw_hash);
+  }
 }
 
 // More physics threads than buildings must degrade gracefully (the pool

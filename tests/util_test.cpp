@@ -201,6 +201,50 @@ TEST(StreamingStats, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(b.mean(), 2.0);
 }
 
+// Regression pin: an empty side's 0.0-initialized min/max slots must never
+// leak into the merged extrema. All-negative samples would surface a
+// spurious max of 0.0 (and all-positive a spurious min) if the merge took
+// extrema without checking the side's count.
+TEST(StreamingStats, MergeWithEmptyPreservesSignedExtrema) {
+  {
+    u::StreamingStats neg, empty;
+    neg.add(-5.0);
+    neg.add(-2.0);
+    neg.merge(empty);  // non-empty <- empty
+    EXPECT_DOUBLE_EQ(neg.min(), -5.0);
+    EXPECT_DOUBLE_EQ(neg.max(), -2.0);
+    empty.merge(neg);  // empty <- non-empty
+    EXPECT_DOUBLE_EQ(empty.min(), -5.0);
+    EXPECT_DOUBLE_EQ(empty.max(), -2.0);
+  }
+  {
+    u::StreamingStats pos, empty;
+    pos.add(2.0);
+    pos.add(7.0);
+    empty.merge(pos);
+    EXPECT_DOUBLE_EQ(empty.min(), 2.0);  // not the empty side's 0.0 slot
+    EXPECT_DOUBLE_EQ(empty.max(), 7.0);
+  }
+}
+
+TEST(PercentileSampler, MergeWithEmptyPreservesSignedExtrema) {
+  u::PercentileSampler neg, empty;
+  neg.add(-4.0);
+  neg.add(-1.0);
+  neg.merge(empty);
+  EXPECT_DOUBLE_EQ(neg.percentile(0.0), -4.0);
+  EXPECT_DOUBLE_EQ(neg.percentile(100.0), -1.0);
+  empty.merge(neg);
+  EXPECT_DOUBLE_EQ(empty.percentile(0.0), -4.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(100.0), -1.0);
+
+  u::PercentileSampler pos, empty2;
+  pos.add(3.0);
+  empty2.merge(pos);
+  EXPECT_DOUBLE_EQ(empty2.percentile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(empty2.percentile(100.0), 3.0);
+}
+
 TEST(PercentileSampler, ExactQuantiles) {
   u::PercentileSampler ps;
   for (int i = 1; i <= 100; ++i) ps.add(static_cast<double>(i));

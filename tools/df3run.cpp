@@ -2,12 +2,25 @@
 //
 // Turns the library into a tool: describe a city and its workloads in a
 // small key=value file (see scenarios/*.cfg), run it, get a service /
-// energy / comfort report and optionally the telemetry CSV for plotting.
+// energy / comfort report and optionally telemetry exports for plotting
+// and trace inspection.
 //
 //   ./build/tools/df3run scenarios/winter_city.cfg
-//   ./build/tools/df3run scenarios/boiler_plant.cfg --csv out.csv
+//   ./build/tools/df3run scenarios/winter_city.cfg --csv out.csv
+//   ./build/tools/df3run scenarios/winter_city.cfg --trace trace.json --metrics metrics.csv
+//   ./build/tools/df3run scenarios/winter_city.cfg --report json
 //
-// Recognized keys (defaults in parentheses):
+// Command-line flags (each overrides the same-named scenario key):
+//   --csv <path>      per-tick telemetry series CSV (time, room mean, cores,
+//                     demand, outdoor)
+//   --trace <path>    Chrome trace-event JSON of the request lifecycle —
+//                     open in Perfetto (ui.perfetto.dev) or chrome://tracing
+//   --metrics <path>  metric-registry time series; .json extension selects
+//                     JSON, anything else CSV
+//   --report json     append a machine-readable JSON summary (service /
+//                     energy / comfort) to stdout after the human report
+//
+// Recognized scenario keys (defaults in parentheses):
 //   seed (1)                 start_month (0 = Jan)    days (7)
 //   tick_s (60)              gating (keepwarm|aggressive)
 //   climate (paris|amsterdam|dresden|stockholm|seville)
@@ -16,10 +29,15 @@
 //   edge_alarm_rate (0.02)   edge_map_rate (0)        telemetry_period_s (0)
 //   cloud_render_interval_s (0)   cloud_risk_interval_s (1800)
 //   routing (df-first|dc-only|season-aware)
-//   csv ("" = no export)
+//   csv ("" = no export)     trace ("" = no export)   metrics ("" = no export)
+//   telemetry (off|counters|full; default inferred: full when a trace is
+//              requested, counters when only metrics are, off otherwise)
+//   report (""|json)
 
+#include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <string>
 
 #include "df3/df3.hpp"
 #include "df3/util/config.hpp"
@@ -37,8 +55,80 @@ thermal::ClimateNormals climate_by_name(const std::string& name) {
   throw std::invalid_argument("unknown climate: " + name);
 }
 
-int run(const std::string& config_path, const std::string& csv_override) {
+/// CLI overrides; empty string = not given, fall back to the scenario key.
+struct Options {
+  std::string csv;
+  std::string trace;
+  std::string metrics;
+  std::string report;
+};
+
+obs::TraceLevel telemetry_level(const std::string& name) {
+  if (name == "off") return obs::TraceLevel::kOff;
+  if (name == "counters") return obs::TraceLevel::kCounters;
+  if (name == "full") return obs::TraceLevel::kFull;
+  throw std::invalid_argument("unknown telemetry level: " + name);
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+void print_json_report(core::Df3Platform& city, bool boiler) {
+  const struct {
+    const char* label;
+    workload::Flow flow;
+  } rows[] = {{"edge-indirect", workload::Flow::kEdgeIndirect},
+              {"edge-direct", workload::Flow::kEdgeDirect},
+              {"cloud", workload::Flow::kCloud}};
+  std::string out = "{\"flows\":[";
+  char buf[256];
+  bool first = true;
+  for (const auto& row : rows) {
+    const auto& s = city.flow_metrics().by_flow(row.flow);
+    if (s.total() == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"flow\":\"%s\",\"requests\":%llu,\"completed\":%llu,"
+                  "\"deadline_missed\":%llu,\"rejected\":%llu,\"dropped\":%llu,"
+                  "\"success_rate\":%.6f,\"p50_s\":%.9g,\"p99_s\":%.9g}",
+                  row.label, static_cast<unsigned long long>(s.total()),
+                  static_cast<unsigned long long>(s.completed),
+                  static_cast<unsigned long long>(s.deadline_missed),
+                  static_cast<unsigned long long>(s.rejected),
+                  static_cast<unsigned long long>(s.dropped), s.success_rate(),
+                  s.response_s.percentile(50.0), s.response_s.p99());
+    out += buf;
+  }
+  const auto& energy = city.df_energy();
+  std::snprintf(buf, sizeof(buf),
+                "],\"energy\":{\"it_kwh\":%.6f,\"pue\":%.6f,\"heat_reuse_fraction\":%.6f},",
+                energy.it().kwh(), energy.pue(), energy.heat_reuse_fraction());
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "\"comfort\":{\"kind\":\"%s\",\"mean_abs_deviation_k\":%.6f,"
+                "\"mean_temperature_c\":%.6f},",
+                boiler ? "store" : "rooms", city.comfort(0).mean_abs_deviation_k(city.now()),
+                city.comfort(0).mean_temperature_c(city.now()));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "\"regulator_relative_error\":%.6f}",
+                city.regulator_relative_error());
+  out += buf;
+  std::printf("%s\n", out.c_str());
+}
+
+int run(const std::string& config_path, const Options& opts) {
   const auto cfg = util::KeyValueConfig::parse_file(config_path);
+
+  const std::string csv = !opts.csv.empty() ? opts.csv : cfg.get_string("csv", "");
+  const std::string trace = !opts.trace.empty() ? opts.trace : cfg.get_string("trace", "");
+  const std::string metrics =
+      !opts.metrics.empty() ? opts.metrics : cfg.get_string("metrics", "");
+  const std::string report = !opts.report.empty() ? opts.report : cfg.get_string("report", "");
+  if (!report.empty() && report != "json") {
+    throw std::invalid_argument("unknown report format: " + report);
+  }
 
   core::PlatformConfig pc;
   pc.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
@@ -52,6 +142,19 @@ int run(const std::string& config_path, const std::string& csv_override) {
     pc.regulator.gating = core::GatingPolicy::kAggressive;
   } else {
     throw std::invalid_argument("unknown gating: " + gating);
+  }
+  // Telemetry level: explicit key wins; otherwise infer the cheapest level
+  // that can satisfy the requested exports.
+  if (cfg.has("telemetry")) {
+    pc.obs.level = telemetry_level(cfg.get_string("telemetry", "off"));
+  } else if (!trace.empty()) {
+    pc.obs.level = obs::TraceLevel::kFull;
+  } else if (!metrics.empty()) {
+    pc.obs.level = obs::TraceLevel::kCounters;
+  }
+  if (!trace.empty() && pc.obs.level != obs::TraceLevel::kFull) {
+    std::fprintf(stderr, "df3run: --trace needs telemetry=full; raising level\n");
+    pc.obs.level = obs::TraceLevel::kFull;
   }
 
   core::Df3Platform city(pc);
@@ -136,13 +239,42 @@ int run(const std::string& config_path, const std::string& csv_override) {
                 city.comfort(0).mean_temperature_c(city.now()));
   }
   std::printf("regulator tracking error: %.1f%%\n", 100.0 * city.regulator_relative_error());
+  if (report == "json") print_json_report(city, boiler);
 
-  const std::string csv = !csv_override.empty() ? csv_override : cfg.get_string("csv", "");
+  // --- exports --------------------------------------------------------------
   if (!csv.empty()) {
     std::ofstream out(csv);
     if (!out) throw std::runtime_error("cannot write csv: " + csv);
     city.export_series_csv(out);
     std::printf("telemetry series written to %s\n", csv.c_str());
+  }
+  if (!trace.empty() || !metrics.empty()) {
+    obs::Observability* o = city.observability();
+    if (o == nullptr) {
+      std::fprintf(stderr,
+                   "df3run: telemetry exports requested but observability is unavailable "
+                   "(built with -DDF3_OBS=OFF?)\n");
+      return 1;
+    }
+    if (!trace.empty()) {
+      if (!obs::write_chrome_trace_file(trace, o->trace())) {
+        throw std::runtime_error("cannot write trace: " + trace);
+      }
+      std::printf("trace written to %s (%zu events", trace.c_str(), o->trace().size());
+      if (o->trace().dropped() > 0) {
+        std::printf(", %llu oldest dropped by the ring",
+                    static_cast<unsigned long long>(o->trace().dropped()));
+      }
+      std::printf(") — open in ui.perfetto.dev\n");
+    }
+    if (!metrics.empty()) {
+      const bool ok = ends_with(metrics, ".json")
+                          ? obs::write_metrics_json_file(metrics, o->registry())
+                          : obs::write_metrics_csv_file(metrics, o->registry());
+      if (!ok) throw std::runtime_error("cannot write metrics: " + metrics);
+      std::printf("metrics written to %s (%zu instruments, %zu snapshots)\n", metrics.c_str(),
+                  o->registry().size(), o->registry().snapshots());
+    }
   }
   return 0;
 }
@@ -151,15 +283,21 @@ int run(const std::string& config_path, const std::string& csv_override) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: df3run <scenario.cfg> [--csv <path>]\n");
+    std::fprintf(stderr,
+                 "usage: df3run <scenario.cfg> [--csv <path>] [--trace <path>]\n"
+                 "              [--metrics <path>] [--report json]\n");
     return 2;
   }
-  std::string csv;
+  Options opts;
   for (int i = 2; i + 1 < argc; ++i) {
-    if (std::string(argv[i]) == "--csv") csv = argv[i + 1];
+    const std::string flag(argv[i]);
+    if (flag == "--csv") opts.csv = argv[i + 1];
+    if (flag == "--trace") opts.trace = argv[i + 1];
+    if (flag == "--metrics") opts.metrics = argv[i + 1];
+    if (flag == "--report") opts.report = argv[i + 1];
   }
   try {
-    return run(argv[1], csv);
+    return run(argv[1], opts);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "df3run: %s\n", e.what());
     return 1;
