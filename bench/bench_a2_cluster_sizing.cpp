@@ -23,7 +23,7 @@ int main() {
 
   for (const int rooms : {1, 2, 4, 8, 16}) {
     core::PlatformConfig base;
-    base.cluster.edge_peak_ladder = {core::PeakAction::kPreempt, core::PeakAction::kDelay};
+    base.cluster.edge_peak_ladder = {"preempt", "delay"};
     auto city = bench::make_city(23, 0, core::GatingPolicy::kKeepWarm, 1, rooms, base);
     city->add_edge_source(0, workload::alarm_detection_factory(), 0.05);
     city->add_cloud_source(

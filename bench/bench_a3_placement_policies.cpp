@@ -1,11 +1,14 @@
 // A3 — ablation: cloud placement policy across seasons.
 //
 // Section III-A: "the main challenge still remains in the calibration of a
-// decision system that states what to do locally and remotely". Three
-// placements for the Internet flow, each evaluated in January and July:
-//   df-first   — always try DF clusters; backlog overflows vertically;
-//   dc-only    — classic cloud (ignore the heaters);
-//   season-aware — DF during the heating season, datacenter otherwise.
+// decision system that states what to do locally and remotely". Every
+// registered routing policy for the Internet flow, each evaluated in
+// January and July:
+//   df-first     — always try DF clusters; backlog overflows vertically;
+//   dc-only      — classic cloud (ignore the heaters);
+//   season-aware — DF during the heating season, datacenter otherwise;
+//   heat-aware   — the building wanting the most heat per core;
+//   least-loaded — the building with the smallest backlog per core.
 
 #include <iostream>
 
@@ -22,7 +25,7 @@ struct Result {
   double vertical_share;  // fraction of requests that ended in the DC
 };
 
-Result run(core::CloudRouting routing, int month) {
+Result run(const std::string& routing, int month) {
   core::PlatformConfig base;
   base.cluster.cloud_offload_backlog_gc_per_core = 2000.0;
   base.tick_s = 300.0;
@@ -60,17 +63,12 @@ int main() {
                      "vertical_share"},
                     "risk-simulation stream, 4 days, 4 buildings x 4 Q.rads");
   table.set_precision(1);
-  struct Policy {
-    const char* name;
-    core::CloudRouting routing;
-  };
-  const Policy policies[] = {{"df-first", core::CloudRouting::kDfFirst},
-                             {"dc-only", core::CloudRouting::kDatacenterOnly},
-                             {"season-aware", core::CloudRouting::kSeasonAware}};
-  for (const auto& p : policies) {
+  const char* policies[] = {"df-first", "dc-only", "season-aware", "heat-aware",
+                            "least-loaded"};
+  for (const auto* p : policies) {
     for (const int month : {0, 6}) {
-      const auto r = run(p.routing, month);
-      table.add_row({std::string(p.name), std::string(thermal::month_name(month)), r.p50_min,
+      const auto r = run(p, month);
+      table.add_row({std::string(p), std::string(thermal::month_name(month)), r.p50_min,
                      r.df_sold_core_h, r.dc_kwh, r.vertical_share});
     }
   }

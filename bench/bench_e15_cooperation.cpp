@@ -30,8 +30,8 @@ std::vector<OrgRow> run(bool cooperative) {
   core::PlatformConfig base;
   base.cluster.edge_peak_ladder =
       cooperative
-          ? std::vector<core::PeakAction>{core::PeakAction::kHorizontal, core::PeakAction::kDelay}
-          : std::vector<core::PeakAction>{core::PeakAction::kDelay};
+          ? std::vector<std::string>{"horizontal", "delay"}
+          : std::vector<std::string>{"delay"};
   auto city = bench::make_city(15, 0, core::GatingPolicy::kKeepWarm, 1, 1, base);
   // Orgs B and C: comfortable four-room buildings.
   for (int i = 1; i < 3; ++i) {

@@ -25,7 +25,7 @@ Result run(int dedicated, double edge_rate, double cloud_rate, std::uint64_t see
   using namespace df3;
   core::PlatformConfig base;
   base.cluster.dedicated_edge_workers = dedicated;
-  base.cluster.edge_peak_ladder = {core::PeakAction::kPreempt, core::PeakAction::kDelay};
+  base.cluster.edge_peak_ladder = {"preempt", "delay"};
   auto city = bench::make_city(seed, 0, core::GatingPolicy::kKeepWarm, 1, 4, base);
   city->add_edge_source(0, workload::alarm_detection_factory(), edge_rate);
   if (cloud_rate > 0.0) {

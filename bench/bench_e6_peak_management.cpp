@@ -19,7 +19,7 @@ struct Result {
   std::uint64_t preempted, vertical, horizontal;
 };
 
-Result run(const std::vector<df3::core::PeakAction>& ladder, std::uint64_t seed) {
+Result run(const std::vector<std::string>& ladder, std::uint64_t seed) {
   using namespace df3;
   core::PlatformConfig base;
   base.cluster.edge_peak_ladder = ladder;
@@ -65,13 +65,13 @@ int main() {
 
   struct Policy {
     const char* name;
-    std::vector<core::PeakAction> ladder;
+    std::vector<std::string> ladder;
   };
   const Policy policies[] = {
-      {"preempt", {core::PeakAction::kPreempt, core::PeakAction::kDelay}},
-      {"vertical-offload", {core::PeakAction::kVertical, core::PeakAction::kDelay}},
-      {"horizontal-offload", {core::PeakAction::kHorizontal, core::PeakAction::kDelay}},
-      {"delay", {core::PeakAction::kDelay}},
+      {"preempt", {"preempt", "delay"}},
+      {"vertical-offload", {"vertical", "delay"}},
+      {"horizontal-offload", {"horizontal", "delay"}},
+      {"delay", {"delay"}},
   };
   for (const auto& p : policies) {
     const auto r = run(p.ladder, 17);

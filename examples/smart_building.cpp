@@ -23,8 +23,8 @@ int main() {
   cfg.start_time = thermal::start_of_month(1);  // February
   cfg.regulator.gating = core::GatingPolicy::kKeepWarm;
   // Peak policy: preempt render work for edge, never delay an alarm.
-  cfg.cluster.edge_peak_ladder = {core::PeakAction::kPreempt, core::PeakAction::kHorizontal,
-                                  core::PeakAction::kDelay};
+  cfg.cluster.edge_peak_ladder = {"preempt", "horizontal",
+                                  "delay"};
 
   core::Df3Platform city(cfg);
 

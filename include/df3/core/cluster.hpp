@@ -14,9 +14,17 @@
 ///    paid for in idle capacity);
 ///  * **peak management** — when an edge shard cannot be placed:
 ///    preemption, vertical offloading (datacenter), horizontal offloading
-///    (peer cluster), or delaying, per the configured `PeakPolicy` ladder;
+///    (a federation peer), or delaying, per the configured rung ladder;
 ///  * cloud shards exceeding the backlog threshold offload vertically
 ///    (Qarnot hybrid infrastructure).
+///
+/// Decisions live in the policy layer (DESIGN.md §11): the peak ladder is a
+/// list of `policy::PeakRung` objects driving this cluster through the
+/// `policy::LadderMechanism` interface, worker selection goes through a
+/// `policy::PlacementPolicy`, and the horizontal-offload target is chosen
+/// from the cluster's peer *set* by a `policy::PeerSelector`. All three are
+/// named in `ClusterConfig` and resolved via `policy::Registry::global()`;
+/// the defaults reproduce the historical hardcoded behavior bit-for-bit.
 ///
 /// Transport: inputs move origin -> gateway -> staging worker over the real
 /// simulated network (queuing included); outputs move back to the origin.
@@ -34,6 +42,7 @@
 #include "df3/core/task.hpp"
 #include "df3/core/worker.hpp"
 #include "df3/net/network.hpp"
+#include "df3/policy/policy.hpp"
 #include "df3/workload/request.hpp"
 
 namespace df3::core {
@@ -53,20 +62,19 @@ class ComputeService {
   [[nodiscard]] virtual std::string label() const = 0;
 };
 
-/// Ordered ladder of actions to try when an edge shard cannot be placed.
-enum class PeakAction : std::uint8_t {
-  kPreempt,     ///< evict a preemptible cloud shard
-  kHorizontal,  ///< forward the whole request to a peer cluster
-  kVertical,    ///< forward the whole request to the datacenter
-  kDelay,       ///< leave it queued
-};
-
 struct ClusterConfig {
   /// Class B when > 0: that many workers are reserved for edge shards.
   int dedicated_edge_workers = 0;
   QueueDiscipline discipline = QueueDiscipline::kEdf;
-  /// Tried in order for edge shards that cannot be placed on arrival.
-  std::vector<PeakAction> edge_peak_ladder = {PeakAction::kPreempt, PeakAction::kDelay};
+  /// Rung names tried in order for edge shards that cannot be placed on
+  /// arrival; resolved through policy::Registry::global() (built-ins:
+  /// preempt, horizontal, vertical, delay). Exhausting the ladder is
+  /// equivalent to a trailing "delay".
+  std::vector<std::string> edge_peak_ladder = {"preempt", "delay"};
+  /// Worker-selection policy (built-ins: first-fit, best-fit).
+  std::string placement = "first-fit";
+  /// Horizontal-offload target selector (built-ins: ring, least-loaded).
+  std::string peer_select = "ring";
   /// Cloud backlog (gigacycles per usable core) beyond which *new* cloud
   /// requests are offloaded vertically; infinity disables.
   double cloud_offload_backlog_gc_per_core = std::numeric_limits<double>::infinity();
@@ -130,9 +138,18 @@ struct ClusterStats {
   }
 };
 
-class Cluster : public sim::Entity {
+class Cluster : public sim::Entity, private policy::LadderMechanism {
  public:
   using CompletionSink = std::function<void(workload::CompletionRecord)>;
+
+  /// Per-seam decision counters (obs feeds these into the metric registry).
+  struct PolicyCounters {
+    std::uint64_t placement_picks = 0;  ///< placement-policy selections
+    std::uint64_t peer_picks = 0;       ///< peer-selector selections
+    /// Times ladder rung i resolved or parked the shard (parallel to
+    /// ClusterConfig::edge_peak_ladder).
+    std::vector<std::uint64_t> rung_hits;
+  };
 
   /// `gateway_node` must exist in `network`. The sink receives every
   /// completion this cluster is responsible for (including ones it
@@ -150,7 +167,18 @@ class Cluster : public sim::Entity {
   [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
   [[nodiscard]] net::NodeId gateway_node() const { return gateway_node_; }
 
-  void set_peer(Cluster* peer) { peer_ = peer; }
+  /// Replace the peer set with a single peer (nullptr clears). Kept for
+  /// the pre-federation call sites; equivalent to clear_peers + add_peer.
+  void set_peer(Cluster* peer) {
+    peers_.clear();
+    if (peer != nullptr) add_peer(peer);
+  }
+  /// Append a federation peer. Horizontal offload picks among the peers via
+  /// the configured selector; add them in ring order (next neighbor first)
+  /// so the default "ring" selector reproduces the classic ring.
+  void add_peer(Cluster* peer);
+  void clear_peers() { peers_.clear(); }
+  [[nodiscard]] std::size_t peer_count() const { return peers_.size(); }
   void set_datacenter(ComputeService* dc) { datacenter_ = dc; }
 
   /// Submit a request arriving at the gateway from `origin`. The transport
@@ -186,7 +214,11 @@ class Cluster : public sim::Entity {
   }
 
   [[nodiscard]] const ClusterStats& stats() const { return stats_; }
+  [[nodiscard]] const PolicyCounters& policy_counters() const { return policy_counters_; }
   [[nodiscard]] std::size_t queued() const { return queue_.size(); }
+  /// Queued-but-not-started work — the load signal peers and routing
+  /// policies see (gigacycles, slowdown included).
+  [[nodiscard]] double queued_gigacycles() const { return queue_.backlog_gigacycles(); }
   /// Requests accepted but not yet resolved (the pending map's size) —
   /// the `in_flight` term of the conservation identity.
   [[nodiscard]] std::size_t in_flight() const { return pending_.size(); }
@@ -235,15 +267,32 @@ class Cluster : public sim::Entity {
   void on_task_done(Task t);
   void complete(const std::shared_ptr<RequestState>& state);
 
+  // policy::LadderMechanism — the relief levers the peak rungs pull.
+  policy::RungOutcome relieve_by_preemption(Task& t) override;
+  policy::RungOutcome relieve_by_horizontal(Task& t) override;
+  policy::RungOutcome relieve_by_vertical(Task& t) override;
+  policy::RungOutcome relieve_by_delay(Task& t) override;
+  /// Pick a horizontal-offload target from the peer set via the selector.
+  [[nodiscard]] Cluster* select_peer();
+
   ClusterConfig config_;
   net::Network& network_;
   net::NodeId gateway_node_;
   CompletionSink sink_;
   std::vector<std::unique_ptr<Worker>> workers_;
   TaskQueue queue_;
-  Cluster* peer_ = nullptr;
+  /// Federation peers in ring order (next neighbor first).
+  std::vector<Cluster*> peers_;
   ComputeService* datacenter_ = nullptr;
   ClusterStats stats_;
+  PolicyCounters policy_counters_;
+  // Decision plane, resolved from config names in the constructor.
+  std::vector<std::unique_ptr<policy::PeakRung>> ladder_;
+  std::unique_ptr<policy::PlacementPolicy> placement_;
+  std::unique_ptr<policy::PeerSelector> peer_selector_;
+  // Per-pick scratch (cleared and refilled; never reallocates steady-state).
+  std::vector<policy::PlacementCandidate> place_scratch_;
+  std::vector<policy::PeerInfo> peer_scratch_;
   /// Pending bookkeeping keyed by the RequestState pointer.
   std::unordered_map<const RequestState*, std::shared_ptr<Pending>> pending_;
   bool pumping_ = false;

@@ -33,6 +33,7 @@
 #include "df3/metrics/collectors.hpp"
 #include "df3/net/network.hpp"
 #include "df3/obs/obs.hpp"
+#include "df3/policy/policy.hpp"
 #include "df3/thermal/room.hpp"
 #include "df3/thermal/thermostat.hpp"
 #include "df3/thermal/water_tank.hpp"
@@ -106,13 +107,6 @@ struct PlatformConfig {
   obs::ObsConfig obs = {};
 };
 
-/// How cloud requests are routed to the city (placement policy, bench A3).
-enum class CloudRouting : std::uint8_t {
-  kDfFirst,       ///< round-robin over DF clusters; clusters may offload
-  kDatacenterOnly,///< straight to the datacenter (classic cloud baseline)
-  kSeasonAware,   ///< DF clusters in the heating season, datacenter otherwise
-};
-
 class Df3Platform {
  public:
   explicit Df3Platform(PlatformConfig config);
@@ -140,7 +134,16 @@ class Df3Platform {
   void add_cloud_source(workload::RequestFactory factory,
                         std::unique_ptr<workload::ArrivalProcess> arrivals);
 
-  void set_cloud_routing(CloudRouting r) { cloud_routing_ = r; }
+  /// Select the cloud-routing policy by registry name (built-ins:
+  /// df-first, dc-only, season-aware, heat-aware, least-loaded). Unknown
+  /// names throw std::invalid_argument listing the known ones. The default
+  /// is df-first.
+  void set_cloud_routing(const std::string& name);
+  /// Install a custom routing policy instance (tests/experiments).
+  void set_routing_policy(std::unique_ptr<policy::RoutingPolicy> p);
+  [[nodiscard]] std::string_view routing_policy_name() const { return routing_->name(); }
+  /// Routing-policy decisions taken so far (per-policy obs counter).
+  [[nodiscard]] std::uint64_t routing_decisions() const { return routing_picks_; }
 
   /// Stop every attached workload source (pending arrivals are cancelled).
   /// Lets a scenario stop injecting and drain to quiescence, the state in
@@ -272,6 +275,10 @@ class Df3Platform {
   };
 
   void tick(sim::Time t);
+  /// Rebuild every cluster's federation peer set after a building is added:
+  /// full mesh in ring order, so peers_[0] is always the next neighbor and
+  /// the default "ring" selector reproduces the classic single-peer ring.
+  void wire_peers();
   /// Physics phase for one building: server/room/tank integration and
   /// per-building metrics. Touches only building-owned state plus this
   /// building's slice of the fleet arrays, so buildings can run on any
@@ -304,12 +311,18 @@ class Df3Platform {
   /// heating-season flag for the tick), consumed by the control phase.
   std::vector<double> bld_target_c_;
   std::vector<std::uint8_t> bld_season_;
+  /// Last-tick heat demand per building (W) — the signal heat-aware
+  /// routing reads. Written by the control phase, building-major.
+  std::vector<double> bld_demand_w_;
   std::unique_ptr<util::ThreadPool> physics_pool_;  ///< lazily created
   /// Resolved physics_threads (0 = not yet queried); hardware_concurrency
   /// is a per-call sysconf lookup, far too slow for the tick path.
   mutable std::size_t physics_threads_resolved_ = 0;
-  CloudRouting cloud_routing_ = CloudRouting::kDfFirst;
-  std::size_t rr_next_ = 0;
+  /// Cloud-routing decision policy; df-first unless overridden.
+  std::unique_ptr<policy::RoutingPolicy> routing_;
+  /// Per-pick scratch for routing policies that need cluster info.
+  std::vector<policy::ClusterInfo> routing_scratch_;
+  std::uint64_t routing_picks_ = 0;
   std::uint64_t source_counter_ = 0;
 
   metrics::FlowMetrics flow_metrics_;
@@ -328,8 +341,13 @@ class Df3Platform {
     obs::MetricId preemptions, offload_horizontal, offload_vertical, edge_delays;
     obs::MetricId completed, deadline_missed, rejected, dropped;
     obs::MetricId response_s;
+    // Per-policy decision counters (DESIGN.md §11).
+    obs::MetricId routing_picks, placement_picks, peer_picks;
+    std::vector<obs::MetricId> rung_ids;  ///< one per configured ladder rung
     std::uint64_t prev_preemptions = 0, prev_horizontal = 0, prev_vertical = 0, prev_delays = 0;
     std::uint64_t prev_completed = 0, prev_missed = 0, prev_rejected = 0, prev_dropped = 0;
+    std::uint64_t prev_routing_picks = 0, prev_placement_picks = 0, prev_peer_picks = 0;
+    std::vector<std::uint64_t> prev_rung_hits;
   } feed_;
   util::TimeSeries temp_series_;
   util::TimeSeries capacity_series_;

@@ -11,6 +11,7 @@
 ///   df3/hw/...                CPUs (DVFS) and DF server chassis
 ///   df3/net/...               protocols and store-and-forward network
 ///   df3/workload/...          request flows, arrivals, generators, traces
+///   df3/policy/...            decision plane: pluggable policies + registry
 ///   df3/core/...              the DF3 middleware (the paper's contribution)
 ///   df3/baselines/...         datacenter, micro-DC/CDN, desktop grid
 ///   df3/metrics/...           response/energy/comfort collectors
@@ -41,6 +42,8 @@
 #include "df3/obs/metrics.hpp"
 #include "df3/obs/obs.hpp"
 #include "df3/obs/trace.hpp"
+#include "df3/policy/policy.hpp"
+#include "df3/policy/registry.hpp"
 #include "df3/sim/engine.hpp"
 #include "df3/thermal/calendar.hpp"
 #include "df3/thermal/pv.hpp"

@@ -6,9 +6,15 @@
 /// ignored; keys and values are trimmed. Values stay strings until typed
 /// accessors convert them (with range/format errors surfaced as
 /// std::invalid_argument naming the key).
+///
+/// The parser also tracks which keys were *accessed* (via has/get_*), so a
+/// tool can demand exhaustion after reading its known keys: a scenario typo
+/// like `routting = heat-aware` then fails loudly (`check_exhausted`)
+/// instead of silently running the default.
 
 #include <iosfwd>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -37,8 +43,22 @@ class KeyValueConfig {
   /// All keys, sorted — callers can reject unknown keys for typo safety.
   [[nodiscard]] std::vector<std::string> keys() const;
 
+  /// Keys present in the file that no has/get_* call ever asked about,
+  /// sorted. These are almost always typos.
+  [[nodiscard]] std::vector<std::string> unused_keys() const;
+
+  /// Print one warning line per unused key to `os`; returns how many.
+  std::size_t warn_unused(std::ostream& os) const;
+
+  /// Throw std::invalid_argument naming every unused key. Call after the
+  /// tool has read all the keys it understands.
+  void check_exhausted() const;
+
  private:
   std::map<std::string, std::string> values_;
+  /// Keys ever passed to has/get_* (whether present or not) — mutable
+  /// because lookups are semantically const.
+  mutable std::set<std::string> accessed_;
 };
 
 }  // namespace df3::util

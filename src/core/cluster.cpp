@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "df3/obs/obs.hpp"
+#include "df3/policy/registry.hpp"
 
 namespace df3::core {
 
@@ -25,6 +26,22 @@ Cluster::Cluster(sim::Simulation& sim, std::string name, ClusterConfig config,
   if (config_.preemption_overhead_gc < 0.0) {
     throw std::invalid_argument("Cluster: negative preemption overhead");
   }
+  // Resolve the decision plane from the configured names; unknown names
+  // throw here (listing the known ones) rather than silently defaulting.
+  const auto& registry = policy::Registry::global();
+  ladder_ = registry.make_ladder(config_.edge_peak_ladder);
+  placement_ = registry.make_placement(config_.placement);
+  peer_selector_ = registry.make_peer_selector(config_.peer_select);
+  policy_counters_.rung_hits.assign(ladder_.size(), 0);
+}
+
+void Cluster::add_peer(Cluster* peer) {
+  if (peer == nullptr) throw std::invalid_argument("add_peer: null peer");
+  if (peer == this) throw std::invalid_argument("add_peer: cluster cannot peer with itself");
+  if (std::find(peers_.begin(), peers_.end(), peer) != peers_.end()) {
+    throw std::invalid_argument("add_peer: duplicate peer " + peer->name());
+  }
+  peers_.push_back(peer);
 }
 
 std::size_t Cluster::add_worker(hw::ServerSpec spec, net::NodeId node) {
@@ -178,119 +195,168 @@ bool Cluster::place(Task& t) {
       return true;
     }
   }
-  // Edge shards scan from the dedicated pool up; cloud shards only the
-  // shared pool.
+  // Edge shards draw candidates from the dedicated pool up; cloud shards
+  // only from the shared pool. Candidates are offered to the placement
+  // policy in ascending worker order, so "first-fit" (pick 0) replays the
+  // historical inline scan exactly — including the retry after a try_start
+  // refused by a thermal-gating race, which removes the candidate and asks
+  // again.
   const std::size_t start =
       prio == Priority::kEdge ? 0 : static_cast<std::size_t>(config_.dedicated_edge_workers);
+  place_scratch_.clear();
   for (std::size_t w = start; w < workers_.size(); ++w) {
     if (!worker_eligible(w, prio)) continue;
-    if (workers_[w]->available() && workers_[w]->try_start(t)) {
+    if (workers_[w]->available()) place_scratch_.push_back({w, workers_[w]->free_cores()});
+  }
+  while (!place_scratch_.empty()) {
+    const std::size_t pos = placement_->pick(policy::PlacementView{place_scratch_});
+    ++policy_counters_.placement_picks;
+    if (pos >= place_scratch_.size()) {
+      throw std::out_of_range("placement policy '" + std::string(placement_->name()) +
+                              "' picked a candidate out of range");
+    }
+    const std::size_t w = place_scratch_[pos].worker;
+    if (workers_[w]->try_start(t)) {
       if (it != pending_.end()) it->second->served_worker = w;
       return true;
     }
+    place_scratch_.erase(place_scratch_.begin() + static_cast<std::ptrdiff_t>(pos));
   }
   return false;
 }
 
 bool Cluster::handle_unplaceable_edge(Task t) {
-  for (const PeakAction action : config_.edge_peak_ladder) {
-    switch (action) {
-      case PeakAction::kPreempt: {
-        for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
-          Worker& w = *workers_[wi];
-          if (w.running_below(Priority::kEdge) == 0) continue;
-          auto victim = w.preempt_one(Priority::kEdge);
-          if (!victim) continue;
-          ++stats_.preemptions;
-          DF3_OBS_TRACE_IF(o) {
-            o->span(this, name(), obs::Phase::kPreempt, now(), now(), t.request->request.id);
-          }
-          victim->remaining_gigacycles += config_.preemption_overhead_gc;
-          victim->enqueued_at = now();
-          queue_.push_front(std::move(*victim));
-          if (w.try_start(t)) {
-            const auto pit = pending_.find(t.request.get());
-            if (pit != pending_.end()) pit->second->served_worker = wi;
-            return true;
-          }
-          // Freed core vanished (thermal gating race): wait instead.
-          queue_.push_front(std::move(t));
-          return false;
-        }
-        break;  // nothing preemptible: next rung of the ladder
-      }
-      case PeakAction::kHorizontal: {
-        const auto it = pending_.find(t.request.get());
-        if (peer_ == nullptr || it == pending_.end() || it->second->foreign) break;
-        if (t.request->request.tasks != 1) break;  // only whole single-shard requests move
-        auto p = it->second;
-        pending_.erase(it);
-        ++stats_.offloaded_horizontal_out;
-        DF3_OBS_TRACE_IF(o) {
-          o->span(this, name(), obs::Phase::kOffloadHorizontal, now(), now(),
-                  t.request->request.id);
-        }
-        const std::string via = "horizontal:" + peer_->name();
-        auto wrap = [sink = p->sink, via](workload::CompletionRecord rec) {
-          rec.served_by = via;
-          sink(std::move(rec));
-        };
-        // Pay the gateway-to-gateway hop, then hand over.
-        workload::Request moved = p->state->request;
-        moved.work_gigacycles = t.remaining_gigacycles;  // keep any progress
-        network_.send(
-            net::Message{gateway_node_, peer_->gateway_node(), moved.input_size, moved.id},
-            [peer = peer_, moved, origin = p->origin, wrap](sim::Time) mutable {
-              peer->submit_offloaded(std::move(moved), origin, wrap);
-            },
-            [moved, wrap, this]() mutable {
-              // No counter here: responsibility already left this cluster
-              // when offloaded_horizontal_out was incremented above, and
-              // bumping `rejected` as well would double-count the request
-              // in the conservation identity. The platform still sees the
-              // loss through the kDropped record.
-              workload::CompletionRecord rec;
-              rec.request = std::move(moved);
-              rec.outcome = workload::Outcome::kDropped;
-              rec.completed_at = now();
-              rec.served_by = name() + ":partition";
-              wrap(std::move(rec));
-            });
+  for (std::size_t i = 0; i < ladder_.size(); ++i) {
+    switch (ladder_[i]->apply(*this, t)) {
+      case policy::RungOutcome::kNoOp:
+        continue;  // this rung could not help; try the next one
+      case policy::RungOutcome::kResolved:
+        ++policy_counters_.rung_hits[i];
         return true;
-      }
-      case PeakAction::kVertical: {
-        const auto it = pending_.find(t.request.get());
-        if (datacenter_ == nullptr || it == pending_.end()) break;
-        if (t.request->request.privacy_sensitive) break;  // must stay local
-        if (t.request->request.tasks != 1) break;
-        auto p = it->second;
-        pending_.erase(it);
-        ++stats_.offloaded_vertical;
-        DF3_OBS_TRACE_IF(o) {
-          o->span(this, name(), obs::Phase::kOffloadVertical, now(), now(),
-                  t.request->request.id);
-        }
-        workload::Request moved = p->state->request;
-        moved.work_gigacycles = t.remaining_gigacycles;
-        datacenter_->submit(std::move(moved), p->origin, p->sink);
-        return true;
-      }
-      case PeakAction::kDelay:
-        ++stats_.edge_delays;
-        DF3_OBS_TRACE_IF(o) {
-          o->span(this, name(), obs::Phase::kDelay, now(), now(), t.request->request.id);
-        }
-        queue_.push_front(std::move(t));
+      case policy::RungOutcome::kParked:
+        ++policy_counters_.rung_hits[i];
         return false;
     }
   }
-  // Ladder exhausted: the request waits anyway (equivalent to kDelay).
+  // Ladder exhausted: the request waits anyway (equivalent to a delay rung).
   ++stats_.edge_delays;
   DF3_OBS_TRACE_IF(o) {
     o->span(this, name(), obs::Phase::kDelay, now(), now(), t.request->request.id);
   }
   queue_.push_front(std::move(t));
   return false;
+}
+
+policy::RungOutcome Cluster::relieve_by_preemption(Task& t) {
+  for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
+    Worker& w = *workers_[wi];
+    if (w.running_below(Priority::kEdge) == 0) continue;
+    auto victim = w.preempt_one(Priority::kEdge);
+    if (!victim) continue;
+    ++stats_.preemptions;
+    DF3_OBS_TRACE_IF(o) {
+      o->span(this, name(), obs::Phase::kPreempt, now(), now(), t.request->request.id);
+    }
+    victim->remaining_gigacycles += config_.preemption_overhead_gc;
+    victim->enqueued_at = now();
+    queue_.push_front(std::move(*victim));
+    if (w.try_start(t)) {
+      const auto pit = pending_.find(t.request.get());
+      if (pit != pending_.end()) pit->second->served_worker = wi;
+      return policy::RungOutcome::kResolved;
+    }
+    // Freed core vanished (thermal gating race): wait instead.
+    queue_.push_front(std::move(t));
+    return policy::RungOutcome::kParked;
+  }
+  return policy::RungOutcome::kNoOp;  // nothing preemptible
+}
+
+policy::RungOutcome Cluster::relieve_by_horizontal(Task& t) {
+  const auto it = pending_.find(t.request.get());
+  if (peers_.empty() || it == pending_.end() || it->second->foreign) {
+    return policy::RungOutcome::kNoOp;
+  }
+  if (t.request->request.tasks != 1) {
+    return policy::RungOutcome::kNoOp;  // only whole single-shard requests move
+  }
+  Cluster* const peer = select_peer();
+  auto p = it->second;
+  pending_.erase(it);
+  ++stats_.offloaded_horizontal_out;
+  DF3_OBS_TRACE_IF(o) {
+    o->span(this, name(), obs::Phase::kOffloadHorizontal, now(), now(), t.request->request.id);
+  }
+  const std::string via = "horizontal:" + peer->name();
+  auto wrap = [sink = p->sink, via](workload::CompletionRecord rec) {
+    rec.served_by = via;
+    sink(std::move(rec));
+  };
+  // Pay the gateway-to-gateway hop, then hand over.
+  workload::Request moved = p->state->request;
+  moved.work_gigacycles = t.remaining_gigacycles;  // keep any progress
+  network_.send(
+      net::Message{gateway_node_, peer->gateway_node(), moved.input_size, moved.id},
+      [peer, moved, origin = p->origin, wrap](sim::Time) mutable {
+        peer->submit_offloaded(std::move(moved), origin, wrap);
+      },
+      [moved, wrap, this]() mutable {
+        // No counter here: responsibility already left this cluster
+        // when offloaded_horizontal_out was incremented above, and
+        // bumping `rejected` as well would double-count the request
+        // in the conservation identity. The platform still sees the
+        // loss through the kDropped record.
+        workload::CompletionRecord rec;
+        rec.request = std::move(moved);
+        rec.outcome = workload::Outcome::kDropped;
+        rec.completed_at = now();
+        rec.served_by = name() + ":partition";
+        wrap(std::move(rec));
+      });
+  return policy::RungOutcome::kResolved;
+}
+
+Cluster* Cluster::select_peer() {
+  peer_scratch_.clear();
+  for (Cluster* const p : peers_) {
+    const double cores = static_cast<double>(std::max(1, p->usable_cores()));
+    peer_scratch_.push_back({p->queued_gigacycles() / cores, p->free_cores()});
+  }
+  const std::size_t pos = peer_selector_->pick(policy::PeerView{peer_scratch_});
+  ++policy_counters_.peer_picks;
+  if (pos >= peers_.size()) {
+    throw std::out_of_range("peer selector '" + std::string(peer_selector_->name()) +
+                            "' picked a peer out of range");
+  }
+  return peers_[pos];
+}
+
+policy::RungOutcome Cluster::relieve_by_vertical(Task& t) {
+  const auto it = pending_.find(t.request.get());
+  if (datacenter_ == nullptr || it == pending_.end()) return policy::RungOutcome::kNoOp;
+  if (t.request->request.privacy_sensitive) {
+    return policy::RungOutcome::kNoOp;  // must stay local
+  }
+  if (t.request->request.tasks != 1) return policy::RungOutcome::kNoOp;
+  auto p = it->second;
+  pending_.erase(it);
+  ++stats_.offloaded_vertical;
+  DF3_OBS_TRACE_IF(o) {
+    o->span(this, name(), obs::Phase::kOffloadVertical, now(), now(), t.request->request.id);
+  }
+  workload::Request moved = p->state->request;
+  moved.work_gigacycles = t.remaining_gigacycles;
+  datacenter_->submit(std::move(moved), p->origin, p->sink);
+  return policy::RungOutcome::kResolved;
+}
+
+policy::RungOutcome Cluster::relieve_by_delay(Task& t) {
+  ++stats_.edge_delays;
+  DF3_OBS_TRACE_IF(o) {
+    o->span(this, name(), obs::Phase::kDelay, now(), now(), t.request->request.id);
+  }
+  queue_.push_front(std::move(t));
+  return policy::RungOutcome::kParked;
 }
 
 void Cluster::pump() {

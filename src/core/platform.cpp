@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "df3/policy/registry.hpp"
 #include "df3/thermal/calendar.hpp"
 
 namespace df3::core {
@@ -48,8 +49,18 @@ Df3Platform::Df3Platform(PlatformConfig config)
     feed_.rejected = reg.counter("requests/rejected");
     feed_.dropped = reg.counter("requests/dropped");
     feed_.response_s = reg.histogram("requests/response_s");
+    // Decision-plane counters: one per seam plus one per configured ladder
+    // rung (duplicate rung names intern to the same instrument and sum).
+    feed_.routing_picks = reg.counter("policy/routing_picks");
+    feed_.placement_picks = reg.counter("policy/placement_picks");
+    feed_.peer_picks = reg.counter("policy/peer_picks");
+    for (const std::string& rung : config_.cluster.edge_peak_ladder) {
+      feed_.rung_ids.push_back(reg.counter("policy/rung/" + rung));
+    }
+    feed_.prev_rung_hits.assign(feed_.rung_ids.size(), 0);
   }
 #endif
+  routing_ = policy::Registry::global().make_routing("df-first");
   network_ = std::make_unique<net::Network>(sim_, "city-net");
   internet_node_ = network_->add_node("internet");
   if (config_.with_datacenter) {
@@ -90,14 +101,10 @@ std::size_t Df3Platform::add_building(const BuildingConfig& cfg) {
     b->room_begin = b->room_end = fleet_.size();
     bld_target_c_.push_back(0.0);
     bld_season_.push_back(0);
+    bld_demand_w_.push_back(0.0);
     buildings_.push_back(std::move(b));
-    const std::size_t n_tank = buildings_.size();
-    if (n_tank > 1) {
-      for (std::size_t i = 0; i < n_tank; ++i) {
-        buildings_[i]->cluster->set_peer(buildings_[(i + 1) % n_tank]->cluster.get());
-      }
-    }
-    return n_tank - 1;
+    wire_peers();
+    return buildings_.size() - 1;
   }
   // Validate the thermal/control parameters through the model constructors
   // (same exceptions as before the SoA refactor), then flatten the per-room
@@ -173,16 +180,21 @@ std::size_t Df3Platform::add_building(const BuildingConfig& cfg) {
   b->room_end = fleet_.size();
   bld_target_c_.push_back(0.0);
   bld_season_.push_back(0);
+  bld_demand_w_.push_back(0.0);
   buildings_.push_back(std::move(b));
+  wire_peers();
+  return buildings_.size() - 1;
+}
 
-  // Horizontal-offload ring: each cluster's peer is the next one.
+void Df3Platform::wire_peers() {
   const std::size_t n = buildings_.size();
-  if (n > 1) {
-    for (std::size_t i = 0; i < n; ++i) {
-      buildings_[i]->cluster->set_peer(buildings_[(i + 1) % n]->cluster.get());
+  for (std::size_t i = 0; i < n; ++i) {
+    Cluster& c = *buildings_[i]->cluster;
+    c.clear_peers();
+    for (std::size_t k = 1; k < n; ++k) {
+      c.add_peer(buildings_[(i + k) % n]->cluster.get());
     }
   }
-  return n - 1;
 }
 
 void Df3Platform::add_edge_source(std::size_t b, workload::RequestFactory factory,
@@ -255,23 +267,44 @@ void Df3Platform::stop_sources() {
   for (auto& s : sources_) s->stop();
 }
 
+void Df3Platform::set_cloud_routing(const std::string& name) {
+  routing_ = policy::Registry::global().make_routing(name);
+}
+
+void Df3Platform::set_routing_policy(std::unique_ptr<policy::RoutingPolicy> p) {
+  if (!p) throw std::invalid_argument("set_routing_policy: null policy");
+  routing_ = std::move(p);
+}
+
 Cluster* Df3Platform::route_cloud_target() {
   if (buildings_.empty()) return nullptr;
-  switch (cloud_routing_) {
-    case CloudRouting::kDatacenterOnly:
-      return nullptr;
-    case CloudRouting::kSeasonAware: {
-      const auto seasonal = weather_.seasonal_component(sim_.now());
-      const auto cutoff = buildings_.front()->cfg.comfort.heating_cutoff_outdoor;
-      if (seasonal >= cutoff && datacenter_) return nullptr;
-      break;
-    }
-    case CloudRouting::kDfFirst:
-      break;
+  policy::RoutingView view;
+  view.cluster_count = buildings_.size();
+  view.has_datacenter = datacenter_ != nullptr;
+  // The view is filled lazily per the policy's declared needs so that the
+  // cheap policies keep the per-arrival cost of the old enum dispatch.
+  if (routing_->needs_season()) {
+    view.seasonal_outdoor_c = weather_.seasonal_component(sim_.now()).value();
+    view.heating_cutoff_c =
+        buildings_.front()->cfg.comfort.heating_cutoff_outdoor.value();
   }
-  Cluster* c = buildings_[rr_next_ % buildings_.size()]->cluster.get();
-  ++rr_next_;
-  return c;
+  if (routing_->needs_cluster_info()) {
+    routing_scratch_.clear();
+    for (std::size_t b = 0; b < buildings_.size(); ++b) {
+      const Cluster& c = *buildings_[b]->cluster;
+      const double cores = static_cast<double>(std::max(1, c.usable_cores()));
+      routing_scratch_.push_back({c.queued_gigacycles() / cores, bld_demand_w_[b] / cores});
+    }
+    view.clusters = routing_scratch_;
+  }
+  const std::size_t pick = routing_->pick(view);
+  ++routing_picks_;
+  if (pick == policy::kRouteToDatacenter) return nullptr;
+  if (pick >= buildings_.size()) {
+    throw std::out_of_range("routing policy '" + std::string(routing_->name()) +
+                            "' picked a cluster out of range");
+  }
+  return buildings_[pick]->cluster.get();
 }
 
 void Df3Platform::deliver_to_cluster(workload::Request r, std::size_t b, bool direct,
@@ -452,6 +485,10 @@ void Df3Platform::tick(sim::Time t) {
     Building& bd = *buildings_[b];
     const bool heating_season = bld_season_[b] != 0;
     const double target_c = bld_target_c_[b];
+    // Per-building demand accumulates separately from the city total so the
+    // city_demand_w addition chain (and thus the golden digests) is
+    // untouched; heat-aware routing reads this between ticks.
+    double bld_demand_w = 0.0;
     for (std::size_t i = bd.room_begin; i < bd.room_end; ++i) {
       const util::Joules delta{fleet_.delta_j[i]};
       energy.add_it(delta);
@@ -482,6 +519,7 @@ void Df3Platform::tick(sim::Time t) {
       fleet_.last_season[i] = heating_season ? 1 : 0;
 
       city_demand_w += demand_w;
+      bld_demand_w += demand_w;
       temp_sum += fleet_.temp_c[i];
       ++room_count;
     }
@@ -502,7 +540,9 @@ void Df3Platform::tick(sim::Time t) {
       tu.server->set_inlet_temperature(util::Celsius{tu.tank.temperature().value() - 15.0});
       tu.last_demand = demand.power;
       city_demand_w += demand.power.value();
+      bld_demand_w += demand.power.value();
     }
+    bld_demand_w_[b] = bld_demand_w;
     bd.cluster->sync_workers();
     city_cores += bd.cluster->usable_cores();
   };
@@ -601,12 +641,16 @@ void Df3Platform::feed_metrics(sim::Time t, double room_mean_c, double city_core
   reg.at_gauge(feed_.heat_reuse).set(df_energy_.heat_reuse_fraction());
 
   std::uint64_t preempt = 0, horizontal = 0, vertical = 0, delays = 0;
+  std::uint64_t placement = 0, peer = 0;
   for (const auto& b : buildings_) {
     const ClusterStats& s = b->cluster->stats();
     preempt += s.preemptions;
     horizontal += s.offloaded_horizontal_out;
     vertical += s.offloaded_vertical;
     delays += s.edge_delays;
+    const Cluster::PolicyCounters& pc = b->cluster->policy_counters();
+    placement += pc.placement_picks;
+    peer += pc.peer_picks;
   }
   const auto bump = [&reg](obs::MetricId id, std::uint64_t& prev, std::uint64_t current) {
     reg.at_counter(id).add(current - prev);
@@ -616,6 +660,17 @@ void Df3Platform::feed_metrics(sim::Time t, double room_mean_c, double city_core
   bump(feed_.offload_horizontal, feed_.prev_horizontal, horizontal);
   bump(feed_.offload_vertical, feed_.prev_vertical, vertical);
   bump(feed_.edge_delays, feed_.prev_delays, delays);
+  bump(feed_.routing_picks, feed_.prev_routing_picks, routing_picks_);
+  bump(feed_.placement_picks, feed_.prev_placement_picks, placement);
+  bump(feed_.peer_picks, feed_.prev_peer_picks, peer);
+  for (std::size_t i = 0; i < feed_.rung_ids.size(); ++i) {
+    std::uint64_t hits = 0;
+    for (const auto& b : buildings_) {
+      const auto& rh = b->cluster->policy_counters().rung_hits;
+      if (i < rh.size()) hits += rh[i];
+    }
+    bump(feed_.rung_ids[i], feed_.prev_rung_hits[i], hits);
+  }
   const metrics::FlowMetrics::Slice& all = flow_metrics_.overall();
   bump(feed_.completed, feed_.prev_completed, all.completed);
   bump(feed_.deadline_missed, feed_.prev_missed, all.deadline_missed);

@@ -1,0 +1,221 @@
+/// \file builtin.cpp
+/// \brief The built-in policies for all four seams.
+///
+/// The defaults (preempt/delay ladder, df-first routing, ring peer
+/// selection, first-fit placement) reproduce the pre-policy-layer enum
+/// dispatch bit-for-bit — the golden determinism digests pin this. The
+/// alternatives (heat-aware and least-loaded routing, least-loaded peer
+/// selection, best-fit placement) are the policies the paper motivates:
+/// send cloud work where the heat is wanted, balance the federation, pack
+/// workers tightly.
+
+#include <limits>
+
+#include "df3/policy/registry.hpp"
+
+namespace df3::policy {
+namespace {
+
+// --- peak rungs -----------------------------------------------------------
+// Each built-in rung pulls exactly one cluster lever. Rungs are per-cluster
+// instances, so a future budgeted rung can count its own uses.
+
+class PreemptRung final : public PeakRung {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "preempt"; }
+  RungOutcome apply(LadderMechanism& m, core::Task& t) override {
+    return m.relieve_by_preemption(t);
+  }
+};
+
+class HorizontalRung final : public PeakRung {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "horizontal"; }
+  RungOutcome apply(LadderMechanism& m, core::Task& t) override {
+    return m.relieve_by_horizontal(t);
+  }
+};
+
+class VerticalRung final : public PeakRung {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "vertical"; }
+  RungOutcome apply(LadderMechanism& m, core::Task& t) override {
+    return m.relieve_by_vertical(t);
+  }
+};
+
+class DelayRung final : public PeakRung {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "delay"; }
+  RungOutcome apply(LadderMechanism& m, core::Task& t) override {
+    return m.relieve_by_delay(t);
+  }
+};
+
+// --- routing --------------------------------------------------------------
+
+/// Round-robin over DF clusters; clusters may still offload vertically.
+/// The cursor lives in the policy instance, replaying the exact
+/// `rr_next_ % n; ++rr_next_` arithmetic of the old enum dispatch.
+class DfFirstRouting final : public RoutingPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "df-first"; }
+  std::size_t pick(const RoutingView& view) override {
+    const std::size_t i = next_ % view.cluster_count;
+    ++next_;
+    return i;
+  }
+
+ private:
+  std::size_t next_ = 0;
+};
+
+/// Straight to the datacenter: the classic-cloud baseline.
+class DatacenterOnlyRouting final : public RoutingPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "dc-only"; }
+  std::size_t pick(const RoutingView&) override { return kRouteToDatacenter; }
+};
+
+/// DF clusters during the heating season, datacenter otherwise. The
+/// boundary is inclusive: at exactly the cutoff the heating season is over
+/// (mirrors `seasonal >= cutoff` in the old enum dispatch).
+class SeasonAwareRouting final : public RoutingPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "season-aware"; }
+  [[nodiscard]] bool needs_season() const override { return true; }
+  std::size_t pick(const RoutingView& view) override {
+    if (view.seasonal_outdoor_c >= view.heating_cutoff_c && view.has_datacenter) {
+      return kRouteToDatacenter;
+    }
+    const std::size_t i = next_ % view.cluster_count;
+    ++next_;
+    return i;
+  }
+
+ private:
+  std::size_t next_ = 0;
+};
+
+/// Route to the building whose servers are asked for the most heat per
+/// core — cloud work becomes fuel where it is wanted most. Ties keep the
+/// lowest building index.
+class HeatAwareRouting final : public RoutingPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "heat-aware"; }
+  [[nodiscard]] bool needs_cluster_info() const override { return true; }
+  std::size_t pick(const RoutingView& view) override {
+    std::size_t best = 0;
+    double best_demand = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < view.clusters.size(); ++i) {
+      if (view.clusters[i].heat_demand_w_per_core > best_demand) {
+        best_demand = view.clusters[i].heat_demand_w_per_core;
+        best = i;
+      }
+    }
+    return best;
+  }
+};
+
+/// Route to the cluster with the smallest queued backlog per usable core.
+/// Ties keep the lowest building index.
+class LeastLoadedRouting final : public RoutingPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "least-loaded"; }
+  [[nodiscard]] bool needs_cluster_info() const override { return true; }
+  std::size_t pick(const RoutingView& view) override {
+    std::size_t best = 0;
+    double best_backlog = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < view.clusters.size(); ++i) {
+      if (view.clusters[i].backlog_gc_per_core < best_backlog) {
+        best_backlog = view.clusters[i].backlog_gc_per_core;
+        best = i;
+      }
+    }
+    return best;
+  }
+};
+
+// --- peer selection -------------------------------------------------------
+
+/// Always the next neighbor (peers arrive in ring order), reproducing the
+/// old single-peer ring exactly.
+class RingPeerSelector final : public PeerSelector {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "ring"; }
+  std::size_t pick(const PeerView&) override { return 0; }
+};
+
+/// The peer with the smallest backlog per usable core; ties keep ring
+/// order (nearest first).
+class LeastLoadedPeerSelector final : public PeerSelector {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "least-loaded"; }
+  std::size_t pick(const PeerView& view) override {
+    std::size_t best = 0;
+    double best_backlog = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < view.peers.size(); ++i) {
+      if (view.peers[i].backlog_gc_per_core < best_backlog) {
+        best_backlog = view.peers[i].backlog_gc_per_core;
+        best = i;
+      }
+    }
+    return best;
+  }
+};
+
+// --- placement ------------------------------------------------------------
+
+/// Lowest eligible worker index (candidates arrive in ascending order) —
+/// the pre-policy-layer inline scan.
+class FirstFitPlacement final : public PlacementPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "first-fit"; }
+  std::size_t pick(const PlacementView&) override { return 0; }
+};
+
+/// Tightest fit: the candidate with the fewest free cores, leaving the
+/// larger holes for coupled multi-shard arrivals. Ties keep the lowest
+/// worker index.
+class BestFitPlacement final : public PlacementPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "best-fit"; }
+  std::size_t pick(const PlacementView& view) override {
+    std::size_t best = 0;
+    int best_free = std::numeric_limits<int>::max();
+    for (std::size_t i = 0; i < view.candidates.size(); ++i) {
+      if (view.candidates[i].free_cores < best_free) {
+        best_free = view.candidates[i].free_cores;
+        best = i;
+      }
+    }
+    return best;
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+void register_builtins(Registry& r) {
+  r.register_rung("preempt", [] { return std::make_unique<PreemptRung>(); });
+  r.register_rung("horizontal", [] { return std::make_unique<HorizontalRung>(); });
+  r.register_rung("vertical", [] { return std::make_unique<VerticalRung>(); });
+  r.register_rung("delay", [] { return std::make_unique<DelayRung>(); });
+
+  r.register_routing("df-first", [] { return std::make_unique<DfFirstRouting>(); });
+  r.register_routing("dc-only", [] { return std::make_unique<DatacenterOnlyRouting>(); });
+  r.register_routing("season-aware", [] { return std::make_unique<SeasonAwareRouting>(); });
+  r.register_routing("heat-aware", [] { return std::make_unique<HeatAwareRouting>(); });
+  r.register_routing("least-loaded", [] { return std::make_unique<LeastLoadedRouting>(); });
+
+  r.register_peer_selector("ring", [] { return std::make_unique<RingPeerSelector>(); });
+  r.register_peer_selector("least-loaded",
+                           [] { return std::make_unique<LeastLoadedPeerSelector>(); });
+
+  r.register_placement("first-fit", [] { return std::make_unique<FirstFitPlacement>(); });
+  r.register_placement("best-fit", [] { return std::make_unique<BestFitPlacement>(); });
+}
+
+}  // namespace detail
+}  // namespace df3::policy

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <ostream>
 #include <sstream>
 #include <stdexcept>
 
@@ -56,15 +57,20 @@ KeyValueConfig KeyValueConfig::parse_file(const std::string& path) {
   return parse(in);
 }
 
-bool KeyValueConfig::has(const std::string& key) const { return values_.contains(key); }
+bool KeyValueConfig::has(const std::string& key) const {
+  accessed_.insert(key);
+  return values_.contains(key);
+}
 
 std::string KeyValueConfig::get_string(const std::string& key,
                                        const std::string& fallback) const {
+  accessed_.insert(key);
   const auto it = values_.find(key);
   return it == values_.end() ? fallback : it->second;
 }
 
 double KeyValueConfig::get_double(const std::string& key, double fallback) const {
+  accessed_.insert(key);
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   try {
@@ -78,6 +84,7 @@ double KeyValueConfig::get_double(const std::string& key, double fallback) const
 }
 
 long KeyValueConfig::get_int(const std::string& key, long fallback) const {
+  accessed_.insert(key);
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   try {
@@ -91,6 +98,7 @@ long KeyValueConfig::get_int(const std::string& key, long fallback) const {
 }
 
 bool KeyValueConfig::get_bool(const std::string& key, bool fallback) const {
+  accessed_.insert(key);
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   const std::string v = lower(it->second);
@@ -104,6 +112,30 @@ std::vector<std::string> KeyValueConfig::keys() const {
   out.reserve(values_.size());
   for (const auto& [k, v] : values_) out.push_back(k);
   return out;
+}
+
+std::vector<std::string> KeyValueConfig::unused_keys() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : values_) {
+    if (!accessed_.contains(k)) out.push_back(k);
+  }
+  return out;
+}
+
+std::size_t KeyValueConfig::warn_unused(std::ostream& os) const {
+  const auto unused = unused_keys();
+  for (const auto& k : unused) {
+    os << "warning: unrecognized config key '" << k << "' was ignored\n";
+  }
+  return unused.size();
+}
+
+void KeyValueConfig::check_exhausted() const {
+  const auto unused = unused_keys();
+  if (unused.empty()) return;
+  std::string msg = "unrecognized config key(s):";
+  for (const auto& k : unused) msg += " '" + k + "'";
+  throw std::invalid_argument(msg);
 }
 
 }  // namespace df3::util

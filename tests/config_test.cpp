@@ -58,6 +58,42 @@ TEST(KeyValueConfig, RejectsMalformedInput) {
   EXPECT_THROW((void)u::KeyValueConfig::parse_file("/nonexistent/x.cfg"), std::runtime_error);
 }
 
+TEST(KeyValueConfig, TracksAccessedKeysAndReportsUnused) {
+  std::istringstream in(
+      "seed = 42\n"
+      "routting = heat-aware\n"  // typo: never read by the tool
+      "days = 2\n");
+  const auto cfg = u::KeyValueConfig::parse(in);
+  (void)cfg.get_int("seed", 0);
+  (void)cfg.get_double("days", 0.0);
+  (void)cfg.has("telemetry");  // asking about an absent key is fine
+  const auto unused = cfg.unused_keys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "routting");
+  std::ostringstream warnings;
+  EXPECT_EQ(cfg.warn_unused(warnings), 1u);
+  EXPECT_NE(warnings.str().find("routting"), std::string::npos);
+  EXPECT_THROW(cfg.check_exhausted(), std::invalid_argument);
+  // Reading the stray key clears it.
+  (void)cfg.get_string("routting", "");
+  EXPECT_TRUE(cfg.unused_keys().empty());
+  EXPECT_NO_THROW(cfg.check_exhausted());
+  EXPECT_EQ(cfg.warn_unused(warnings), 0u);
+}
+
+TEST(KeyValueConfig, CheckExhaustedNamesEveryStrayKey) {
+  std::istringstream in("alpha = 1\nbeta = 2\n");
+  const auto cfg = u::KeyValueConfig::parse(in);
+  try {
+    cfg.check_exhausted();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("'alpha'"), std::string::npos);
+    EXPECT_NE(msg.find("'beta'"), std::string::npos);
+  }
+}
+
 // ----------------------------------------------------------- csv export ---
 
 TEST(SeriesCsv, HeaderAndRowShapes) {

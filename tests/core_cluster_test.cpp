@@ -129,7 +129,7 @@ TEST(Cluster, DeadlineMissIsRecorded) {
 
 TEST(Cluster, EdgePreemptsCloudWhenSaturated) {
   core::ClusterConfig cfg;
-  cfg.edge_peak_ladder = {core::PeakAction::kPreempt, core::PeakAction::kDelay};
+  cfg.edge_peak_ladder = {"preempt", "delay"};
   ClusterFixture f(cfg);
   // Saturate both workers with one giant preemptible cloud batch.
   f.cluster->submit(cloud_request(32000.0, 32), f.device);
@@ -147,7 +147,7 @@ TEST(Cluster, EdgePreemptsCloudWhenSaturated) {
 
 TEST(Cluster, PreemptedCloudWorkIsNotLost) {
   core::ClusterConfig cfg;
-  cfg.edge_peak_ladder = {core::PeakAction::kPreempt, core::PeakAction::kDelay};
+  cfg.edge_peak_ladder = {"preempt", "delay"};
   ClusterFixture f(cfg);
   f.cluster->submit(cloud_request(3200.0, 32), f.device);  // 1000 s per shard
   f.sim.run_until(10.0);
@@ -166,7 +166,7 @@ TEST(Cluster, PreemptedCloudWorkIsNotLost) {
 
 TEST(Cluster, DelayLadderQueuesEdgeWhenNothingPreemptible) {
   core::ClusterConfig cfg;
-  cfg.edge_peak_ladder = {core::PeakAction::kPreempt, core::PeakAction::kDelay};
+  cfg.edge_peak_ladder = {"preempt", "delay"};
   ClusterFixture f(cfg);
   wl::Request pinned = cloud_request(640.0, 32);  // 200 s per shard
   pinned.preemptible = false;
@@ -193,7 +193,7 @@ TEST(Cluster, DelayLadderQueuesEdgeWhenNothingPreemptible) {
 
 TEST(Cluster, HorizontalOffloadToPeer) {
   core::ClusterConfig cfg;
-  cfg.edge_peak_ladder = {core::PeakAction::kHorizontal, core::PeakAction::kDelay};
+  cfg.edge_peak_ladder = {"horizontal", "delay"};
   ClusterFixture f(cfg);
   wl::Request pinned = cloud_request(6400.0, 32);
   pinned.preemptible = false;
@@ -212,7 +212,7 @@ TEST(Cluster, HorizontalOffloadToPeer) {
 
 TEST(Cluster, VerticalOffloadToDatacenter) {
   core::ClusterConfig cfg;
-  cfg.edge_peak_ladder = {core::PeakAction::kVertical, core::PeakAction::kDelay};
+  cfg.edge_peak_ladder = {"vertical", "delay"};
   ClusterFixture f(cfg);
   f.attach_datacenter();
   wl::Request pinned = cloud_request(6400.0, 32);
@@ -230,7 +230,7 @@ TEST(Cluster, VerticalOffloadToDatacenter) {
 
 TEST(Cluster, PrivacySensitiveNeverGoesVertical) {
   core::ClusterConfig cfg;
-  cfg.edge_peak_ladder = {core::PeakAction::kVertical, core::PeakAction::kDelay};
+  cfg.edge_peak_ladder = {"vertical", "delay"};
   ClusterFixture f(cfg);
   f.attach_datacenter();
   wl::Request pinned = cloud_request(640.0, 32);
@@ -366,7 +366,7 @@ TEST(Cluster, CoupledSlowdownAppliedOnSlowFabric) {
 
 TEST(Cluster, HorizontalPartitionDropDoesNotDoubleCount) {
   core::ClusterConfig cfg;
-  cfg.edge_peak_ladder = {core::PeakAction::kHorizontal, core::PeakAction::kDelay};
+  cfg.edge_peak_ladder = {"horizontal", "delay"};
   ClusterFixture f(cfg);
   wl::Request pinned = cloud_request(6400.0, 32);
   pinned.preemptible = false;
@@ -416,7 +416,7 @@ TEST(Cluster, ReturnPartitionRecordsDrop) {
 
 TEST(Cluster, PreemptThermalGateRaceRequeuesBoth) {
   core::ClusterConfig cfg;
-  cfg.edge_peak_ladder = {core::PeakAction::kPreempt, core::PeakAction::kDelay};
+  cfg.edge_peak_ladder = {"preempt", "delay"};
   ClusterFixture f(cfg);
   f.cluster->submit(cloud_request(3200.0, 32), f.device);  // saturate both workers
   f.sim.run_until(10.0);

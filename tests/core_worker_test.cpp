@@ -371,6 +371,24 @@ TEST(TaskQueueTest, PopClassAndBacklog) {
   EXPECT_EQ(q.peek(), nullptr);
 }
 
+TEST(TaskQueueTest, PopClassOnEmptyLaneIsNulloptAndHarmless) {
+  for (const auto d : {core::QueueDiscipline::kFcfs, core::QueueDiscipline::kEdf}) {
+    core::TaskQueue q(d);
+    // Fully empty queue: neither class lane yields anything.
+    EXPECT_FALSE(q.pop_class(core::Priority::kEdge).has_value());
+    EXPECT_FALSE(q.pop_class(core::Priority::kCloud).has_value());
+    // One edge shard: popping the empty *cloud* lane must not disturb the
+    // populated edge lane (dedicated edge workers pull by class).
+    auto t = core::make_tasks(edge_request(1.0, 2.0));
+    q.push(t[0]);
+    EXPECT_FALSE(q.pop_class(core::Priority::kCloud).has_value());
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.size_class(core::Priority::kEdge), 1u);
+    EXPECT_TRUE(q.pop_class(core::Priority::kEdge).has_value());
+    EXPECT_TRUE(q.empty());
+  }
+}
+
 // --------------------------------------------------------- heat regulator ---
 
 TEST(HeatRegulatorTest, MatchesPStateToDemand) {

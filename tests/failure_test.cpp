@@ -137,7 +137,7 @@ TEST(FailureInjection, HorizontalOffloadPartitionFallsBackToDrop) {
   const auto inter = netw.add_link(gw1, gw2, df3::net::ethernet_lan());
   netw.add_link(gw2, w2, df3::net::ethernet_lan());
   core::ClusterConfig cfg;
-  cfg.edge_peak_ladder = {core::PeakAction::kHorizontal, core::PeakAction::kDelay};
+  cfg.edge_peak_ladder = {"horizontal", "delay"};
   std::vector<wl::CompletionRecord> records;
   core::Cluster c1(sim, "c1", cfg, netw, gw1,
                    [&](wl::CompletionRecord r) { records.push_back(std::move(r)); });

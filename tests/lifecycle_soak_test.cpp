@@ -108,8 +108,8 @@ void run_soak(std::uint64_t seed, const ChurnProfile& profile, SoakTotals& agg) 
   cfg.tick_s = 60.0;
   cfg.physics_threads = 1;
   cfg.with_datacenter = true;
-  cfg.cluster.edge_peak_ladder = {core::PeakAction::kPreempt, core::PeakAction::kHorizontal,
-                                  core::PeakAction::kVertical, core::PeakAction::kDelay};
+  cfg.cluster.edge_peak_ladder = {"preempt", "horizontal",
+                                  "vertical", "delay"};
   // Low relief-valve threshold: cloud backlog beyond ~50 Gc/core ships to
   // the datacenter, which also bounds the queue the drain has to empty.
   cfg.cluster.cloud_offload_backlog_gc_per_core = 50.0;

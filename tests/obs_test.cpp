@@ -485,8 +485,8 @@ std::string run_churn_city_and_export(std::uint64_t seed) {
   cfg.physics_threads = 1;
   cfg.with_datacenter = true;
   cfg.obs.level = obs::TraceLevel::kFull;
-  cfg.cluster.edge_peak_ladder = {core::PeakAction::kPreempt, core::PeakAction::kHorizontal,
-                                  core::PeakAction::kVertical, core::PeakAction::kDelay};
+  cfg.cluster.edge_peak_ladder = {"preempt", "horizontal",
+                                  "vertical", "delay"};
   cfg.cluster.cloud_offload_backlog_gc_per_core = 50.0;
   core::Df3Platform city(cfg);
 

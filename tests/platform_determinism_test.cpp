@@ -62,7 +62,7 @@ void populate_winter_city(core::Df3Platform& city) {
     b.rooms = 4;
     city.add_building(b);
   }
-  city.set_cloud_routing(core::CloudRouting::kDfFirst);
+  city.set_cloud_routing("df-first");
   city.add_edge_source(0, workload::alarm_detection_factory(), 0.02);
   city.add_edge_source(0, workload::telemetry_factory(),
                        std::make_unique<workload::FixedIntervalArrivals>(30.0));
@@ -88,7 +88,7 @@ void populate_boiler_plant(core::Df3Platform& city) {
   b.water_tank = tank;
   b.daily_hot_water_l = 1500.0;
   city.add_building(b);
-  city.set_cloud_routing(core::CloudRouting::kDfFirst);
+  city.set_cloud_routing("df-first");
   city.add_cloud_source(workload::risk_simulation_factory(), 1.0 / 600.0);
 }
 
@@ -108,7 +108,7 @@ void populate_summer_city(core::Df3Platform& city) {
     b.rooms = 4;
     city.add_building(b);
   }
-  city.set_cloud_routing(core::CloudRouting::kSeasonAware);
+  city.set_cloud_routing("season-aware");
   city.add_edge_source(0, workload::alarm_detection_factory(), 0.02);
   city.add_cloud_source(workload::risk_simulation_factory(), 1.0 / 900.0);
 }

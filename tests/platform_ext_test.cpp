@@ -121,12 +121,12 @@ TEST(CooperationFairness, ForeignWorkIsAccounted) {
   cfg.seed = 4;
   cfg.start_time = th::start_of_month(0);
   cfg.regulator.gating = core::GatingPolicy::kKeepWarm;
-  cfg.cluster.edge_peak_ladder = {core::PeakAction::kHorizontal, core::PeakAction::kDelay};
+  cfg.cluster.edge_peak_ladder = {"horizontal", "delay"};
   core::Df3Platform city(cfg);
   city.add_building({.name = "hot", .rooms = 1});   // overloaded
   city.add_building({.name = "cold", .rooms = 4});  // idle neighbour
   // Non-preemptible cloud work pins the hot building...
-  city.set_cloud_routing(core::CloudRouting::kDfFirst);
+  city.set_cloud_routing("df-first");
   city.add_cloud_source(
       [](u::RngStream&) {
         wl::Request r;

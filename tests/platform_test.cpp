@@ -165,7 +165,7 @@ TEST(Platform, SeasonAwareRoutingSwitchesTarget) {
   cfg.start_time = th::start_of_month(6);  // July
   core::Df3Platform city(cfg);
   city.add_building(small_building("b0"));
-  city.set_cloud_routing(core::CloudRouting::kSeasonAware);
+  city.set_cloud_routing("season-aware");
   city.add_cloud_source(wl::risk_simulation_factory(), 1.0 / 1800.0);
   city.run(u::days(1.0));
   const auto& cloud = city.flow_metrics().by_flow(wl::Flow::kCloud);

@@ -277,7 +277,7 @@ TEST_P(ClusterProperty, NoRequestIsEverLost) {
   net::Network netw(sim, "net");
   const auto gw = netw.add_node("gw");
   core::ClusterConfig cfg;
-  cfg.edge_peak_ladder = {core::PeakAction::kPreempt, core::PeakAction::kDelay};
+  cfg.edge_peak_ladder = {"preempt", "delay"};
   std::uint64_t resolved = 0;
   core::Cluster cluster(sim, "c", cfg, netw, gw,
                         [&](wl::CompletionRecord) { ++resolved; });

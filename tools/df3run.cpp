@@ -28,11 +28,17 @@
 //   boiler_plant (false)     daily_hot_water_l (1500)
 //   edge_alarm_rate (0.02)   edge_map_rate (0)        telemetry_period_s (0)
 //   cloud_render_interval_s (0)   cloud_risk_interval_s (1800)
-//   routing (df-first|dc-only|season-aware)
+//   routing (df-first; also dc-only|season-aware|heat-aware|least-loaded)
+//   peak_ladder (preempt,delay — comma-separated rungs from
+//              preempt|horizontal|vertical|delay)
+//   peer_select (ring|least-loaded)   placement (first-fit|best-fit)
 //   csv ("" = no export)     trace ("" = no export)   metrics ("" = no export)
 //   telemetry (off|counters|full; default inferred: full when a trace is
 //              requested, counters when only metrics are, off otherwise)
 //   report (""|json)
+//
+// Policy names resolve through policy::Registry::global(); unknown names —
+// and unrecognized scenario keys (typos) — abort with a loud error.
 
 #include <cstdio>
 #include <fstream>
@@ -121,21 +127,50 @@ void print_json_report(core::Df3Platform& city, bool boiler) {
 int run(const std::string& config_path, const Options& opts) {
   const auto cfg = util::KeyValueConfig::parse_file(config_path);
 
-  const std::string csv = !opts.csv.empty() ? opts.csv : cfg.get_string("csv", "");
-  const std::string trace = !opts.trace.empty() ? opts.trace : cfg.get_string("trace", "");
-  const std::string metrics =
-      !opts.metrics.empty() ? opts.metrics : cfg.get_string("metrics", "");
-  const std::string report = !opts.report.empty() ? opts.report : cfg.get_string("report", "");
+  // Read every recognized key up front (even ones a branch below may not
+  // use), then demand exhaustion: a typo like `routting =` fails loudly
+  // instead of silently running the default.
+  const std::string csv_key = cfg.get_string("csv", "");
+  const std::string trace_key = cfg.get_string("trace", "");
+  const std::string metrics_key = cfg.get_string("metrics", "");
+  const std::string report_key = cfg.get_string("report", "");
+  const long seed = cfg.get_int("seed", 1);
+  const long start_month = cfg.get_int("start_month", 0);
+  const double tick_s = cfg.get_double("tick_s", 60.0);
+  const std::string climate = cfg.get_string("climate", "paris");
+  const std::string gating = cfg.get_string("gating", "keepwarm");
+  const bool has_telemetry_key = cfg.has("telemetry");
+  const std::string telemetry = cfg.get_string("telemetry", "off");
+  const long buildings = cfg.get_int("buildings", 4);
+  const long rooms = cfg.get_int("rooms", 4);
+  const bool high_fidelity = cfg.get_bool("high_fidelity", false);
+  const bool boiler = cfg.get_bool("boiler_plant", false);
+  const double daily_hot_water_l = cfg.get_double("daily_hot_water_l", 1500.0);
+  const std::string routing = cfg.get_string("routing", "df-first");
+  const std::string peak_ladder = cfg.get_string("peak_ladder", "preempt,delay");
+  const std::string peer_select = cfg.get_string("peer_select", "ring");
+  const std::string placement = cfg.get_string("placement", "first-fit");
+  const double edge_alarm_rate = cfg.get_double("edge_alarm_rate", 0.02);
+  const double edge_map_rate = cfg.get_double("edge_map_rate", 0.0);
+  const double telemetry_period_s = cfg.get_double("telemetry_period_s", 0.0);
+  const double cloud_render_interval_s = cfg.get_double("cloud_render_interval_s", 0.0);
+  const double cloud_risk_interval_s = cfg.get_double("cloud_risk_interval_s", 1800.0);
+  const double days = cfg.get_double("days", 7.0);
+  cfg.check_exhausted();
+
+  const std::string csv = !opts.csv.empty() ? opts.csv : csv_key;
+  const std::string trace = !opts.trace.empty() ? opts.trace : trace_key;
+  const std::string metrics = !opts.metrics.empty() ? opts.metrics : metrics_key;
+  const std::string report = !opts.report.empty() ? opts.report : report_key;
   if (!report.empty() && report != "json") {
     throw std::invalid_argument("unknown report format: " + report);
   }
 
   core::PlatformConfig pc;
-  pc.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
-  pc.start_time = thermal::start_of_month(static_cast<int>(cfg.get_int("start_month", 0)));
-  pc.tick_s = cfg.get_double("tick_s", 60.0);
-  pc.climate = climate_by_name(cfg.get_string("climate", "paris"));
-  const std::string gating = cfg.get_string("gating", "keepwarm");
+  pc.seed = static_cast<std::uint64_t>(seed);
+  pc.start_time = thermal::start_of_month(static_cast<int>(start_month));
+  pc.tick_s = tick_s;
+  pc.climate = climate_by_name(climate);
   if (gating == "keepwarm") {
     pc.regulator.gating = core::GatingPolicy::kKeepWarm;
   } else if (gating == "aggressive") {
@@ -143,10 +178,16 @@ int run(const std::string& config_path, const Options& opts) {
   } else {
     throw std::invalid_argument("unknown gating: " + gating);
   }
+  // Decision plane: ladder rungs, peer selector and placement apply to
+  // every cluster; routing is installed on the platform below. Unknown
+  // policy names throw from the registry, naming the known ones.
+  pc.cluster.edge_peak_ladder = policy::Registry::split_list(peak_ladder);
+  pc.cluster.peer_select = peer_select;
+  pc.cluster.placement = placement;
   // Telemetry level: explicit key wins; otherwise infer the cheapest level
   // that can satisfy the requested exports.
-  if (cfg.has("telemetry")) {
-    pc.obs.level = telemetry_level(cfg.get_string("telemetry", "off"));
+  if (has_telemetry_key) {
+    pc.obs.level = telemetry_level(telemetry);
   } else if (!trace.empty()) {
     pc.obs.level = obs::TraceLevel::kFull;
   } else if (!metrics.empty()) {
@@ -158,56 +199,44 @@ int run(const std::string& config_path, const Options& opts) {
   }
 
   core::Df3Platform city(pc);
-  const auto buildings = cfg.get_int("buildings", 4);
-  const bool boiler = cfg.get_bool("boiler_plant", false);
   for (long i = 0; i < buildings; ++i) {
     core::BuildingConfig b;
     b.name = "b" + std::to_string(i);
-    b.rooms = static_cast<int>(cfg.get_int("rooms", 4));
-    b.high_fidelity_rooms = cfg.get_bool("high_fidelity", false);
+    b.rooms = static_cast<int>(rooms);
+    b.high_fidelity_rooms = high_fidelity;
     if (boiler) {
       b.server = hw::stimergy_boiler_spec();
       thermal::WaterTankParams tank;
       tank.volume_l = 2500.0;
       tank.setpoint = util::celsius(58.0);
       b.water_tank = tank;
-      b.daily_hot_water_l = cfg.get_double("daily_hot_water_l", 1500.0);
+      b.daily_hot_water_l = daily_hot_water_l;
     }
     city.add_building(b);
   }
 
-  const std::string routing = cfg.get_string("routing", "df-first");
-  if (routing == "df-first") {
-    city.set_cloud_routing(core::CloudRouting::kDfFirst);
-  } else if (routing == "dc-only") {
-    city.set_cloud_routing(core::CloudRouting::kDatacenterOnly);
-  } else if (routing == "season-aware") {
-    city.set_cloud_routing(core::CloudRouting::kSeasonAware);
-  } else {
-    throw std::invalid_argument("unknown routing: " + routing);
-  }
+  city.set_cloud_routing(routing);
 
-  if (const double rate = cfg.get_double("edge_alarm_rate", 0.02); rate > 0.0) {
-    city.add_edge_source(0, workload::alarm_detection_factory(), rate);
+  if (edge_alarm_rate > 0.0) {
+    city.add_edge_source(0, workload::alarm_detection_factory(), edge_alarm_rate);
   }
-  if (const double rate = cfg.get_double("edge_map_rate", 0.0); rate > 0.0) {
-    city.add_edge_source(0, workload::map_serving_factory(), rate, false, /*via_wifi=*/true);
+  if (edge_map_rate > 0.0) {
+    city.add_edge_source(0, workload::map_serving_factory(), edge_map_rate, false,
+                         /*via_wifi=*/true);
   }
-  if (const double period = cfg.get_double("telemetry_period_s", 0.0); period > 0.0) {
+  if (telemetry_period_s > 0.0) {
     city.add_edge_source(0, workload::telemetry_factory(),
-                         std::make_unique<workload::FixedIntervalArrivals>(period));
+                         std::make_unique<workload::FixedIntervalArrivals>(telemetry_period_s));
   }
-  if (const double iv = cfg.get_double("cloud_render_interval_s", 0.0); iv > 0.0) {
-    city.add_cloud_source(workload::render_batch_factory(), 1.0 / iv);
+  if (cloud_render_interval_s > 0.0) {
+    city.add_cloud_source(workload::render_batch_factory(), 1.0 / cloud_render_interval_s);
   }
-  if (const double iv = cfg.get_double("cloud_risk_interval_s", 1800.0); iv > 0.0) {
-    city.add_cloud_source(workload::risk_simulation_factory(), 1.0 / iv);
+  if (cloud_risk_interval_s > 0.0) {
+    city.add_cloud_source(workload::risk_simulation_factory(), 1.0 / cloud_risk_interval_s);
   }
 
-  const double days = cfg.get_double("days", 7.0);
   std::printf("df3run: %s — %ld building(s), %.0f day(s) from month %ld, %s climate\n\n",
-              config_path.c_str(), buildings, days, cfg.get_int("start_month", 0),
-              cfg.get_string("climate", "paris").c_str());
+              config_path.c_str(), buildings, days, start_month, climate.c_str());
   city.run(util::days(days));
 
   // --- report ---------------------------------------------------------------
