@@ -1,6 +1,7 @@
 // Macro-benchmark of the fleet-physics kernel (DESIGN.md, "Fleet-physics
-// kernel"): full-city tick throughput, old sweep vs new, at 30 / 300 / 1000
-// rooms over one simulated week.
+// kernel"): full-city tick throughput, old sweep vs new, at 30 / 300 /
+// 1000 / 10000 rooms over one simulated week. (bench_city_scale picks up
+// from 1e3 and sweeps the sharded kernel alone to 1e6 rooms.)
 //
 // The A side is a faithful port of the pre-refactor hot path — the
 // per-object AoS sweep with per-call DVFS ratio math, a P-state scan that
@@ -628,7 +629,7 @@ int main() {
               "old items/s", "new items/s", "speedup");
 
   std::vector<SizeResult> results;
-  for (const int rooms : {30, 300, 1000}) {
+  for (const int rooms : {30, 300, 1000, 10000}) {
     const int buildings = rooms / kRoomsPerBuilding;
     const double ticks = kWeekS / city_config().tick_s;
     const double items = static_cast<double>(rooms) * ticks;

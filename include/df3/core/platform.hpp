@@ -28,6 +28,7 @@
 #include "df3/baselines/datacenter.hpp"
 #include "df3/util/thread_pool.hpp"
 #include "df3/core/cluster.hpp"
+#include "df3/core/fleet_kernel.hpp"
 #include "df3/core/heat_regulator.hpp"
 #include "df3/metrics/audit.hpp"
 #include "df3/metrics/collectors.hpp"
@@ -89,11 +90,32 @@ struct PlatformConfig {
   /// Simulation start time (seconds since Jan 1); use
   /// thermal::start_of_month to start mid-season.
   sim::Time start_time = 0.0;
-  /// Worker threads for the parallel physics phase of the tick: 0 = one per
-  /// hardware thread, 1 = fully serial. The phase split keeps results
-  /// bit-for-bit identical for every value (see DESIGN.md, "Fleet-physics
-  /// kernel").
+  /// Worker threads for the parallel physics phase of the tick: 0 = the
+  /// DF3_PHYSICS_THREADS environment override when set, else one per
+  /// hardware thread; 1 = fully serial. The effective count is additionally
+  /// clamped to the shard count so tiny fleets never park idle workers. The
+  /// phase split keeps results bit-for-bit identical for every value (see
+  /// DESIGN.md, "Fleet-physics kernel").
   std::size_t physics_threads = 0;
+  /// Target rooms per physics shard (district). Buildings are packed into
+  /// shards in insertion order until a shard reaches this many rooms, so
+  /// the room -> shard map is stable for a given build order; building-major
+  /// sweep order is preserved inside each shard and the serial control
+  /// phase replays the global order, keeping every digest bit identical for
+  /// any value. Smaller shards = more parallel slack, more scheduling
+  /// overhead.
+  std::size_t shard_rooms = 4096;
+  /// Activity gating (DESIGN.md section 8): districts whose regulators are
+  /// provably idle-stable skip the per-room control replay, and quiescent
+  /// 2R2C slices stop substepping at a bitwise fixed point. Both fast paths
+  /// fire only when bit-identical to the stepped path (assert-checked under
+  /// DF3_AUDIT), so this is a pure speed knob.
+  bool activity_gating = true;
+  /// Federation peers per cluster: 0 = full mesh (the historical default),
+  /// otherwise each cluster peers with its `federation_degree` next ring
+  /// neighbors. City-scale benches set a small degree so peer wiring stays
+  /// O(n) instead of O(n^2).
+  std::size_t federation_degree = 0;
   /// Lifecycle-auditor level (DESIGN.md §9). Defaults to kCounters, or
   /// kFull when built with -DDF3_AUDIT=ON. Observation-only at any level:
   /// the simulation trajectory is bit-for-bit identical with auditing on
@@ -158,9 +180,30 @@ class Df3Platform {
   [[nodiscard]] const thermal::WeatherModel& weather() const { return weather_; }
   [[nodiscard]] net::Network& network() { return *network_; }
   [[nodiscard]] std::size_t building_count() const { return buildings_.size(); }
-  [[nodiscard]] Cluster& cluster(std::size_t b) { return *buildings_.at(b)->cluster; }
+  /// Building `b`'s cluster. Completes any deferred federation wiring
+  /// first, so the peer set is always consistent with the buildings added
+  /// so far (add_building defers the O(n * degree) rebuild).
+  [[nodiscard]] Cluster& cluster(std::size_t b);
   [[nodiscard]] baselines::Datacenter* datacenter() { return datacenter_.get(); }
   [[nodiscard]] sim::Time now() const { return sim_.now(); }
+
+  // --- sharding & activity gating (benches & tests) ---
+  /// Physics shards (districts) the current fleet packs into; rebuilds the
+  /// shard map if buildings were added since the last tick.
+  [[nodiscard]] std::size_t shard_count();
+  /// District-ticks elapsed (shards x ticks) and how many of them took the
+  /// activity-gated fast path. Their ratio is the bench's gated fraction.
+  [[nodiscard]] std::uint64_t district_ticks() const { return district_ticks_; }
+  [[nodiscard]] std::uint64_t gated_district_ticks() const { return gated_district_ticks_; }
+  [[nodiscard]] double gated_district_fraction() const {
+    return district_ticks_ == 0
+               ? 0.0
+               : static_cast<double>(gated_district_ticks_) / static_cast<double>(district_ticks_);
+  }
+  /// 2R2C substep accounting across the run (full substeps executed vs
+  /// provably skipped at a bitwise fixed point by gated districts).
+  [[nodiscard]] std::uint64_t substeps_run() const { return substeps_run_; }
+  [[nodiscard]] std::uint64_t substeps_skipped() const { return substeps_skipped_; }
 
   // --- results ---
   [[nodiscard]] const metrics::FlowMetrics& flow_metrics() const { return flow_metrics_; }
@@ -274,17 +317,39 @@ class Df3Platform {
     metrics::ComfortMetrics comfort_metrics;
   };
 
+  /// One physics shard: a contiguous run of buildings (and their contiguous
+  /// slice of the fleet arrays) ticked as one parallel work item.
+  struct Shard {
+    std::size_t bld_begin = 0;
+    std::size_t bld_end = 0;
+    std::size_t room_begin = 0;
+    std::size_t room_end = 0;
+  };
+
   void tick(sim::Time t);
-  /// Rebuild every cluster's federation peer set after a building is added:
-  /// full mesh in ring order, so peers_[0] is always the next neighbor and
-  /// the default "ring" selector reproduces the classic single-peer ring.
+  /// Rebuild every cluster's federation peer set: ring order, full mesh by
+  /// default (so peers_[0] is always the next neighbor and the default
+  /// "ring" selector reproduces the classic single-peer ring), or the
+  /// `federation_degree` nearest ring neighbors when configured. Deferred:
+  /// add_building only marks the wiring dirty and ensure_peers_wired()
+  /// performs one O(n * degree) rebuild before anything observes peers.
   void wire_peers();
+  void ensure_peers_wired();
+  /// Rebuild the shard map (and the per-room scratch sized with it) after
+  /// buildings changed. Packing is greedy in building order against
+  /// config_.shard_rooms, so the room -> shard map is a pure function of
+  /// the build sequence and the knob — stable across runs.
+  void ensure_shards();
   /// Physics phase for one building: server/room/tank integration and
   /// per-building metrics. Touches only building-owned state plus this
   /// building's slice of the fleet arrays, so buildings can run on any
   /// thread in any order without changing a single bit of the result.
-  void physics_building(std::size_t b, sim::Time t, util::Celsius t_out,
-                        util::Celsius seasonal, double hour);
+  /// Returns the 2R2C substep accounting for the building's rooms.
+  fleet::Substeps2R2C physics_building(std::size_t b, sim::Time t, util::Celsius t_out,
+                                       util::Celsius seasonal, double hour);
+  /// Physics for every building of one shard, in building-major order.
+  void physics_shard(std::size_t s, sim::Time t, util::Celsius t_out, util::Celsius seasonal,
+                     double hour);
   [[nodiscard]] std::size_t physics_thread_count() const;
   [[nodiscard]] Cluster* route_cloud_target();
   void deliver_to_cluster(workload::Request r, std::size_t b, bool direct, bool via_wifi);
@@ -314,6 +379,36 @@ class Df3Platform {
   /// Last-tick heat demand per building (W) — the signal heat-aware
   /// routing reads. Written by the control phase, building-major.
   std::vector<double> bld_demand_w_;
+  /// Shard (district) map over the fleet; rebuilt lazily after
+  /// add_building. Parallel physics fans out one work item per shard.
+  std::vector<Shard> shards_;
+  bool shards_dirty_ = true;
+  bool peers_dirty_ = false;
+  /// Per-room net heat input (W), staged by the scalar physics pass and
+  /// consumed by the vector room-update kernels (fleet_kernel.hpp).
+  std::vector<double> q_total_w_;
+  /// Activity gating state. A building is *quiet* when its last control
+  /// sweep left every regulator provably idle-stable (regulate() would be
+  /// a bitwise no-op); the epoch pins the cluster state that proof was
+  /// made against. bld_gated_ is per-tick scratch: physics decides, the
+  /// control phase replays the decision.
+  std::vector<std::uint8_t> bld_quiet_;
+  std::vector<std::uint64_t> bld_quiet_epoch_;
+  std::vector<std::uint8_t> bld_gated_;
+  /// Per-shard substep accounting scratch (parallel-written by shard, then
+  /// reduced serially) and gating/substep run totals.
+  std::vector<std::uint64_t> shard_substeps_run_;
+  std::vector<std::uint64_t> shard_substeps_skipped_;
+  std::uint64_t district_ticks_ = 0;
+  std::uint64_t gated_district_ticks_ = 0;
+  std::uint64_t substeps_run_ = 0;
+  std::uint64_t substeps_skipped_ = 0;
+  std::size_t tick_gated_districts_ = 0;
+  /// Per-shard host-clock span scratch (workers record, the serial phase
+  /// emits) + interned per-shard obs track names.
+  std::vector<double> shard_span_begin_s_;
+  std::vector<double> shard_span_end_s_;
+  std::vector<std::string> shard_track_name_;
   std::unique_ptr<util::ThreadPool> physics_pool_;  ///< lazily created
   /// Resolved physics_threads (0 = not yet queried); hardware_concurrency
   /// is a per-call sysconf lookup, far too slow for the tick path.
@@ -336,6 +431,7 @@ class Df3Platform {
   /// metric feed (counters are fed by delta).
   struct ObsFeed {
     obs::MetricId room_mean_c, usable_cores, heat_demand_w, outdoor_c, regulator_err;
+    obs::MetricId gated_districts;  ///< fleet/gated_districts gauge (per tick)
     obs::MetricId energy_it_j, energy_useful_j, energy_waste_j, energy_overhead_j, pue,
         heat_reuse;
     obs::MetricId preemptions, offload_horizontal, offload_vertical, edge_delays;

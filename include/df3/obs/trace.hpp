@@ -75,6 +75,7 @@ enum class Phase : std::uint8_t {
   kDropped,            ///< terminal outcome (instant)
   // Platform tick scopes (host clock).
   kPhysicsPhase,       ///< parallel fleet-physics phase of one tick
+  kShardPhysics,       ///< one shard's slice of the physics phase (own track)
   kControlPhase,       ///< serial reduction + control phase of one tick
   kAuditSweep,         ///< structural invariant sweep (kFull audit only)
   // Fault injection (simulated clock).
@@ -101,6 +102,7 @@ enum class Phase : std::uint8_t {
     case Phase::kRejected: return "rejected";
     case Phase::kDropped: return "dropped";
     case Phase::kPhysicsPhase: return "physics-phase";
+    case Phase::kShardPhysics: return "shard-physics";
     case Phase::kControlPhase: return "control-phase";
     case Phase::kAuditSweep: return "audit-sweep";
     case Phase::kLinkOutage: return "link-outage";
@@ -116,6 +118,7 @@ enum class Phase : std::uint8_t {
   switch (p) {
     case Phase::kNetHop: return "net";
     case Phase::kPhysicsPhase:
+    case Phase::kShardPhysics:
     case Phase::kControlPhase:
     case Phase::kAuditSweep: return "tick";
     case Phase::kLinkOutage:

@@ -52,8 +52,11 @@ class ThreadPool {
   /// The calling thread participates, so a pool of T threads gives T+1
   /// concurrent lanes. Unlike submit(), indices are handed out through one
   /// shared atomic counter — no per-item futures or queue traffic — which
-  /// makes it cheap enough to call every physics tick. The first exception
-  /// thrown by `fn` is rethrown here after the batch drains.
+  /// makes it cheap enough to call every physics tick. At most n-1 helpers
+  /// are enqueued and exactly that many workers are woken, so batches
+  /// narrower than the pool (a tick with few shards) leave the remaining
+  /// workers parked. The first exception thrown by `fn` is rethrown here
+  /// after the batch drains.
   void for_each_index(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

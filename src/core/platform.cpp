@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <ostream>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
 #include "df3/policy/registry.hpp"
 #include "df3/thermal/calendar.hpp"
@@ -33,6 +35,7 @@ Df3Platform::Df3Platform(PlatformConfig config)
     feed_.usable_cores = reg.gauge("city/usable_cores");
     feed_.heat_demand_w = reg.gauge("city/heat_demand_w");
     feed_.outdoor_c = reg.gauge("city/outdoor_c");
+    feed_.gated_districts = reg.gauge("fleet/gated_districts");
     feed_.regulator_err = reg.gauge("regulator/rel_error");
     feed_.energy_it_j = reg.gauge("energy/it_j");
     feed_.energy_useful_j = reg.gauge("energy/useful_heat_j");
@@ -103,7 +106,8 @@ std::size_t Df3Platform::add_building(const BuildingConfig& cfg) {
     bld_season_.push_back(0);
     bld_demand_w_.push_back(0.0);
     buildings_.push_back(std::move(b));
-    wire_peers();
+    peers_dirty_ = true;
+    shards_dirty_ = true;
     return buildings_.size() - 1;
   }
   // Validate the thermal/control parameters through the model constructors
@@ -182,19 +186,83 @@ std::size_t Df3Platform::add_building(const BuildingConfig& cfg) {
   bld_season_.push_back(0);
   bld_demand_w_.push_back(0.0);
   buildings_.push_back(std::move(b));
-  wire_peers();
+  peers_dirty_ = true;
+  shards_dirty_ = true;
   return buildings_.size() - 1;
 }
 
 void Df3Platform::wire_peers() {
   const std::size_t n = buildings_.size();
+  if (n == 0) return;
+  const std::size_t degree = config_.federation_degree == 0
+                                 ? n - 1
+                                 : std::min(config_.federation_degree, n - 1);
   for (std::size_t i = 0; i < n; ++i) {
     Cluster& c = *buildings_[i]->cluster;
     c.clear_peers();
-    for (std::size_t k = 1; k < n; ++k) {
+    for (std::size_t k = 1; k <= degree; ++k) {
       c.add_peer(buildings_[(i + k) % n]->cluster.get());
     }
   }
+}
+
+void Df3Platform::ensure_peers_wired() {
+  if (!peers_dirty_) return;
+  wire_peers();
+  peers_dirty_ = false;
+}
+
+Cluster& Df3Platform::cluster(std::size_t b) {
+  ensure_peers_wired();
+  return *buildings_.at(b)->cluster;
+}
+
+void Df3Platform::ensure_shards() {
+  if (!shards_dirty_) return;
+  const std::size_t nb = buildings_.size();
+  const std::size_t target = std::max<std::size_t>(1, config_.shard_rooms);
+  shards_.clear();
+  std::size_t begin = 0;
+  std::size_t weight = 0;
+  for (std::size_t b = 0; b < nb; ++b) {
+    const Building& bd = *buildings_[b];
+    // Boiler plants have no fleet rooms but still cost one building's
+    // control work; weight them as one room so they pack, not pile up.
+    weight += std::max<std::size_t>(1, bd.room_end - bd.room_begin);
+    if (weight >= target) {
+      shards_.push_back({begin, b + 1, buildings_[begin]->room_begin, bd.room_end});
+      begin = b + 1;
+      weight = 0;
+    }
+  }
+  if (begin < nb) {
+    shards_.push_back({begin, nb, buildings_[begin]->room_begin, buildings_[nb - 1]->room_end});
+  }
+  q_total_w_.assign(fleet_.size(), 0.0);
+  bld_gated_.assign(nb, 0);
+  // Quiet flags survive a rebuild only if the building set is unchanged
+  // (rebuilds mid-run happen only when buildings were added, which resets
+  // the proof anyway).
+  if (bld_quiet_.size() != nb) {
+    bld_quiet_.assign(nb, 0);
+    bld_quiet_epoch_.assign(nb, 0);
+  }
+  const std::size_t ns = shards_.size();
+  shard_substeps_run_.assign(ns, 0);
+  shard_substeps_skipped_.assign(ns, 0);
+  shard_span_begin_s_.assign(ns, 0.0);
+  shard_span_end_s_.assign(ns, 0.0);
+  shard_track_name_.clear();
+  shard_track_name_.reserve(ns);
+  for (std::size_t s = 0; s < ns; ++s) {
+    shard_track_name_.push_back("shard-" + std::to_string(s));
+  }
+  shards_dirty_ = false;
+}
+
+std::size_t Df3Platform::shard_count() {
+  ensure_shards();
+  return shards_.size();
 }
 
 void Df3Platform::add_edge_source(std::size_t b, workload::RequestFactory factory,
@@ -312,8 +380,10 @@ void Df3Platform::deliver_to_cluster(workload::Request r, std::size_t b, bool di
   Building& building = *buildings_[b];
   auditor_.on_submitted(r);
   const net::NodeId origin = via_wifi ? building.wifi_node : building.device_node;
-  const net::NodeId entry =
-      direct ? building.cluster->worker(0).node() : building.cluster->gateway_node();
+  // Const worker access: reading the entry node must not bump the cluster's
+  // control epoch (that would un-gate the district on every direct arrival).
+  const net::NodeId entry = direct ? std::as_const(*building.cluster).worker(0).node()
+                                   : building.cluster->gateway_node();
   network_->send(
       net::Message{origin, entry, r.input_size, r.id},
       [this, b, direct, origin, r](sim::Time) mutable {
@@ -367,8 +437,9 @@ std::vector<std::string> Df3Platform::audit_now() {
   return findings;
 }
 
-void Df3Platform::physics_building(std::size_t b, sim::Time t, util::Celsius t_out,
-                                   util::Celsius seasonal, double hour) {
+fleet::Substeps2R2C Df3Platform::physics_building(std::size_t b, sim::Time t,
+                                                  util::Celsius t_out, util::Celsius seasonal,
+                                                  double hour) {
   const double dt = config_.tick_s;
   const util::Seconds dts{dt};
   Building& bd = *buildings_[b];
@@ -376,59 +447,70 @@ void Df3Platform::physics_building(std::size_t b, sim::Time t, util::Celsius t_o
   const util::Celsius target = bd.cfg.comfort.target_at_hour(hour);
   bld_season_[b] = heating_season ? 1 : 0;
   bld_target_c_[b] = target.value();
+  // Activity-gate decision for this tick: the last ungated control sweep
+  // proved every regulator idle-stable (regulate() is a bitwise no-op) and
+  // no exogenous control-plane touch has invalidated the proof since. The
+  // control phase replays the decision from bld_gated_.
+  const bool gated = config_.activity_gating && !heating_season && bld_quiet_[b] != 0 &&
+                     bd.cluster->control_epoch() == bld_quiet_epoch_[b];
+  bld_gated_[b] = gated ? 1 : 0;
   // Solar/occupancy gains ramp with the season (zero in deep winter);
   // identical for every room of the building.
   const double solar_frac = std::clamp((seasonal.value() - 5.0) / 12.0, 0.0, 1.0);
   const double solar_w = bd.cfg.solar_gain_peak_w * solar_frac;
+  const std::size_t begin = bd.room_begin;
+  const std::size_t end = bd.room_end;
+  fleet::Substeps2R2C sub;
 
-  for (std::size_t i = bd.room_begin; i < bd.room_end; ++i) {
+  // Pass A (scalar, per room): integrate the interval that just elapsed at
+  // the server's current operating point (piecewise-constant at tick
+  // scale), stage the room's net heat input for the vector kernel, and
+  // stage the energy split for the serial ledger reduction. Relative to the
+  // old fused per-room loop this only hoists the temperature update out of
+  // the middle: nothing here reads temp_c, so the split is bit-free.
+  for (std::size_t i = begin; i < end; ++i) {
     hw::DfServer& server = *fleet_.server[i];
     const bool last_season = fleet_.last_season[i] != 0;
-
-    // 1. Integrate the interval that just elapsed at the server's current
-    //    operating point (piecewise-constant approximation at tick scale).
     server.advance(dts, last_season);
     const double delta_j = server.energy_consumed().value() - fleet_.energy_mark_j[i];
     fleet_.energy_mark_j[i] = server.energy_consumed().value();
-
-    // 2. Heat the room with what was actually emitted indoors. The RC math
-    //    mirrors Room/Room2R2C::advance term for term (bit-exact), with the
-    //    decay factor / substep schedule precomputed at add_building.
     const double emitted_w = delta_j / dt;
     const bool indoors = fleet_.dual_pipe[i] == 0 || last_season;
     const double q_heat = (indoors ? emitted_w : 0.0) + solar_w;
-    const double q_total = q_heat + fleet_.gains_w[i];
-    if (fleet_.high_fidelity[i] == 0) {
-      const double eq = t_out.value() + q_total * fleet_.r1_resistance[i];
-      fleet_.temp_c[i] = eq + (fleet_.temp_c[i] - eq) * fleet_.r1_decay[i];
-    } else {
-      double t_air = fleet_.temp_c[i];
-      double t_env = fleet_.env_c[i];
-      const double r_ae = fleet_.r2_r_ae[i];
-      const double r_eo = fleet_.r2_r_eo[i];
-      const double c_air = fleet_.r2_c_air[i];
-      const double c_env = fleet_.r2_c_env[i];
-      const auto step = [&](double h) {
-        const double flow_ae = (t_air - t_env) / r_ae;
-        const double flow_eo = (t_env - t_out.value()) / r_eo;
-        t_air += h * ((q_total - flow_ae) / c_air);
-        t_env += h * ((flow_ae - flow_eo) / c_env);
-      };
-      const std::uint32_t n_full = fleet_.r2_n_full[i];
-      for (std::uint32_t k = 0; k < n_full; ++k) step(fleet_.r2_max_step[i]);
-      if (fleet_.r2_h_last[i] > 0.0) step(fleet_.r2_h_last[i]);
-      fleet_.temp_c[i] = t_air;
-      fleet_.env_c[i] = t_env;
-    }
-
-    // 3. Stage the energy split for the serial ledger reduction and track
-    //    regulation fidelity / comfort (building-owned collectors).
+    q_total_w_[i] = q_heat + fleet_.gains_w[i];
     const double wanted_j = fleet_.last_demand_w[i] * dt;
     fleet_.delta_j[i] = delta_j;
     fleet_.useful_j[i] = std::min(delta_j, wanted_j);
     fleet_.indoors[i] = indoors ? 1 : 0;
     fleet_.regulator[i].record(dts, util::Watts{emitted_w},
                                util::Watts{fleet_.last_demand_w[i]});
+  }
+
+  // Pass B (vector): the room-temperature update over the whole contiguous
+  // slice. Fidelity and the 2R2C substep schedule are per-building uniform
+  // (one BuildingConfig), so the first room's parameters describe them all.
+  // The kernels mirror Room/Room2R2C::advance term for term (bit-exact),
+  // with decay factors / substep schedules precomputed at add_building.
+  if (const std::size_t n = end - begin; n > 0) {
+    if (fleet_.high_fidelity[begin] == 0) {
+      fleet::step_rooms_1r1c(n, t_out.value(), q_total_w_.data() + begin,
+                             fleet_.r1_resistance.data() + begin,
+                             fleet_.r1_decay.data() + begin, fleet_.temp_c.data() + begin);
+    } else {
+      // A gated (quiescent) district may stop substepping at a bitwise
+      // fixed point — provably identical to running every substep.
+      sub = fleet::step_rooms_2r2c(
+          n, t_out.value(), q_total_w_.data() + begin, fleet_.r2_r_ae.data() + begin,
+          fleet_.r2_r_eo.data() + begin, fleet_.r2_c_air.data() + begin,
+          fleet_.r2_c_env.data() + begin, fleet_.r2_max_step[begin], fleet_.r2_h_last[begin],
+          fleet_.r2_n_full[begin], /*allow_early_exit=*/gated, fleet_.temp_c.data() + begin,
+          fleet_.env_c.data() + begin);
+    }
+  }
+
+  // Pass C (scalar): comfort sampling against the post-update temperature,
+  // in room order — the same per-building sample sequence as the fused loop.
+  for (std::size_t i = begin; i < end; ++i) {
     bd.comfort_metrics.sample(t, util::Celsius{fleet_.temp_c[i]}, target);
   }
 
@@ -450,24 +532,53 @@ void Df3Platform::physics_building(std::size_t b, sim::Time t, util::Celsius t_o
     tu.scratch_useful_j = std::min(delta_j, wanted.value());
     tu.scratch_draw_lps = draw;
   }
+  return sub;
+}
+
+void Df3Platform::physics_shard(std::size_t s, sim::Time t, util::Celsius t_out,
+                                util::Celsius seasonal, double hour) {
+  const Shard& sh = shards_[s];
+  std::uint64_t run = 0;
+  std::uint64_t skipped = 0;
+  for (std::size_t b = sh.bld_begin; b < sh.bld_end; ++b) {
+    const fleet::Substeps2R2C sub = physics_building(b, t, t_out, seasonal, hour);
+    run += sub.full_steps_run;
+    skipped += sub.full_steps_skipped;
+  }
+  shard_substeps_run_[s] = run;
+  shard_substeps_skipped_[s] = skipped;
 }
 
 std::size_t Df3Platform::physics_thread_count() const {
   // hardware_concurrency() is a sysconf query (~microseconds) — resolve it
   // once and reuse; the machine's core count does not change mid-run.
   if (physics_threads_resolved_ == 0) {
-    physics_threads_resolved_ = config_.physics_threads != 0
-                                    ? config_.physics_threads
-                                    : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    std::size_t n = config_.physics_threads;
+    if (n == 0) {
+      // DF3_PHYSICS_THREADS overrides auto-detection (CI and bench sweeps
+      // pin the parallel width without recompiling scenarios); an explicit
+      // config value still wins over the environment.
+      if (const char* env = std::getenv("DF3_PHYSICS_THREADS")) {
+        char* parse_end = nullptr;
+        const unsigned long v = std::strtoul(env, &parse_end, 10);
+        if (parse_end != env && *parse_end == '\0' && v > 0) {
+          n = static_cast<std::size_t>(v);
+        }
+      }
+    }
+    if (n == 0) n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    physics_threads_resolved_ = n;
   }
   return physics_threads_resolved_;
 }
 
 void Df3Platform::tick(sim::Time t) {
+  ensure_shards();
   const util::Celsius t_out = weather_.outdoor_temperature(t);
   const util::Celsius seasonal = weather_.seasonal_component(t);
   const double hour = thermal::hour_of_day(t);
   const std::size_t nb = buildings_.size();
+  const std::size_t ns = shards_.size();
 
   // Serial reduction + control state. The control sweep replays the exact
   // accumulation order of the old interleaved loop (ledger adds and city
@@ -483,6 +594,51 @@ void Df3Platform::tick(sim::Time t) {
 
   const auto control_building = [&](std::size_t b) {
     Building& bd = *buildings_[b];
+    if (bld_gated_[b] != 0) {
+      // Activity-gated fast path. The building was proved quiet: off
+      // season the thermostat demand chain is identically zero, every
+      // regulator's regulate() is a bitwise no-op against the observed
+      // server state, last_demand/last_season already hold zero, and the
+      // city/building demand adds are +0.0 into non-negative accumulators.
+      // Only the irreducible work runs — the ledger split (servers draw
+      // standby power even gated off), the inlet feedback (it drives the
+      // thermal throttle and thus usable_cores), the temperature
+      // aggregates, and the worker speed sync.
+      for (std::size_t i = bd.room_begin; i < bd.room_end; ++i) {
+        const util::Joules delta{fleet_.delta_j[i]};
+        energy.add_it(delta);
+        energy.add_overhead(delta * kDfOverheadFraction);
+        // useful_j is exactly +0.0 (last demand was zero), so the
+        // useful-heat add is skipped and waste takes the full delta
+        // whether or not the heat stays indoors.
+        energy.add_waste_heat(delta);
+        hw::DfServer& server = *fleet_.server[i];
+        if (auditor_.level() == metrics::AuditLevel::kFull) {
+          // Replay the skipped regulate() and flag any state change: the
+          // gate's no-op proof must hold bit-for-bit. (The replay itself
+          // keeps the trajectory identical — it is exactly what the
+          // stepped path would have executed.)
+          const bool powered0 = server.powered();
+          const std::size_t pstate0 = server.pstate();
+          const int filler0 = server.filler_cores();
+          const int busy0 = server.busy_cores();
+          fleet_.regulator[i].regulate(server,
+                                       thermal::HeatDemand{util::Watts{0.0}, false});
+          if (server.powered() != powered0 || server.pstate() != pstate0 ||
+              server.filler_cores() != filler0 || server.busy_cores() != busy0) {
+            auditor_.report("activity-gate: regulate() mutated a quiet server in building " +
+                            bd.cfg.name);
+          }
+        }
+        server.set_inlet_temperature(util::Celsius{fleet_.temp_c[i]});
+        temp_sum += fleet_.temp_c[i];
+        ++room_count;
+      }
+      bld_demand_w_[b] = 0.0;
+      bd.cluster->sync_workers();
+      city_cores += bd.cluster->usable_cores();
+      return;
+    }
     const bool heating_season = bld_season_[b] != 0;
     const double target_c = bld_target_c_[b];
     // Per-building demand accumulates separately from the city total so the
@@ -543,6 +699,27 @@ void Df3Platform::tick(sim::Time t) {
       bld_demand_w += demand.power.value();
     }
     bld_demand_w_[b] = bld_demand_w;
+    // Re-derive the quiet proof from the post-regulate server state: the
+    // gate may fire next tick only if regulate() left every chassis where
+    // its idle branch's setters early-return (so replaying it cannot move a
+    // bit). The cluster epoch pins the proof; any exogenous control-plane
+    // touch (fault injector, pinned run, test poking a worker) bumps it
+    // and forces the stepped path until the proof is re-established here.
+    if (config_.activity_gating) {
+      bool quiet = !heating_season && !bd.tank_unit && bd.room_end > bd.room_begin;
+      if (quiet) {
+        const bool aggressive = config_.regulator.gating == GatingPolicy::kAggressive;
+        for (std::size_t i = bd.room_begin; quiet && i < bd.room_end; ++i) {
+          const hw::DfServer& server = *fleet_.server[i];
+          quiet = aggressive ? (!server.powered() && server.busy_cores() == 0 &&
+                                server.filler_cores() == 0)
+                             : (server.powered() && server.pstate() == 0 &&
+                                server.filler_cores() == 0);
+        }
+      }
+      bld_quiet_[b] = quiet ? 1 : 0;
+      if (quiet) bld_quiet_epoch_[b] = bd.cluster->control_epoch();
+    }
     bd.cluster->sync_workers();
     city_cores += bd.cluster->usable_cores();
   };
@@ -582,24 +759,68 @@ void Df3Platform::tick(sim::Time t) {
   const auto close_phase = [](obs::Phase) {};
 #endif
 
-  const std::size_t threads = physics_thread_count();
-  if (threads > 1 && nb > 1) {
-    if (!physics_pool_) physics_pool_ = std::make_unique<util::ThreadPool>(threads - 1);
-    physics_pool_->for_each_index(
-        nb, [&](std::size_t b) { physics_building(b, t, t_out, seasonal, hour); });
-    if (phase_scopes) close_phase(obs::Phase::kPhysicsPhase);
+  // The effective thread count clamps to the shard count: a fleet with
+  // fewer districts than cores must not wake workers that would find no
+  // shard to claim.
+  const std::size_t threads = std::min(physics_thread_count(), std::max<std::size_t>(1, ns));
+  if (threads > 1) {
+    const std::size_t helpers = threads - 1;
+    if (!physics_pool_ || physics_pool_->size() < helpers) {
+      physics_pool_ = std::make_unique<util::ThreadPool>(helpers);
+    }
+    // One work item per shard. Workers only time-stamp their slices (the
+    // trace ring is single-writer); the serial section emits the spans.
+    physics_pool_->for_each_index(ns, [&](std::size_t s) {
+      if (phase_scopes) shard_span_begin_s_[s] = sink->trace().host_now_s();
+      physics_shard(s, t, t_out, seasonal, hour);
+      if (phase_scopes) shard_span_end_s_[s] = sink->trace().host_now_s();
+    });
+    if (phase_scopes) {
+      for (std::size_t s = 0; s < ns; ++s) {
+        sink->host_span(&shard_track_name_[s], shard_track_name_[s],
+                        obs::Phase::kShardPhysics, shard_span_begin_s_[s],
+                        shard_span_end_s_[s]);
+      }
+      close_phase(obs::Phase::kPhysicsPhase);
+    }
     for (std::size_t b = 0; b < nb; ++b) control_building(b);
     if (phase_scopes) close_phase(obs::Phase::kControlPhase);
   } else {
-    // Serial mode fuses physics + control per building; the whole sweep is
-    // reported as one physics-phase span.
-    for (std::size_t b = 0; b < nb; ++b) {
-      physics_building(b, t, t_out, seasonal, hour);
-      control_building(b);
+    // Serial mode fuses physics + control per building (one pass over each
+    // server's cache lines); the whole sweep is reported as one
+    // physics-phase span.
+    for (std::size_t s = 0; s < ns; ++s) {
+      const Shard& sh = shards_[s];
+      std::uint64_t run = 0;
+      std::uint64_t skipped = 0;
+      for (std::size_t b = sh.bld_begin; b < sh.bld_end; ++b) {
+        const fleet::Substeps2R2C sub = physics_building(b, t, t_out, seasonal, hour);
+        run += sub.full_steps_run;
+        skipped += sub.full_steps_skipped;
+        control_building(b);
+      }
+      shard_substeps_run_[s] = run;
+      shard_substeps_skipped_[s] = skipped;
     }
     if (phase_scopes) close_phase(obs::Phase::kPhysicsPhase);
   }
   energy.commit();
+
+  // Gating & substep accounting: a district counts as gated only when
+  // every one of its buildings took the fast path this tick.
+  tick_gated_districts_ = 0;
+  for (std::size_t s = 0; s < ns; ++s) {
+    const Shard& sh = shards_[s];
+    bool all_gated = sh.bld_end > sh.bld_begin;
+    for (std::size_t b = sh.bld_begin; all_gated && b < sh.bld_end; ++b) {
+      all_gated = bld_gated_[b] != 0;
+    }
+    if (all_gated) ++tick_gated_districts_;
+    substeps_run_ += shard_substeps_run_[s];
+    substeps_skipped_ += shard_substeps_skipped_[s];
+  }
+  district_ticks_ += ns;
+  gated_district_ticks_ += tick_gated_districts_;
 
   const double room_mean =
       room_count > 0 ? temp_sum / static_cast<double>(room_count) : 0.0;
@@ -632,6 +853,7 @@ void Df3Platform::feed_metrics(sim::Time t, double room_mean_c, double city_core
   reg.at_gauge(feed_.usable_cores).set(city_cores);
   reg.at_gauge(feed_.heat_demand_w).set(city_demand_w);
   reg.at_gauge(feed_.outdoor_c).set(outdoor_c);
+  reg.at_gauge(feed_.gated_districts).set(static_cast<double>(tick_gated_districts_));
   reg.at_gauge(feed_.regulator_err).set(regulator_relative_error());
   reg.at_gauge(feed_.energy_it_j).set(df_energy_.it().value());
   reg.at_gauge(feed_.energy_useful_j).set(df_energy_.useful_heat().value());
@@ -689,6 +911,7 @@ void Df3Platform::feed_metrics(sim::Time t, double room_mean_c, double city_core
 
 void Df3Platform::run(util::Seconds duration) {
   if (duration.value() < 0.0) throw std::invalid_argument("run: negative duration");
+  ensure_peers_wired();
   if (!physics_) {
     physics_ = std::make_unique<sim::PeriodicProcess>(
         sim_, sim_.now() + config_.tick_s, config_.tick_s, [this](sim::Time t) { tick(t); });

@@ -65,7 +65,10 @@ void ThreadPool::for_each_index(std::size_t n, const std::function<void(std::siz
         queue_.emplace([batch, drain] { drain(batch); });
       }
     }
-    cv_.notify_all();
+    // One wakeup per enqueued helper: a batch narrower than the pool (e.g.
+    // a tick with fewer shards than workers) must not stampede the idle
+    // threads just to have them find an empty queue.
+    for (std::size_t i = 0; i < helpers; ++i) cv_.notify_one();
   }
   drain(batch);
   {

@@ -156,7 +156,14 @@ int run(const std::string& config_path, const Options& opts) {
   const double cloud_render_interval_s = cfg.get_double("cloud_render_interval_s", 0.0);
   const double cloud_risk_interval_s = cfg.get_double("cloud_risk_interval_s", 1800.0);
   const double days = cfg.get_double("days", 7.0);
+  const long physics_threads = cfg.get_int("physics_threads", 0);
+  const long shard_rooms = cfg.get_int("shard_rooms", 4096);
+  const bool activity_gating = cfg.get_bool("activity_gating", true);
+  const long federation_degree = cfg.get_int("federation_degree", 0);
   cfg.check_exhausted();
+  if (physics_threads < 0) throw std::invalid_argument("physics_threads must be >= 0");
+  if (shard_rooms <= 0) throw std::invalid_argument("shard_rooms must be > 0");
+  if (federation_degree < 0) throw std::invalid_argument("federation_degree must be >= 0");
 
   const std::string csv = !opts.csv.empty() ? opts.csv : csv_key;
   const std::string trace = !opts.trace.empty() ? opts.trace : trace_key;
@@ -171,6 +178,14 @@ int run(const std::string& config_path, const Options& opts) {
   pc.start_time = thermal::start_of_month(static_cast<int>(start_month));
   pc.tick_s = tick_s;
   pc.climate = climate_by_name(climate);
+  // Sharded-kernel knobs (DESIGN.md section 8.1). Shard size, thread count
+  // and gating are bit-for-bit neutral; federation_degree keeps the
+  // full-mesh default bit-identical, while a nonzero ring degree is a real
+  // topology choice that changes peer hand-offs.
+  pc.physics_threads = static_cast<std::size_t>(physics_threads);
+  pc.shard_rooms = static_cast<std::size_t>(shard_rooms);
+  pc.activity_gating = activity_gating;
+  pc.federation_degree = static_cast<std::size_t>(federation_degree);
   if (gating == "keepwarm") {
     pc.regulator.gating = core::GatingPolicy::kKeepWarm;
   } else if (gating == "aggressive") {
