@@ -244,6 +244,35 @@ class Cluster : public sim::Entity, private policy::LadderMechanism {
   /// remaining work, and per-worker busy-core consistency. Observation
   /// only — never mutates cluster state.
   void audit(std::vector<std::string>& out) const;
+
+  /// Freeze the load signals peers read through the PeerSelector view
+  /// (DESIGN.md §12). While armed, select_peer() builds PeerInfo from
+  /// these values instead of live reads, so a horizontal-offload decision
+  /// made during the tick's control phase observes every peer as it stood
+  /// at the start of the conservative window — independent of how far
+  /// other control lanes (or the fused serial sweep) have advanced. The
+  /// platform arms every cluster before the control phase and disarms
+  /// after the boundary drain; event-time pumps (arrivals, completions)
+  /// always see live state.
+  void arm_lane_snapshot() {
+    lane_backlog_per_core_ = queued_gigacycles() / static_cast<double>(std::max(1, usable_cores()));
+    lane_free_cores_ = free_cores();
+    lane_snapshot_armed_ = true;
+  }
+  void disarm_lane_snapshot() { lane_snapshot_armed_ = false; }
+
+  /// True when this cluster's control-phase speed sync cannot touch shared
+  /// simulation state: nothing queued (sync_workers() will not pump) and no
+  /// running shard (sync_speed() has nothing to settle or re-arm on the
+  /// event calendar). Quiescent clusters complete their sync inside a
+  /// parallel control lane; the rest defer it to the serial boundary drain.
+  [[nodiscard]] bool control_quiescent() const {
+    if (queue_.size() > 0) return false;
+    for (const auto& w : workers_) {
+      if (w->busy_cores() != 0) return false;
+    }
+    return true;
+  }
   [[nodiscard]] int usable_cores() const {
     int n = 0;
     for (const auto& w : workers_) n += w->server().usable_cores();
@@ -312,6 +341,10 @@ class Cluster : public sim::Entity, private policy::LadderMechanism {
   std::unordered_map<const RequestState*, std::shared_ptr<Pending>> pending_;
   std::uint64_t control_epoch_ = 0;
   bool pumping_ = false;
+  /// Lane-snapshot of the peer-visible load signals (see arm_lane_snapshot).
+  double lane_backlog_per_core_ = 0.0;
+  int lane_free_cores_ = 0;
+  bool lane_snapshot_armed_ = false;
 };
 
 }  // namespace df3::core

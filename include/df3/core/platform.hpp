@@ -97,6 +97,19 @@ struct PlatformConfig {
   /// phase split keeps results bit-for-bit identical for every value (see
   /// DESIGN.md, "Fleet-physics kernel").
   std::size_t physics_threads = 0;
+  /// Worker threads for the control phase of the tick — the parallel
+  /// control lanes (DESIGN.md §12). Each district shard is a lane whose
+  /// building-local control decisions (thermostat math, DVFS regulation,
+  /// inlet feedback, quiet-proof re-derivation) advance independently
+  /// within the conservative horizon `now + Network::min_peer_latency()`;
+  /// cross-lane effects (ledger reduction, event scheduling, peer pumps)
+  /// drain serially in building-major order at the lane boundary. 0 = the
+  /// DF3_CONTROL_THREADS environment override when set, else one per
+  /// hardware thread; 1 = the serial sweep. Clamped to the lane (shard)
+  /// count; falls back to the serial sweep when the lookahead is zero
+  /// (some up link has zero base latency). Bit-for-bit neutral at every
+  /// value.
+  std::size_t control_threads = 0;
   /// Target rooms per physics shard (district). Buildings are packed into
   /// shards in insertion order until a shard reaches this many rooms, so
   /// the room -> shard map is stable for a given build order; building-major
@@ -204,6 +217,12 @@ class Df3Platform {
   /// provably skipped at a bitwise fixed point by gated districts).
   [[nodiscard]] std::uint64_t substeps_run() const { return substeps_run_; }
   [[nodiscard]] std::uint64_t substeps_skipped() const { return substeps_skipped_; }
+  /// Parallel-control-plane accounting (DESIGN.md §12): ticks whose control
+  /// phase fanned out over lanes, and ticks where a zero conservative
+  /// lookahead (some up link with zero base latency) forced the serial
+  /// sweep despite an effective control_threads > 1.
+  [[nodiscard]] std::uint64_t lane_parallel_ticks() const { return lane_parallel_ticks_; }
+  [[nodiscard]] std::uint64_t lane_fallback_ticks() const { return lane_fallback_ticks_; }
 
   // --- results ---
   [[nodiscard]] const metrics::FlowMetrics& flow_metrics() const { return flow_metrics_; }
@@ -350,7 +369,25 @@ class Df3Platform {
   /// Physics for every building of one shard, in building-major order.
   void physics_shard(std::size_t s, sim::Time t, util::Celsius t_out, util::Celsius seasonal,
                      double hour);
+  /// Lane stage of the control phase for one building (DESIGN.md §12):
+  /// every control decision that touches only building-owned state —
+  /// thermostat demand math, regulate(), inlet feedback, last-demand
+  /// bookkeeping, the gated-path audit replay (findings buffered, not
+  /// reported), the quiet-proof re-derivation, and the speed sync of
+  /// control-quiescent clusters. Never schedules events, never touches the
+  /// ledger, auditor, city aggregates, or another building, so lanes can
+  /// run it on any thread in any order without changing a single bit.
+  void control_building_math(std::size_t b, double t_out_c, std::vector<std::string>& findings);
+  /// Boundary-drain stage for one building: everything cross-cutting the
+  /// lane split — the order-sensitive ledger/city-aggregate reduction and
+  /// the deferred sync_workers() (event re-arming + queue pumps). Runs
+  /// serially in building-major order in every execution mode, which is
+  /// what keeps the golden digests bit-identical at any lane count.
+  void control_building_reduce(std::size_t b, metrics::EnergyLedger::Accumulator& energy,
+                               double& city_demand_w, double& city_cores, double& temp_sum,
+                               std::size_t& room_count);
   [[nodiscard]] std::size_t physics_thread_count() const;
+  [[nodiscard]] std::size_t control_thread_count() const;
   [[nodiscard]] Cluster* route_cloud_target();
   void deliver_to_cluster(workload::Request r, std::size_t b, bool direct, bool via_wifi);
   /// Single funnel for terminal completion records: auditor first, then the
@@ -395,6 +432,10 @@ class Df3Platform {
   std::vector<std::uint8_t> bld_quiet_;
   std::vector<std::uint64_t> bld_quiet_epoch_;
   std::vector<std::uint8_t> bld_gated_;
+  /// Per-tick scratch: 1 = the building's cluster was not control-quiescent
+  /// during the lane stage, so its sync_workers() (event re-arms + pumps)
+  /// runs in the serial boundary drain instead.
+  std::vector<std::uint8_t> bld_sync_deferred_;
   /// Per-shard substep accounting scratch (parallel-written by shard, then
   /// reduced serially) and gating/substep run totals.
   std::vector<std::uint64_t> shard_substeps_run_;
@@ -409,10 +450,21 @@ class Df3Platform {
   std::vector<double> shard_span_begin_s_;
   std::vector<double> shard_span_end_s_;
   std::vector<std::string> shard_track_name_;
-  std::unique_ptr<util::ThreadPool> physics_pool_;  ///< lazily created
+  /// Per-lane host-clock span scratch + interned lane obs track names, and
+  /// the per-lane gated-replay finding buffers (appended by lanes under
+  /// kFull audit, reported serially after the drain in lane order — which
+  /// is building order, since lanes cover contiguous ascending ranges).
+  std::vector<double> lane_span_begin_s_;
+  std::vector<double> lane_span_end_s_;
+  std::vector<std::string> lane_track_name_;
+  std::vector<std::vector<std::string>> lane_findings_;
+  std::uint64_t lane_parallel_ticks_ = 0;
+  std::uint64_t lane_fallback_ticks_ = 0;
+  std::unique_ptr<util::ThreadPool> physics_pool_;  ///< lazily created; shared with control lanes
   /// Resolved physics_threads (0 = not yet queried); hardware_concurrency
   /// is a per-call sysconf lookup, far too slow for the tick path.
   mutable std::size_t physics_threads_resolved_ = 0;
+  mutable std::size_t control_threads_resolved_ = 0;
   /// Cloud-routing decision policy; df-first unless overridden.
   std::unique_ptr<policy::RoutingPolicy> routing_;
   /// Per-pick scratch for routing policies that need cluster info.

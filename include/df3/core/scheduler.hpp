@@ -59,7 +59,10 @@ class TaskQueue {
   }
   [[nodiscard]] bool empty() const { return edge_.empty() && cloud_.empty(); }
 
-  /// Total queued gigacycles, for backlog-based offload decisions.
+  /// Total queued gigacycles, for backlog-based offload decisions and the
+  /// per-tick lane snapshots (DESIGN.md §12). Cached: mutations mark the
+  /// cache dirty and the next query re-sums in lane order, so the value is
+  /// bit-identical to a fresh walk while a stable queue pays O(1).
   [[nodiscard]] double backlog_gigacycles() const;
 
   /// Structural invariant sweep (lifecycle auditor, DESIGN.md §9): EDF
@@ -77,6 +80,8 @@ class TaskQueue {
   std::uint64_t seq_ = 0;
   std::deque<Task> edge_;
   std::deque<Task> cloud_;
+  mutable double backlog_cache_ = 0.0;
+  mutable bool backlog_dirty_ = false;
 };
 
 }  // namespace df3::core

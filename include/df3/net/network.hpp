@@ -78,6 +78,17 @@ class Network : public sim::Entity {
   [[nodiscard]] std::optional<util::Seconds> unloaded_delay(NodeId src, NodeId dst,
                                                             util::Bytes size) const;
 
+  /// Minimum propagation latency over all *up* links — the conservative
+  /// lookahead bound of the parallel control plane (DESIGN.md §12): no
+  /// cross-cluster influence travels faster than the fastest live link's
+  /// base latency, so control lanes may advance one tick instant
+  /// independently whenever this is positive. Cached O(1); the cache is
+  /// invalidated by add_link and by set_link_up state changes (LinkFlapper
+  /// transitions arrive through set_link_up). +infinity when no link is up:
+  /// a fully partitioned fleet exchanges no messages at all, which is the
+  /// loosest possible lookahead, not a hazard.
+  [[nodiscard]] util::Seconds min_peer_latency() const;
+
   /// Send a message now. `on_delivery(delivered_at)` fires at arrival; if
   /// the destination is unreachable `on_drop()` fires immediately (same
   /// simulation instant). Accounts queuing on every traversed link.
@@ -109,6 +120,8 @@ class Network : public sim::Entity {
   std::uint64_t sent_ = 0;
   std::uint64_t dropped_ = 0;
   mutable LinkStats merged_stats_{};  // scratch for stats() aggregation
+  /// min_peer_latency() memo; < 0 = stale (recompute on next query).
+  mutable double min_peer_latency_cache_ = -1.0;
 };
 
 }  // namespace df3::net

@@ -76,7 +76,8 @@ enum class Phase : std::uint8_t {
   // Platform tick scopes (host clock).
   kPhysicsPhase,       ///< parallel fleet-physics phase of one tick
   kShardPhysics,       ///< one shard's slice of the physics phase (own track)
-  kControlPhase,       ///< serial reduction + control phase of one tick
+  kControlPhase,       ///< reduction + control phase of one tick
+  kLaneControl,        ///< one lane's slice of the parallel control phase (own track)
   kAuditSweep,         ///< structural invariant sweep (kFull audit only)
   // Fault injection (simulated clock).
   kLinkOutage,         ///< link down -> restored (span), id = link index
@@ -104,6 +105,7 @@ enum class Phase : std::uint8_t {
     case Phase::kPhysicsPhase: return "physics-phase";
     case Phase::kShardPhysics: return "shard-physics";
     case Phase::kControlPhase: return "control-phase";
+    case Phase::kLaneControl: return "lane-control";
     case Phase::kAuditSweep: return "audit-sweep";
     case Phase::kLinkOutage: return "link-outage";
     case Phase::kLinkFlap: return "link-flap";
@@ -120,6 +122,7 @@ enum class Phase : std::uint8_t {
     case Phase::kPhysicsPhase:
     case Phase::kShardPhysics:
     case Phase::kControlPhase:
+    case Phase::kLaneControl:
     case Phase::kAuditSweep: return "tick";
     case Phase::kLinkOutage:
     case Phase::kLinkFlap:

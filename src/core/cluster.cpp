@@ -322,9 +322,21 @@ policy::RungOutcome Cluster::relieve_by_horizontal(Task& t) {
 
 Cluster* Cluster::select_peer() {
   peer_scratch_.clear();
-  for (Cluster* const p : peers_) {
-    const double cores = static_cast<double>(std::max(1, p->usable_cores()));
-    peer_scratch_.push_back({p->queued_gigacycles() / cores, p->free_cores()});
+  // Control-phase picks read the pre-control lane snapshot (DESIGN.md
+  // §12): one consistent per-tick view regardless of how many control
+  // lanes run or how the sweep interleaves with peer regulation.
+  // Event-time picks (arrivals, completions) see live state as before.
+  // The platform arms every building cluster together, so our own flag
+  // answers for the peers too.
+  if (lane_snapshot_armed_) {
+    for (const Cluster* p : peers_) {
+      peer_scratch_.push_back({p->lane_backlog_per_core_, p->lane_free_cores_});
+    }
+  } else {
+    for (Cluster* const p : peers_) {
+      const double cores = static_cast<double>(std::max(1, p->usable_cores()));
+      peer_scratch_.push_back({p->queued_gigacycles() / cores, p->free_cores()});
+    }
   }
   const std::size_t pos = peer_selector_->pick(policy::PeerView{peer_scratch_});
   ++policy_counters_.peer_picks;

@@ -257,6 +257,16 @@ void Df3Platform::ensure_shards() {
   for (std::size_t s = 0; s < ns; ++s) {
     shard_track_name_.push_back("shard-" + std::to_string(s));
   }
+  // Control-lane scratch: one lane per shard (DESIGN.md §12).
+  bld_sync_deferred_.assign(nb, 0);
+  lane_span_begin_s_.assign(ns, 0.0);
+  lane_span_end_s_.assign(ns, 0.0);
+  lane_findings_.assign(ns, {});
+  lane_track_name_.clear();
+  lane_track_name_.reserve(ns);
+  for (std::size_t s = 0; s < ns; ++s) {
+    lane_track_name_.push_back("lane-" + std::to_string(s));
+  }
   shards_dirty_ = false;
 }
 
@@ -572,73 +582,63 @@ std::size_t Df3Platform::physics_thread_count() const {
   return physics_threads_resolved_;
 }
 
-void Df3Platform::tick(sim::Time t) {
-  ensure_shards();
-  const util::Celsius t_out = weather_.outdoor_temperature(t);
-  const util::Celsius seasonal = weather_.seasonal_component(t);
-  const double hour = thermal::hour_of_day(t);
-  const std::size_t nb = buildings_.size();
-  const std::size_t ns = shards_.size();
-
-  // Serial reduction + control state. The control sweep replays the exact
-  // accumulation order of the old interleaved loop (ledger adds and city
-  // aggregates are floating-point order-sensitive), then closes the control
-  // loop: thermostat -> regulator -> inlet feedback -> cluster speed sync.
-  // The ledger accumulator keeps the four energy slots in registers for the
-  // whole tick with the identical per-room add sequence.
-  double city_demand_w = 0.0;
-  double city_cores = 0.0;
-  double temp_sum = 0.0;
-  std::size_t room_count = 0;
-  metrics::EnergyLedger::Accumulator energy(df_energy_);
-
-  const auto control_building = [&](std::size_t b) {
-    Building& bd = *buildings_[b];
-    if (bld_gated_[b] != 0) {
-      // Activity-gated fast path. The building was proved quiet: off
-      // season the thermostat demand chain is identically zero, every
-      // regulator's regulate() is a bitwise no-op against the observed
-      // server state, last_demand/last_season already hold zero, and the
-      // city/building demand adds are +0.0 into non-negative accumulators.
-      // Only the irreducible work runs — the ledger split (servers draw
-      // standby power even gated off), the inlet feedback (it drives the
-      // thermal throttle and thus usable_cores), the temperature
-      // aggregates, and the worker speed sync.
-      for (std::size_t i = bd.room_begin; i < bd.room_end; ++i) {
-        const util::Joules delta{fleet_.delta_j[i]};
-        energy.add_it(delta);
-        energy.add_overhead(delta * kDfOverheadFraction);
-        // useful_j is exactly +0.0 (last demand was zero), so the
-        // useful-heat add is skipped and waste takes the full delta
-        // whether or not the heat stays indoors.
-        energy.add_waste_heat(delta);
-        hw::DfServer& server = *fleet_.server[i];
-        if (auditor_.level() == metrics::AuditLevel::kFull) {
-          // Replay the skipped regulate() and flag any state change: the
-          // gate's no-op proof must hold bit-for-bit. (The replay itself
-          // keeps the trajectory identical — it is exactly what the
-          // stepped path would have executed.)
-          const bool powered0 = server.powered();
-          const std::size_t pstate0 = server.pstate();
-          const int filler0 = server.filler_cores();
-          const int busy0 = server.busy_cores();
-          fleet_.regulator[i].regulate(server,
-                                       thermal::HeatDemand{util::Watts{0.0}, false});
-          if (server.powered() != powered0 || server.pstate() != pstate0 ||
-              server.filler_cores() != filler0 || server.busy_cores() != busy0) {
-            auditor_.report("activity-gate: regulate() mutated a quiet server in building " +
-                            bd.cfg.name);
-          }
+std::size_t Df3Platform::control_thread_count() const {
+  // Mirrors physics_thread_count(): explicit config wins, then the
+  // DF3_CONTROL_THREADS environment override, then hardware concurrency;
+  // resolved once (hardware_concurrency is a sysconf query).
+  if (control_threads_resolved_ == 0) {
+    std::size_t n = config_.control_threads;
+    if (n == 0) {
+      if (const char* env = std::getenv("DF3_CONTROL_THREADS")) {
+        char* parse_end = nullptr;
+        const unsigned long v = std::strtoul(env, &parse_end, 10);
+        if (parse_end != env && *parse_end == '\0' && v > 0) {
+          n = static_cast<std::size_t>(v);
         }
-        server.set_inlet_temperature(util::Celsius{fleet_.temp_c[i]});
-        temp_sum += fleet_.temp_c[i];
-        ++room_count;
       }
-      bld_demand_w_[b] = 0.0;
-      bd.cluster->sync_workers();
-      city_cores += bd.cluster->usable_cores();
-      return;
     }
+    if (n == 0) n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    control_threads_resolved_ = n;
+  }
+  return control_threads_resolved_;
+}
+
+void Df3Platform::control_building_math(std::size_t b, double t_out_c,
+                                        std::vector<std::string>& findings) {
+  Building& bd = *buildings_[b];
+  if (bld_gated_[b] != 0) {
+    // Activity-gated fast path, lane half. The building was proved quiet:
+    // off season the thermostat demand chain is identically zero, every
+    // regulator's regulate() is a bitwise no-op against the observed
+    // server state, and last_demand/last_season already hold zero. Only
+    // the inlet feedback (it drives the thermal throttle and thus
+    // usable_cores) and the kFull no-op replay run here; the ledger and
+    // temperature aggregates belong to the boundary drain.
+    const bool full_audit = auditor_.level() == metrics::AuditLevel::kFull;
+    for (std::size_t i = bd.room_begin; i < bd.room_end; ++i) {
+      hw::DfServer& server = *fleet_.server[i];
+      if (full_audit) {
+        // Replay the skipped regulate() and flag any state change: the
+        // gate's no-op proof must hold bit-for-bit. (The replay itself
+        // keeps the trajectory identical — it is exactly what the stepped
+        // path would have executed.) Findings buffer per lane — the
+        // auditor is shared — and report after the drain in lane order.
+        const bool powered0 = server.powered();
+        const std::size_t pstate0 = server.pstate();
+        const int filler0 = server.filler_cores();
+        const int busy0 = server.busy_cores();
+        fleet_.regulator[i].regulate(server,
+                                     thermal::HeatDemand{util::Watts{0.0}, false});
+        if (server.powered() != powered0 || server.pstate() != pstate0 ||
+            server.filler_cores() != filler0 || server.busy_cores() != busy0) {
+          findings.push_back("activity-gate: regulate() mutated a quiet server in building " +
+                             bd.cfg.name);
+        }
+      }
+      server.set_inlet_temperature(util::Celsius{fleet_.temp_c[i]});
+    }
+    bld_demand_w_[b] = 0.0;
+  } else {
     const bool heating_season = bld_season_[b] != 0;
     const double target_c = bld_target_c_[b];
     // Per-building demand accumulates separately from the city total so the
@@ -646,23 +646,12 @@ void Df3Platform::tick(sim::Time t) {
     // untouched; heat-aware routing reads this between ticks.
     double bld_demand_w = 0.0;
     for (std::size_t i = bd.room_begin; i < bd.room_end; ++i) {
-      const util::Joules delta{fleet_.delta_j[i]};
-      energy.add_it(delta);
-      energy.add_overhead(delta * kDfOverheadFraction);
-      const util::Joules useful{fleet_.useful_j[i]};
-      if (fleet_.indoors[i] != 0) {
-        energy.add_useful_heat(useful);
-        energy.add_waste_heat(delta - useful);
-      } else {
-        energy.add_waste_heat(delta);
-      }
-
       // Modulating thermostat (pure math, mirrored from
       // ModulatingThermostat::demand + holding_power of the room model).
       double demand_w = 0.0;
       if (heating_season) {
         const double needed =
-            (target_c - t_out.value()) / fleet_.hold_r[i] - fleet_.gains_w[i];
+            (target_c - t_out_c) / fleet_.hold_r[i] - fleet_.gains_w[i];
         const double hold = std::max(0.0, needed);
         const double raw = hold + fleet_.kp_w_per_k[i] * (target_c - fleet_.temp_c[i]);
         demand_w = std::clamp(raw, 0.0, fleet_.rating_w[i]);
@@ -673,20 +662,10 @@ void Df3Platform::tick(sim::Time t) {
       server.set_inlet_temperature(util::Celsius{fleet_.temp_c[i]});
       fleet_.last_demand_w[i] = demand_w;
       fleet_.last_season[i] = heating_season ? 1 : 0;
-
-      city_demand_w += demand_w;
       bld_demand_w += demand_w;
-      temp_sum += fleet_.temp_c[i];
-      ++room_count;
     }
     if (bd.tank_unit) {
       TankUnit& tu = *bd.tank_unit;
-      const util::Joules delta{tu.scratch_delta_j};
-      energy.add_it(delta);
-      energy.add_overhead(delta * kDfOverheadFraction);
-      const util::Joules useful{tu.scratch_useful_j};
-      energy.add_useful_heat(useful);
-      energy.add_waste_heat(delta - useful);
       const auto demand = tu.tank.demand(tu.scratch_draw_lps, tu.rating);
       tu.regulator.regulate(*tu.server, demand);
       // The immersion oil returns cooled from the tank heat exchanger:
@@ -695,7 +674,6 @@ void Df3Platform::tick(sim::Time t) {
       // overheating store still triggers the throttle.
       tu.server->set_inlet_temperature(util::Celsius{tu.tank.temperature().value() - 15.0});
       tu.last_demand = demand.power;
-      city_demand_w += demand.power.value();
       bld_demand_w += demand.power.value();
     }
     bld_demand_w_[b] = bld_demand_w;
@@ -720,9 +698,96 @@ void Df3Platform::tick(sim::Time t) {
       bld_quiet_[b] = quiet ? 1 : 0;
       if (quiet) bld_quiet_epoch_[b] = bd.cluster->control_epoch();
     }
+  }
+  // Speed sync: a control-quiescent cluster (nothing queued, nothing
+  // running) has an engine-free sync_workers() and finishes it here inside
+  // the lane; the rest defer to the boundary drain, where event re-arms
+  // and queue pumps replay serially in building-major order.
+  if (bd.cluster->control_quiescent()) {
     bd.cluster->sync_workers();
-    city_cores += bd.cluster->usable_cores();
-  };
+    bld_sync_deferred_[b] = 0;
+  } else {
+    bld_sync_deferred_[b] = 1;
+  }
+}
+
+void Df3Platform::control_building_reduce(std::size_t b,
+                                          metrics::EnergyLedger::Accumulator& energy,
+                                          double& city_demand_w, double& city_cores,
+                                          double& temp_sum, std::size_t& room_count) {
+  Building& bd = *buildings_[b];
+  if (bld_gated_[b] != 0) {
+    // Gated drain half: the ledger split (servers draw standby power even
+    // gated off) and the temperature aggregates. useful_j is exactly +0.0
+    // (last demand was zero), so the useful-heat add is skipped and waste
+    // takes the full delta whether or not the heat stays indoors; the
+    // city/building demand adds would be +0.0 and are elided, as in the
+    // fused sweep.
+    for (std::size_t i = bd.room_begin; i < bd.room_end; ++i) {
+      const util::Joules delta{fleet_.delta_j[i]};
+      energy.add_it(delta);
+      energy.add_overhead(delta * kDfOverheadFraction);
+      energy.add_waste_heat(delta);
+      temp_sum += fleet_.temp_c[i];
+      ++room_count;
+    }
+  } else {
+    for (std::size_t i = bd.room_begin; i < bd.room_end; ++i) {
+      const util::Joules delta{fleet_.delta_j[i]};
+      energy.add_it(delta);
+      energy.add_overhead(delta * kDfOverheadFraction);
+      const util::Joules useful{fleet_.useful_j[i]};
+      if (fleet_.indoors[i] != 0) {
+        energy.add_useful_heat(useful);
+        energy.add_waste_heat(delta - useful);
+      } else {
+        energy.add_waste_heat(delta);
+      }
+      // last_demand_w was written by the lane stage this tick, so this is
+      // the same value (and the same accumulation order) the fused sweep
+      // added.
+      city_demand_w += fleet_.last_demand_w[i];
+      temp_sum += fleet_.temp_c[i];
+      ++room_count;
+    }
+    if (bd.tank_unit) {
+      TankUnit& tu = *bd.tank_unit;
+      const util::Joules delta{tu.scratch_delta_j};
+      energy.add_it(delta);
+      energy.add_overhead(delta * kDfOverheadFraction);
+      const util::Joules useful{tu.scratch_useful_j};
+      energy.add_useful_heat(useful);
+      energy.add_waste_heat(delta - useful);
+      city_demand_w += tu.last_demand.value();
+    }
+  }
+  // Deferred speed sync: the event-calendar half of the control loop
+  // (settle + re-arm completions, queue pumps, peer hand-offs) happens
+  // here, in the same building-major sequence the fused serial sweep
+  // produced — the deterministic merge point of every lane's outbound
+  // effects.
+  if (bld_sync_deferred_[b] != 0) bd.cluster->sync_workers();
+  city_cores += bd.cluster->usable_cores();
+}
+
+void Df3Platform::tick(sim::Time t) {
+  ensure_shards();
+  const util::Celsius t_out = weather_.outdoor_temperature(t);
+  const util::Celsius seasonal = weather_.seasonal_component(t);
+  const double hour = thermal::hour_of_day(t);
+  const std::size_t nb = buildings_.size();
+  const std::size_t ns = shards_.size();
+
+  // Reduction + control state. The control phase replays the exact
+  // accumulation order of the old interleaved loop (ledger adds and city
+  // aggregates are floating-point order-sensitive) whatever the lane
+  // count; the ledger accumulator keeps the four energy slots in registers
+  // for the whole tick with the identical per-room add sequence.
+  double city_demand_w = 0.0;
+  double city_cores = 0.0;
+  double temp_sum = 0.0;
+  std::size_t room_count = 0;
+  metrics::EnergyLedger::Accumulator energy(df_energy_);
 
   // --- Phase 1: fleet physics. Every building evolves only state it owns
   // (its fleet slice, servers, tank, comfort collectors), so the sweep can
@@ -730,16 +795,26 @@ void Df3Platform::tick(sim::Time t) {
   // ledger, or another building. Bit-for-bit identical for any thread
   // count and scheduling order.
   //
-  // --- Phase 2: serial reduction + control (control_building above), in
-  // building order.
+  // --- Phase 2: control, in two stages (DESIGN.md §12). The *lane* stage
+  // (control_building_math) makes every building-local control decision —
+  // thermostat, regulate(), inlet feedback, quiet proof — and may fan out
+  // one lane per district shard: within the conservative horizon
+  // `now + Network::min_peer_latency()` no cross-cluster influence can
+  // reach a lane, so lanes advance this tick instant independently. The
+  // *boundary drain* (control_building_reduce) then replays everything
+  // cross-cutting — ledger reduction, event re-arms, queue pumps, peer
+  // hand-offs — serially in building-major order, the deterministic merge
+  // of every lane's outbound effects.
   //
-  // In the serial case the two phases fuse per building: physics(b) only
-  // reads/writes building-b state and control(b) touches shared state in
-  // building order either way, so the interleaving
-  //   physics(0), control(0), physics(1), control(1), ...
-  // performs the identical operation sequence on every accumulator as
-  //   physics(0..n), control(0..n)
-  // — same bits, one pass over each server's cache lines instead of two.
+  // In the fully serial case all stages fuse per building: physics(b) and
+  // math(b) only touch building-b state, the drain touches shared state in
+  // building order either way, and peer views are pinned by the
+  // pre-control lane snapshot — so the interleaving
+  //   physics(0), math(0), reduce(0), physics(1), ...
+  // performs the identical operation sequence on every accumulator and on
+  // the event calendar as the staged
+  //   physics(0..n), math(0..n), reduce(0..n)
+  // — same bits, one pass over each server's cache lines instead of three.
   // Tick-phase scopes run on the *host* clock: every sub-phase of a tick
   // happens at one simulated instant, so only wall time gives the spans
   // extent. Trace content for these spans is machine-dependent by nature;
@@ -759,10 +834,37 @@ void Df3Platform::tick(sim::Time t) {
   const auto close_phase = [](obs::Phase) {};
 #endif
 
-  // The effective thread count clamps to the shard count: a fleet with
-  // fewer districts than cores must not wake workers that would find no
-  // shard to claim.
+  // The effective thread counts clamp to the shard/lane count: a fleet
+  // with fewer districts than cores must not wake workers that would find
+  // no work to claim.
   const std::size_t threads = std::min(physics_thread_count(), std::max<std::size_t>(1, ns));
+  // Conservative-lookahead gate for the control lanes: parallel lane
+  // advancement is licensed by every cross-cluster path carrying at least
+  // min_peer_latency() of delay. A zero-latency link collapses the horizon
+  // to the tick instant itself, so the control phase falls back to the
+  // serial sweep instead of risking a same-instant cross-lane delivery.
+  std::size_t ctrl = std::min(control_thread_count(), std::max<std::size_t>(1, ns));
+  if (ctrl > 1 && !(network_->min_peer_latency().value() > 0.0)) {
+    ctrl = 1;
+    ++lane_fallback_ticks_;
+  }
+
+  // Pre-control peer snapshot: freeze the load signals PeerSelector views
+  // read so a control-phase pump observes every peer as it stood at the
+  // start of the conservative window, independent of lane interleaving.
+  // Only needed when some cluster can actually pump this tick (non-empty
+  // queue); the scan itself reads pre-control state in every mode.
+  bool any_queued = false;
+  for (const auto& b : buildings_) {
+    if (b->cluster->queued() > 0) {
+      any_queued = true;
+      break;
+    }
+  }
+  if (any_queued) {
+    for (const auto& b : buildings_) b->cluster->arm_lane_snapshot();
+  }
+
   if (threads > 1) {
     const std::size_t helpers = threads - 1;
     if (!physics_pool_ || physics_pool_->size() < helpers) {
@@ -783,12 +885,58 @@ void Df3Platform::tick(sim::Time t) {
       }
       close_phase(obs::Phase::kPhysicsPhase);
     }
-    for (std::size_t b = 0; b < nb; ++b) control_building(b);
+  } else if (ctrl > 1) {
+    // Serial physics ahead of parallel control lanes (the fused serial
+    // walk would interleave control into the physics pass).
+    for (std::size_t s = 0; s < ns; ++s) physics_shard(s, t, t_out, seasonal, hour);
+    if (phase_scopes) close_phase(obs::Phase::kPhysicsPhase);
+  }
+
+  if (threads > 1 || ctrl > 1) {
+    if (ctrl > 1) {
+      ++lane_parallel_ticks_;
+      const std::size_t helpers = ctrl - 1;
+      if (!physics_pool_ || physics_pool_->size() < helpers) {
+        physics_pool_ = std::make_unique<util::ThreadPool>(helpers);
+      }
+      // Lane stage: one control lane per district shard on the shared
+      // pool. Lane workers only time-stamp their spans; the serial
+      // section emits them on per-lane tracks.
+      physics_pool_->for_each_index(ns, [&](std::size_t s) {
+        if (phase_scopes) lane_span_begin_s_[s] = sink->trace().host_now_s();
+        const Shard& sh = shards_[s];
+        for (std::size_t b = sh.bld_begin; b < sh.bld_end; ++b) {
+          control_building_math(b, t_out.value(), lane_findings_[s]);
+        }
+        if (phase_scopes) lane_span_end_s_[s] = sink->trace().host_now_s();
+      });
+      if (phase_scopes) {
+        for (std::size_t s = 0; s < ns; ++s) {
+          sink->host_span(&lane_track_name_[s], lane_track_name_[s],
+                          obs::Phase::kLaneControl, lane_span_begin_s_[s],
+                          lane_span_end_s_[s]);
+        }
+      }
+      // Boundary drain, building-major.
+      for (std::size_t b = 0; b < nb; ++b) {
+        control_building_reduce(b, energy, city_demand_w, city_cores, temp_sum, room_count);
+      }
+    } else {
+      // Serial control after parallel physics: fuse the two control
+      // stages per building (one pass over each building's cache lines).
+      for (std::size_t s = 0; s < ns; ++s) {
+        const Shard& sh = shards_[s];
+        for (std::size_t b = sh.bld_begin; b < sh.bld_end; ++b) {
+          control_building_math(b, t_out.value(), lane_findings_[s]);
+          control_building_reduce(b, energy, city_demand_w, city_cores, temp_sum, room_count);
+        }
+      }
+    }
     if (phase_scopes) close_phase(obs::Phase::kControlPhase);
   } else {
-    // Serial mode fuses physics + control per building (one pass over each
-    // server's cache lines); the whole sweep is reported as one
-    // physics-phase span.
+    // Fully serial mode fuses physics + both control stages per building
+    // (one pass over each server's cache lines); the whole sweep is
+    // reported as one physics-phase span.
     for (std::size_t s = 0; s < ns; ++s) {
       const Shard& sh = shards_[s];
       std::uint64_t run = 0;
@@ -797,12 +945,26 @@ void Df3Platform::tick(sim::Time t) {
         const fleet::Substeps2R2C sub = physics_building(b, t, t_out, seasonal, hour);
         run += sub.full_steps_run;
         skipped += sub.full_steps_skipped;
-        control_building(b);
+        control_building_math(b, t_out.value(), lane_findings_[s]);
+        control_building_reduce(b, energy, city_demand_w, city_cores, temp_sum, room_count);
       }
       shard_substeps_run_[s] = run;
       shard_substeps_skipped_[s] = skipped;
     }
     if (phase_scopes) close_phase(obs::Phase::kPhysicsPhase);
+  }
+
+  // Gated-replay findings (buffered per lane under kFull audit) report in
+  // lane order — which is building order, since lanes cover contiguous
+  // ascending building ranges — identically in every execution mode.
+  if (auditor_.level() == metrics::AuditLevel::kFull) {
+    for (auto& lane : lane_findings_) {
+      for (auto& f : lane) auditor_.report(std::move(f));
+      lane.clear();
+    }
+  }
+  if (any_queued) {
+    for (const auto& b : buildings_) b->cluster->disarm_lane_snapshot();
   }
   energy.commit();
 

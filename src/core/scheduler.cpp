@@ -34,6 +34,7 @@ void TaskQueue::insert_by_discipline(std::deque<Task>& q, Task t) {
 }
 
 void TaskQueue::push(Task t) {
+  backlog_dirty_ = true;
   // Evaluate the lane before moving `t` into the parameter: function
   // argument evaluation order is unspecified.
   auto& q = lane(t.priority());
@@ -41,6 +42,7 @@ void TaskQueue::push(Task t) {
 }
 
 void TaskQueue::push_front(Task t) {
+  backlog_dirty_ = true;
   auto& q = lane(t.priority());
   if (discipline_ == QueueDiscipline::kFcfs) {
     // FCFS: a re-queued shard has already waited once, so a true
@@ -65,6 +67,7 @@ void TaskQueue::push_front(Task t) {
 }
 
 std::optional<Task> TaskQueue::pop() {
+  backlog_dirty_ = true;
   if (!edge_.empty()) {
     Task t = std::move(edge_.front());
     edge_.pop_front();
@@ -79,6 +82,7 @@ std::optional<Task> TaskQueue::pop() {
 }
 
 std::optional<Task> TaskQueue::pop_class(Priority p) {
+  backlog_dirty_ = true;
   auto& q = lane(p);
   if (q.empty()) return std::nullopt;
   Task t = std::move(q.front());
@@ -113,10 +117,17 @@ void TaskQueue::audit(std::vector<std::string>& out, const std::string& who) con
 }
 
 double TaskQueue::backlog_gigacycles() const {
-  double total = 0.0;
-  for (const auto& t : edge_) total += t.remaining_gigacycles;
-  for (const auto& t : cloud_) total += t.remaining_gigacycles;
-  return total;
+  if (backlog_dirty_) {
+    // Re-sum in the same edge-then-cloud lane order a fresh walk always
+    // used: the cached value is bitwise equal, never incrementally drifted
+    // (routing policies compare these doubles, so order matters).
+    double total = 0.0;
+    for (const auto& t : edge_) total += t.remaining_gigacycles;
+    for (const auto& t : cloud_) total += t.remaining_gigacycles;
+    backlog_cache_ = total;
+    backlog_dirty_ = false;
+  }
+  return backlog_cache_;
 }
 
 }  // namespace df3::core

@@ -38,11 +38,29 @@ std::size_t Network::add_link(NodeId a, NodeId b, LinkProfile profile) {
   const std::size_t idx = links_.size() - 1;
   adjacency_[a].push_back(idx);
   adjacency_[b].push_back(idx);
+  min_peer_latency_cache_ = -1.0;
   return idx;
 }
 
-void Network::set_link_up(std::size_t link, bool up) { links_.at(link).up = up; }
+void Network::set_link_up(std::size_t link, bool up) {
+  Link& l = links_.at(link);
+  if (l.up != up) {
+    l.up = up;
+    min_peer_latency_cache_ = -1.0;
+  }
+}
 bool Network::link_up(std::size_t link) const { return links_.at(link).up; }
+
+util::Seconds Network::min_peer_latency() const {
+  if (min_peer_latency_cache_ < 0.0) {
+    double m = std::numeric_limits<double>::infinity();
+    for (const Link& l : links_) {
+      if (l.up) m = std::min(m, l.profile.base_latency.value());
+    }
+    min_peer_latency_cache_ = m;
+  }
+  return util::Seconds{min_peer_latency_cache_};
+}
 
 std::vector<std::size_t> Network::route(NodeId src, NodeId dst, util::Bytes size) const {
   if (src >= node_names_.size() || dst >= node_names_.size()) {

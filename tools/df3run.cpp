@@ -157,11 +157,13 @@ int run(const std::string& config_path, const Options& opts) {
   const double cloud_risk_interval_s = cfg.get_double("cloud_risk_interval_s", 1800.0);
   const double days = cfg.get_double("days", 7.0);
   const long physics_threads = cfg.get_int("physics_threads", 0);
+  const long control_threads = cfg.get_int("control_threads", 0);
   const long shard_rooms = cfg.get_int("shard_rooms", 4096);
   const bool activity_gating = cfg.get_bool("activity_gating", true);
   const long federation_degree = cfg.get_int("federation_degree", 0);
   cfg.check_exhausted();
   if (physics_threads < 0) throw std::invalid_argument("physics_threads must be >= 0");
+  if (control_threads < 0) throw std::invalid_argument("control_threads must be >= 0");
   if (shard_rooms <= 0) throw std::invalid_argument("shard_rooms must be > 0");
   if (federation_degree < 0) throw std::invalid_argument("federation_degree must be >= 0");
 
@@ -183,6 +185,7 @@ int run(const std::string& config_path, const Options& opts) {
   // full-mesh default bit-identical, while a nonzero ring degree is a real
   // topology choice that changes peer hand-offs.
   pc.physics_threads = static_cast<std::size_t>(physics_threads);
+  pc.control_threads = static_cast<std::size_t>(control_threads);
   pc.shard_rooms = static_cast<std::size_t>(shard_rooms);
   pc.activity_gating = activity_gating;
   pc.federation_degree = static_cast<std::size_t>(federation_degree);
