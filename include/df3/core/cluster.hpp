@@ -245,6 +245,29 @@ class Cluster : public sim::Entity, private policy::LadderMechanism {
   /// only — never mutates cluster state.
   void audit(std::vector<std::string>& out) const;
 
+  /// Read-only view of the gateway queue — state-capture hook for the model
+  /// checker's snapshot digests (DESIGN.md §13).
+  [[nodiscard]] const TaskQueue& task_queue() const { return queue_; }
+
+  /// One pending (in-flight) request, as exposed to state capture. The
+  /// pending map itself is keyed by pointer; consumers needing a canonical
+  /// order must sort by `id`.
+  struct PendingView {
+    std::uint64_t id = 0;
+    std::size_t preferred_worker = SIZE_MAX;
+    std::size_t served_worker = SIZE_MAX;
+    bool foreign = false;
+    bool local_only = false;
+  };
+  /// Visit every pending request (unordered — see PendingView). Read-only
+  /// state-capture hook for the model checker; not a hot path.
+  void for_each_pending(const std::function<void(const PendingView&)>& fn) const {
+    for (const auto& [state, p] : pending_) {
+      fn(PendingView{state->request.id, p->preferred_worker, p->served_worker, p->foreign,
+                     p->local_only});
+    }
+  }
+
   /// Freeze the load signals peers read through the PeerSelector view
   /// (DESIGN.md §12). While armed, select_peer() builds PeerInfo from
   /// these values instead of live reads, so a horizontal-offload decision

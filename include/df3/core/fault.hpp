@@ -64,6 +64,19 @@ class WorkerChurn : public sim::Entity {
   void start();
   void stop();
 
+  /// Toggle slot `slot` (index into config.workers) right now — an explicit
+  /// choice point for the model checker (df3::mc, DESIGN.md §13). Performs
+  /// exactly what an RNG-scheduled toggle would (apply + sync_workers +
+  /// accounting) but never consults the dwell RNG and never arms a
+  /// follow-up event, so the same slot can be gated/restored at enumerated
+  /// instants. Works whether or not the RNG schedule is running.
+  void force_toggle(std::size_t slot);
+
+  /// Number of managed workers (valid slots are [0, slot_count())).
+  [[nodiscard]] std::size_t slot_count() const { return down_.size(); }
+  /// Current injected state of slot `slot`.
+  [[nodiscard]] bool is_down(std::size_t slot) const { return down_.at(slot); }
+
   /// Number of healthy->outage transitions injected so far.
   [[nodiscard]] std::uint64_t outages() const { return outages_; }
   [[nodiscard]] bool running() const { return running_; }

@@ -185,6 +185,24 @@ class Df3Platform {
   /// which the lifecycle auditor's conservation check is exact.
   void stop_sources();
 
+  // --- deterministic single-request injection (model checker, DESIGN.md
+  // §13). Each call submits exactly one request *now*, through the same
+  // auditor-fed funnels the Poisson sources use, so an exploration branch
+  // can make a submission an explicit choice point instead of a random
+  // arrival. The caller owns id uniqueness (the checker tags ids with a
+  // high-bit namespace so they can never collide with source ids).
+  /// Submit an edge request at building `b` from its device node (or
+  /// directly to worker 0 with `direct`), exactly like add_edge_source
+  /// traffic. `r.arrival` and `r.flow` are stamped here.
+  void inject_edge(std::size_t b, workload::Request r, bool direct = false);
+  /// Submit a cloud request targeted at building `b`'s cluster (bypassing
+  /// the routing policy — the checker enumerates targets itself), paying
+  /// the same internet -> gateway hop as add_cloud_source traffic.
+  void inject_cloud_at(std::size_t b, workload::Request r);
+  /// Run a pinned composition request on worker `w` of building `b`'s
+  /// cluster (the run_pinned path: placement affinity + local_only).
+  void inject_pinned(std::size_t b, std::size_t w, workload::Request r);
+
   /// Run the simulation for `duration` of simulated time.
   void run(util::Seconds duration);
 

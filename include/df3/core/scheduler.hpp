@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -70,11 +71,26 @@ class TaskQueue {
   /// human-readable line per violation, prefixed with `who`.
   void audit(std::vector<std::string>& out, const std::string& who) const;
 
+  /// Visit every queued shard in pop order (edge lane front-to-back, then
+  /// cloud lane). Read-only state-capture hook for the model checker's
+  /// snapshot digests (DESIGN.md §13); not a hot path.
+  void for_each(const std::function<void(const Task&, Priority)>& fn) const;
+
+  /// Test-only fault plant: when set, push_front() on an EDF lane performs
+  /// the blind front-insert this class shipped before the PR-3 fix,
+  /// re-breaking the sorted-lane invariant. Exists solely so the model
+  /// checker's self-test can prove it detects a known-bad build
+  /// (tests/mc_test.cpp); never enable outside a test.
+  static void set_test_unsorted_push_front(bool plant) { test_unsorted_push_front_ = plant; }
+  [[nodiscard]] static bool test_unsorted_push_front() { return test_unsorted_push_front_; }
+
   [[nodiscard]] QueueDiscipline discipline() const { return discipline_; }
 
  private:
   std::deque<Task>& lane(Priority p) { return p == Priority::kEdge ? edge_ : cloud_; }
   void insert_by_discipline(std::deque<Task>& q, Task t);
+
+  static bool test_unsorted_push_front_;  ///< see set_test_unsorted_push_front
 
   QueueDiscipline discipline_;
   std::uint64_t seq_ = 0;

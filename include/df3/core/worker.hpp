@@ -87,6 +87,15 @@ class Worker : public sim::Entity {
   /// Appends one human-readable line per violation.
   void audit(std::vector<std::string>& out) const;
 
+  /// Visit every running shard (core-acquisition order). Read-only
+  /// state-capture hook for the model checker's snapshot digests
+  /// (DESIGN.md §13); `speed_gcps` is the per-core speed the shard was last
+  /// (re)armed at. Not a hot path.
+  void for_each_running(
+      const std::function<void(const Task&, double speed_gcps)>& fn) const {
+    for (const auto& r : running_) fn(r.task, r.speed_gcps);
+  }
+
  private:
   struct Running {
     Task task;

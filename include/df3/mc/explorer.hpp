@@ -1,0 +1,94 @@
+#pragma once
+/// \file explorer.hpp
+/// \brief Exhaustive interleaving exploration over a World (DESIGN.md §13).
+///
+/// Breadth-first search over the tree of action sequences up to a depth
+/// bound. BFS is deliberate: the first violation found on any branch is
+/// reported with the *shortest* event schedule that reaches it — witnesses
+/// are minimal by construction, which is what makes them convertible into
+/// plain regression tests.
+///
+/// Each node is materialized by replay: `World::reset()` rebuilds the
+/// deterministic root and the node's action prefix is re-applied (see
+/// snapshot.hpp for why replay is the sound save/restore here). Every node
+/// then runs the non-destructive invariant sweep, and — because the next
+/// node replays from the root anyway — is additionally *finalized*: faults
+/// healed, work drained, and the full request-conservation identity
+/// checked. Every explored interleaving therefore asserts the complete
+/// LifecycleAuditor identity end to end, not just the structural
+/// mid-branch invariants.
+///
+/// A violating node is recorded (witness = its action prefix, plus a
+/// "<drain>" marker when the violation only surfaced while draining) and
+/// its subtree pruned: extensions of a broken schedule would only produce
+/// longer witnesses of the same defect.
+///
+/// Optional digest-based dedup collapses nodes whose captured state
+/// fingerprints match. This is a tree-size/soundness trade (the digest
+/// cannot observe the relative calendar order of distinct same-instant
+/// in-flight events), so it is OFF by default; certification runs and the
+/// CI smoke job explore the full tree and instead pin `states_explored`
+/// against a bound.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "df3/mc/world.hpp"
+
+namespace df3::mc {
+
+struct ExplorerConfig {
+  /// Maximum number of actions per branch (tree depth).
+  std::size_t max_depth = 3;
+  /// Abort exploration after this many nodes (0 = unlimited). Used by CI
+  /// as the pinned state-count bound: a truncated run means the explored
+  /// space regressed past the bound.
+  std::uint64_t max_states = 0;
+  /// Collapse digest-identical states (see soundness caveat above).
+  bool dedup = false;
+  /// Keep at most this many violation witnesses (count stays exact).
+  std::size_t max_stored_violations = 32;
+  /// Progress hook, called every `progress_every` nodes (0 = never).
+  std::uint64_t progress_every = 0;
+  std::function<void(std::uint64_t states, std::size_t frontier)> on_progress;
+};
+
+/// One invariant violation with its minimal event-schedule witness.
+struct Violation {
+  /// Action labels from the root; a trailing "<drain>" means the breach
+  /// surfaced in finalize(), not in the mid-branch sweep.
+  std::vector<std::string> witness;
+  std::vector<std::string> messages;
+};
+
+struct ExploreResult {
+  std::uint64_t states_explored = 0;   ///< nodes fully replayed and checked
+  std::uint64_t states_deduped = 0;    ///< nodes pruned by digest match
+  std::uint64_t violation_count = 0;   ///< exact, even beyond the stored cap
+  std::size_t max_depth_reached = 0;
+  bool truncated = false;              ///< hit ExplorerConfig::max_states
+  std::vector<Violation> violations;   ///< shortest witnesses first (BFS)
+  /// Summed World::coverage() counters across every explored branch.
+  std::map<std::string, std::uint64_t> coverage;
+
+  [[nodiscard]] bool clean() const { return violation_count == 0; }
+};
+
+class Explorer {
+ public:
+  explicit Explorer(ExplorerConfig config) : config_(std::move(config)) {}
+
+  /// Exhaustively explore `world` up to the configured depth.
+  [[nodiscard]] ExploreResult run(World& world) const;
+
+ private:
+  ExplorerConfig config_;
+};
+
+/// Render a witness as a one-line schedule ("edge(b1) -> step -> <drain>").
+[[nodiscard]] std::string format_witness(const std::vector<std::string>& witness);
+
+}  // namespace df3::mc

@@ -1,0 +1,73 @@
+#pragma once
+/// \file snapshot.hpp
+/// \brief State capture for the decision-plane model checker.
+///
+/// df3sim's exploration strategy is *replay-based* save/restore: because
+/// every component draws from named `util::RngStream`s derived from one
+/// experiment seed and the event calendar breaks timestamp ties by a
+/// deterministic sequence number, rebuilding a world and re-applying the
+/// same action prefix reproduces the simulation state bit-for-bit. A
+/// "snapshot" is therefore the pair (seed/config, action prefix), and
+/// restoring is replaying — no mutable deep copy of Df3Platform exists or
+/// is needed (the platform owns live event handles that cannot be cloned
+/// soundly).
+///
+/// What this header provides is the *observable* half of that contract:
+/// `StateDigest`, a canonical FNV-1a fingerprint of everything the decision
+/// plane can branch on (queues, pending maps, running shards, injector
+/// states, auditor counters). Two uses:
+///
+///  * **bit-exactness checks** — replaying a prefix twice must produce the
+///    same digest (tests/mc_test.cpp pins this);
+///  * **optional state dedup in the explorer** — identical digests mean the
+///    *captured* state matches. Capture is deliberately coarser than the
+///    full simulator state (it omits the event calendar's internal order of
+///    same-instant events), so dedup trades soundness for tree size and is
+///    off by default; certification runs explore the full tree (see
+///    DESIGN.md §13).
+///
+/// The byte order of every mix function is fixed (little-endian, doubles
+/// via bit pattern) so digests are portable and can be pinned as golden
+/// values.
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+namespace df3::mc {
+
+/// Incremental FNV-1a 64-bit fingerprint with a fixed, portable byte
+/// encoding per mixed value. Same mix sequence => same value, on any
+/// platform.
+class StateDigest {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ULL;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+
+  constexpr void mix_byte(std::uint8_t b) { h_ = (h_ ^ b) * kPrime; }
+
+  /// Mixed as 8 bytes, least-significant first.
+  constexpr void mix_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      mix_byte(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  /// Mixed by exact bit pattern — bit-for-bit, not approximate equality.
+  void mix_f64(double v) { mix_u64(std::bit_cast<std::uint64_t>(v)); }
+
+  constexpr void mix_bool(bool b) { mix_byte(b ? 1 : 0); }
+
+  constexpr void mix_str(std::string_view s) {
+    // Length-prefixed so ("ab","c") never collides with ("a","bc").
+    mix_u64(s.size());
+    for (char c : s) mix_byte(static_cast<std::uint8_t>(c));
+  }
+
+  [[nodiscard]] constexpr std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = kOffsetBasis;
+};
+
+}  // namespace df3::mc

@@ -1,0 +1,66 @@
+#pragma once
+/// \file world.hpp
+/// \brief The explorable-world interface of the decision-plane model checker.
+///
+/// A `World` wraps a simulation fixture behind an explicit choice-point API:
+/// the explorer asks which exogenous decision-relevant events are currently
+/// possible (`enabled`), picks one (`apply`), and checks invariants either
+/// non-destructively mid-branch (`check`) or by draining the world to
+/// quiescence (`finalize`). Restoring an earlier state is replay-based (see
+/// snapshot.hpp): `reset()` rebuilds the deterministic root state and the
+/// explorer re-applies the action prefix, which the engine's seeded RNG
+/// streams and (time, seq) tie-break make bit-exact.
+///
+/// Actions are identified by their canonical label string. Labels must be
+/// stable across `reset()` calls — they are the alphabet of the explored
+/// tree and the vocabulary of violation witnesses.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace df3::mc {
+
+class World {
+ public:
+  virtual ~World() = default;
+
+  /// Rebuild the deterministic root state (branch epoch). Must be callable
+  /// any number of times; every call yields a bit-identical world.
+  virtual void reset() = 0;
+
+  /// Canonical labels of the choice points enabled right now, in a fixed
+  /// deterministic order.
+  [[nodiscard]] virtual std::vector<std::string> enabled() = 0;
+
+  /// Perform one enabled action. Throws std::invalid_argument on an
+  /// unknown label.
+  virtual void apply(const std::string& action) = 0;
+
+  /// Non-destructive invariant sweep of the current state (structural
+  /// checks + instantaneous conservation identities). One human-readable
+  /// line per violation; empty = healthy.
+  [[nodiscard]] virtual std::vector<std::string> check() = 0;
+
+  /// Destructively drive the world to quiescence (heal injected faults,
+  /// drain all in-flight work) and check the full end-to-end conservation
+  /// identity: every request submitted on this branch reached exactly one
+  /// terminal outcome. After finalize() the world is only good for
+  /// `coverage()`; the explorer resets before the next branch.
+  [[nodiscard]] virtual std::vector<std::string> finalize() = 0;
+
+  /// Canonical fingerprint of the decision-plane-observable state (see
+  /// snapshot.hpp for what "observable" covers — and what it does not).
+  [[nodiscard]] virtual std::uint64_t digest() = 0;
+
+  /// Named event counters accumulated on the current branch (rung firings,
+  /// injector toggles, hand-offs...). The explorer sums these across all
+  /// branches so a run can prove which mechanisms the explored tree
+  /// actually exercised. Called after finalize().
+  [[nodiscard]] virtual std::vector<std::pair<std::string, std::uint64_t>> coverage() {
+    return {};
+  }
+};
+
+}  // namespace df3::mc

@@ -76,6 +76,14 @@ class LifecycleAuditor {
   /// Report a violation found by an external invariant sweep.
   void report(std::string what);
 
+  /// Forget everything: counters, violations and (at kFull) the per-id
+  /// lifecycle map go back to a freshly-constructed state; the audit level
+  /// is kept. Branch-scoped reset for the model checker (DESIGN.md §13) —
+  /// each explored branch re-seeds a warm platform and must audit only the
+  /// traffic of its own epoch, not the warm-up that produced the root
+  /// state. Production code never calls this mid-run.
+  void reset();
+
   // --- counters ---
   [[nodiscard]] std::uint64_t submitted() const { return submitted_; }
   [[nodiscard]] std::uint64_t terminals() const { return terminals_; }

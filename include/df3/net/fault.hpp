@@ -40,6 +40,15 @@ struct LinkFlapConfig {
 /// `start()` arms the schedule; `stop()` cancels all pending toggles and
 /// restores every managed link to the up state (so a soak scenario can end
 /// churn, drain, and expect the network to be whole again).
+///
+/// Besides the RNG schedule, every managed link is an *enumerable choice
+/// point*: `force_toggle(slot)` performs one up<->down transition right now
+/// without consulting the dwell RNG or arming a follow-up event. The model
+/// checker (df3::mc, DESIGN.md §13) drives injectors exclusively through
+/// this hook, turning "a flap may happen here" into an explicit branch of
+/// the explored interleaving tree. force_toggle works whether or not the
+/// RNG schedule is running and keeps `flaps()`/trace accounting identical
+/// to an RNG-driven toggle.
 class LinkFlapper : public sim::Entity {
  public:
   LinkFlapper(sim::Simulation& sim, std::string name, Network& network, LinkFlapConfig config,
@@ -47,6 +56,15 @@ class LinkFlapper : public sim::Entity {
 
   void start();
   void stop();
+
+  /// Toggle slot `slot` (index into config.links) right now — an explicit
+  /// choice point. Does not arm an RNG follow-up; out_of_range on bad slot.
+  void force_toggle(std::size_t slot);
+
+  /// Number of managed links (valid slots are [0, slot_count())).
+  [[nodiscard]] std::size_t slot_count() const { return down_.size(); }
+  /// Current injected state of slot `slot`.
+  [[nodiscard]] bool is_down(std::size_t slot) const { return down_.at(slot); }
 
   /// Number of up->down transitions injected so far.
   [[nodiscard]] std::uint64_t flaps() const { return flaps_; }

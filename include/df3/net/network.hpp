@@ -68,6 +68,8 @@ class Network : public sim::Entity {
   /// Enable/disable a link (network partition injection).
   void set_link_up(std::size_t link, bool up);
   [[nodiscard]] bool link_up(std::size_t link) const;
+  /// Number of links added so far (valid link indices are [0, link_count)).
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
 
   /// Minimum-delay route for a message of `size`; empty when unreachable.
   /// The route is the sequence of link indices traversed.

@@ -198,6 +198,13 @@ bool Cluster::place(Task& t) {
       it->second->served_worker = w;
       return true;
     }
+    // Pinned (local_only) stages are an execution contract, not a
+    // preference: the composer selected *this* worker, computed its time
+    // and energy there, and staged the input onto it. Falling through to
+    // the shared scan would silently run the stage on a different chassis
+    // — found by the model checker as a churn-during-composition
+    // interleaving (DESIGN.md §13). The stage waits for its worker instead.
+    if (it->second->local_only) return false;
   }
   // Edge shards draw candidates from the dedicated pool up; cloud shards
   // only from the shared pool. Candidates are offered to the placement
@@ -252,7 +259,13 @@ bool Cluster::handle_unplaceable_edge(Task t) {
 }
 
 policy::RungOutcome Cluster::relieve_by_preemption(Task& t) {
+  // A pinned stage may only take a core on its own worker: preempting a
+  // victim elsewhere would start the stage on a chassis the composer never
+  // selected (same contract as place()).
+  const auto pin = pending_.find(t.request.get());
+  const bool pinned = pin != pending_.end() && pin->second->local_only;
   for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
+    if (pinned && wi != pin->second->preferred_worker) continue;
     Worker& w = *workers_[wi];
     if (w.running_below(Priority::kEdge) == 0) continue;
     auto victim = w.preempt_one(Priority::kEdge);
@@ -278,7 +291,13 @@ policy::RungOutcome Cluster::relieve_by_preemption(Task& t) {
 
 policy::RungOutcome Cluster::relieve_by_horizontal(Task& t) {
   const auto it = pending_.find(t.request.get());
-  if (peers_.empty() || it == pending_.end() || it->second->foreign) {
+  // local_only: a pinned composition stage must not leave its worker, let
+  // alone the cluster — the composer owns its transfers and expects the
+  // stage to run where it staged the input. The model checker flushed this
+  // as a depth-1 interleaving (pinned stage arriving at a saturated
+  // cluster was silently shipped to a peer, DESIGN.md §13).
+  if (peers_.empty() || it == pending_.end() || it->second->foreign ||
+      it->second->local_only) {
     return policy::RungOutcome::kNoOp;
   }
   if (t.request->request.tasks != 1) {
@@ -304,18 +323,24 @@ policy::RungOutcome Cluster::relieve_by_horizontal(Task& t) {
       [peer, moved, origin = p->origin, wrap](sim::Time) mutable {
         peer->submit_offloaded(std::move(moved), origin, wrap);
       },
-      [moved, wrap, this]() mutable {
+      [moved, sink = p->sink, this]() mutable {
         // No counter here: responsibility already left this cluster
         // when offloaded_horizontal_out was incremented above, and
         // bumping `rejected` as well would double-count the request
         // in the conservation identity. The platform still sees the
         // loss through the kDropped record.
+        //
+        // Report straight through the original sink, not `wrap`: the
+        // peer never saw this request, so a record claiming it was
+        // served "horizontal:<peer>" misattributes the loss in every
+        // served_by metric slice. Flushed by the model checker as a
+        // flap-before-hand-off interleaving (DESIGN.md §13).
         workload::CompletionRecord rec;
         rec.request = std::move(moved);
         rec.outcome = workload::Outcome::kDropped;
         rec.completed_at = now();
         rec.served_by = name() + ":partition";
-        wrap(std::move(rec));
+        sink(std::move(rec));
       });
   return policy::RungOutcome::kResolved;
 }
@@ -349,7 +374,10 @@ Cluster* Cluster::select_peer() {
 
 policy::RungOutcome Cluster::relieve_by_vertical(Task& t) {
   const auto it = pending_.find(t.request.get());
-  if (datacenter_ == nullptr || it == pending_.end()) return policy::RungOutcome::kNoOp;
+  // local_only: same pinned-stage contract as relieve_by_horizontal.
+  if (datacenter_ == nullptr || it == pending_.end() || it->second->local_only) {
+    return policy::RungOutcome::kNoOp;
+  }
   if (t.request->request.privacy_sensitive) {
     return policy::RungOutcome::kNoOp;  // must stay local
   }

@@ -58,7 +58,8 @@ void WorkerChurn::arm(std::size_t slot) {
   next_[slot] = sim().schedule_at(at, [this, slot] { toggle(slot); });
 }
 
-void WorkerChurn::toggle(std::size_t slot) {
+void WorkerChurn::force_toggle(std::size_t slot) {
+  if (slot >= down_.size()) throw std::out_of_range("WorkerChurn: bad slot");
   down_[slot] = !down_[slot];
   if (down_[slot]) {
     ++outages_;
@@ -76,6 +77,10 @@ void WorkerChurn::toggle(std::size_t slot) {
   // Same sequence as the physics tick after a hardware change: settle shard
   // progress at the new speed, then pump the queue onto remaining capacity.
   cluster_.sync_workers();
+}
+
+void WorkerChurn::toggle(std::size_t slot) {
+  force_toggle(slot);
   arm(slot);
 }
 

@@ -345,6 +345,46 @@ void Df3Platform::stop_sources() {
   for (auto& s : sources_) s->stop();
 }
 
+void Df3Platform::inject_edge(std::size_t b, workload::Request r, bool direct) {
+  if (b >= buildings_.size()) throw std::out_of_range("inject_edge: bad building");
+  ensure_peers_wired();
+  r.arrival = sim_.now();
+  r.flow = direct ? workload::Flow::kEdgeDirect : workload::Flow::kEdgeIndirect;
+  deliver_to_cluster(std::move(r), b, direct, /*via_wifi=*/false);
+}
+
+void Df3Platform::inject_cloud_at(std::size_t b, workload::Request r) {
+  if (b >= buildings_.size()) throw std::out_of_range("inject_cloud_at: bad building");
+  ensure_peers_wired();
+  r.arrival = sim_.now();
+  r.flow = workload::Flow::kCloud;
+  auditor_.on_submitted(r);
+  Cluster* target = buildings_[b]->cluster.get();
+  // Same Internet -> gateway transport (and partition drop path) as the
+  // routed cloud-source arrivals; only the target choice differs.
+  network_->send(
+      net::Message{internet_node_, target->gateway_node(), r.input_size, r.id},
+      [target, r, this](sim::Time) mutable { target->submit(std::move(r), internet_node_); },
+      [this, r]() mutable {
+        workload::CompletionRecord rec;
+        rec.request = std::move(r);
+        rec.outcome = workload::Outcome::kDropped;
+        rec.completed_at = sim_.now();
+        rec.served_by = "uplink-partition";
+        record_completion(rec);
+      });
+}
+
+void Df3Platform::inject_pinned(std::size_t b, std::size_t w, workload::Request r) {
+  if (b >= buildings_.size()) throw std::out_of_range("inject_pinned: bad building");
+  ensure_peers_wired();
+  r.arrival = sim_.now();
+  r.flow = workload::Flow::kEdgeDirect;
+  auditor_.on_submitted(r);
+  buildings_[b]->cluster->run_pinned(
+      std::move(r), w, [this](workload::CompletionRecord rec) { record_completion(rec); });
+}
+
 void Df3Platform::set_cloud_routing(const std::string& name) {
   routing_ = policy::Registry::global().make_routing(name);
 }

@@ -5,6 +5,8 @@
 
 namespace df3::core {
 
+bool TaskQueue::test_unsorted_push_front_ = false;
+
 namespace {
 /// EDF key: absolute deadline, +infinity for deadline-less shards.
 double edf_key(const Task& t) {
@@ -56,6 +58,11 @@ void TaskQueue::push_front(Task t) {
   // land fresh shards at the wrong position. Re-queue by deadline instead,
   // in front of any entry with an equal key so the returning shard still
   // resumes ahead of fresh work with the same deadline.
+  if (test_unsorted_push_front_) {
+    // Planted pre-fix behavior for the model checker's self-test.
+    q.push_front(std::move(t));
+    return;
+  }
   const double key = edf_key(t);
   if (q.empty() || key <= edf_key(q.front())) {
     q.push_front(std::move(t));
@@ -114,6 +121,11 @@ void TaskQueue::audit(std::vector<std::string>& out, const std::string& who) con
   };
   check_lane(edge_, "edge");
   check_lane(cloud_, "cloud");
+}
+
+void TaskQueue::for_each(const std::function<void(const Task&, Priority)>& fn) const {
+  for (const auto& t : edge_) fn(t, Priority::kEdge);
+  for (const auto& t : cloud_) fn(t, Priority::kCloud);
 }
 
 double TaskQueue::backlog_gigacycles() const {

@@ -1,0 +1,93 @@
+#include "df3/mc/explorer.hpp"
+
+#include <deque>
+#include <unordered_set>
+
+namespace df3::mc {
+
+ExploreResult Explorer::run(World& world) const {
+  ExploreResult res;
+  // BFS frontier of action prefixes. Depth order guarantees the first
+  // witness of any defect is a shortest one.
+  std::deque<std::vector<std::string>> frontier;
+  frontier.emplace_back();
+  std::unordered_set<std::uint64_t> seen;
+
+  const auto record = [&](std::vector<std::string> witness, std::vector<std::string> messages) {
+    ++res.violation_count;
+    if (res.violations.size() < config_.max_stored_violations) {
+      res.violations.push_back({std::move(witness), std::move(messages)});
+    }
+  };
+
+  while (!frontier.empty()) {
+    if (config_.max_states != 0 && res.states_explored >= config_.max_states) {
+      res.truncated = true;
+      break;
+    }
+    const std::vector<std::string> prefix = std::move(frontier.front());
+    frontier.pop_front();
+
+    // Replay-based restore: rebuild the root, re-apply the prefix.
+    world.reset();
+    for (const auto& a : prefix) world.apply(a);
+    ++res.states_explored;
+    if (prefix.size() > res.max_depth_reached) res.max_depth_reached = prefix.size();
+
+    if (config_.progress_every != 0 && config_.on_progress &&
+        res.states_explored % config_.progress_every == 0) {
+      config_.on_progress(res.states_explored, frontier.size());
+    }
+
+    // Mid-branch structural sweep. Shorter prefixes were checked at their
+    // own nodes (every prefix is a node), so only the state after the last
+    // action needs inspecting here.
+    auto bad = world.check();
+    if (!bad.empty()) {
+      record(prefix, std::move(bad));
+      continue;  // prune: extensions only lengthen the same witness
+    }
+
+    bool expand = prefix.size() < config_.max_depth;
+    if (config_.dedup && !seen.insert(world.digest()).second) {
+      ++res.states_deduped;
+      expand = false;
+    }
+    // Capture the alphabet before finalize() consumes the state.
+    std::vector<std::string> actions;
+    if (expand) actions = world.enabled();
+
+    // Every node also proves the end-to-end conservation identity: heal
+    // faults, drain, check quiescence. The state is sacrificed, but the
+    // next node replays from the root regardless.
+    auto drained = world.finalize();
+    for (const auto& [key, count] : world.coverage()) res.coverage[key] += count;
+    if (!drained.empty()) {
+      auto witness = prefix;
+      witness.emplace_back("<drain>");
+      record(std::move(witness), std::move(drained));
+      continue;
+    }
+
+    if (expand) {
+      for (const auto& a : actions) {
+        auto child = prefix;
+        child.push_back(a);
+        frontier.push_back(std::move(child));
+      }
+    }
+  }
+  return res;
+}
+
+std::string format_witness(const std::vector<std::string>& witness) {
+  if (witness.empty()) return "<root>";
+  std::string out;
+  for (std::size_t i = 0; i < witness.size(); ++i) {
+    if (i != 0) out += " -> ";
+    out += witness[i];
+  }
+  return out;
+}
+
+}  // namespace df3::mc

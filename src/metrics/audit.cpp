@@ -47,6 +47,20 @@ void LifecycleAuditor::on_terminal(const workload::CompletionRecord& rec) {
   it->second = true;
 }
 
+void LifecycleAuditor::reset() {
+  submitted_ = 0;
+  terminals_ = 0;
+  completed_ = 0;
+  rejected_ = 0;
+  dropped_ = 0;
+  deadline_missed_ = 0;
+  duplicates_ = 0;
+  unknowns_ = 0;
+  violation_count_ = 0;
+  violations_.clear();
+  lifecycle_.clear();
+}
+
 void LifecycleAuditor::report(std::string what) {
   ++violation_count_;
   if (violations_.size() < kMaxStoredViolations) violations_.push_back(std::move(what));

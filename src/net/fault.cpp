@@ -19,6 +19,14 @@ LinkFlapper::LinkFlapper(sim::Simulation& sim, std::string name, Network& networ
   if (config_.mean_up_s <= 0.0 || config_.mean_down_s <= 0.0) {
     throw std::invalid_argument("LinkFlapper: dwell means must be positive");
   }
+  // Validate up front, like WorkerChurn does for worker indices: a typo'd
+  // link index would otherwise surface as an out_of_range mid-simulation,
+  // at the first toggle, with no hint which injector armed it.
+  for (const std::size_t l : config_.links) {
+    if (l >= network_.link_count()) {
+      throw std::out_of_range("LinkFlapper: link index out of range");
+    }
+  }
 }
 
 void LinkFlapper::start() {
@@ -50,7 +58,8 @@ void LinkFlapper::arm(std::size_t slot) {
   next_[slot] = sim().schedule_at(at, [this, slot] { toggle(slot); });
 }
 
-void LinkFlapper::toggle(std::size_t slot) {
+void LinkFlapper::force_toggle(std::size_t slot) {
+  if (slot >= down_.size()) throw std::out_of_range("LinkFlapper: bad slot");
   down_[slot] = !down_[slot];
   if (down_[slot]) {
     ++flaps_;
@@ -65,6 +74,10 @@ void LinkFlapper::toggle(std::size_t slot) {
     }
   }
   network_.set_link_up(config_.links[slot], !down_[slot]);
+}
+
+void LinkFlapper::toggle(std::size_t slot) {
+  force_toggle(slot);
   arm(slot);
 }
 

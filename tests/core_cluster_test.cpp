@@ -2,6 +2,8 @@
 // peak management (preemption / offloading / delay), transport accounting.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "df3/baselines/datacenter.hpp"
 #include "df3/core/cluster.hpp"
 #include "df3/net/protocol.hpp"
@@ -500,4 +502,132 @@ TEST(Cluster, ValidatesConfig) {
   bad.dedicated_edge_workers = -1;
   EXPECT_THROW(core::Cluster(sim, "c", bad, netw, gw, [](wl::CompletionRecord) {}),
                std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Regression tests distilled from df3mc model-checker witnesses (DESIGN.md
+// §13). Each reproduces, as a plain deterministic scenario, a minimal
+// interleaving the checker flushed: pinned composition stages escaping their
+// worker/cluster under contention or gating, and a horizontal hand-off
+// racing a link partition.
+// ---------------------------------------------------------------------------
+
+// Witness: gate(b0/w0) -> pinned(b0/w0). place() used to fall through to the
+// shared scan when the preferred worker was unavailable, silently running a
+// pinned stage on a chassis the composer never selected.
+TEST(Cluster, PinnedStageWaitsForItsGatedWorker) {
+  ClusterFixture f;
+  std::vector<wl::CompletionRecord> pinned_recs;
+  f.cluster->worker(0).server().set_powered(false);
+  f.cluster->sync_workers();
+
+  auto stage = edge_request(3.2, 60.0);
+  f.cluster->run_pinned(std::move(stage), 0,
+                        [&](wl::CompletionRecord rec) { pinned_recs.push_back(std::move(rec)); });
+  f.sim.run();
+  // The stage must wait for worker 0, not run on worker 1 (or anywhere else).
+  EXPECT_TRUE(pinned_recs.empty());
+  EXPECT_EQ(f.cluster->in_flight(), 1u);
+  EXPECT_EQ(f.cluster->worker(1).tasks_completed(), 0u);
+
+  f.cluster->worker(0).server().set_powered(true);
+  f.cluster->sync_workers();
+  f.sim.run();
+  ASSERT_EQ(pinned_recs.size(), 1u);
+  EXPECT_EQ(pinned_recs[0].outcome, wl::Outcome::kCompleted);
+  EXPECT_EQ(pinned_recs[0].served_by, "c0:pinned");
+  EXPECT_EQ(f.cluster->worker(0).tasks_completed(), 1u);
+  EXPECT_EQ(f.cluster->worker(1).tasks_completed(), 0u);
+  EXPECT_EQ(f.cluster->stats().intake(),
+            f.cluster->stats().terminal() + f.cluster->in_flight());
+}
+
+// Witness: gate(b0/w0) -> pinned(b0/w0) with the full four-rung ladder. The
+// horizontal and vertical rungs used to accept pinned stages, shipping a
+// composition stage to a peer cluster (or the datacenter) whose chassis the
+// composer never staged input onto.
+TEST(Cluster, PinnedStageNeverOffloadsHorizontallyOrVertically) {
+  core::ClusterConfig cfg;
+  cfg.edge_peak_ladder = {"preempt", "horizontal", "vertical", "delay"};
+  ClusterFixture f(cfg);
+  f.attach_datacenter();
+  std::vector<wl::CompletionRecord> pinned_recs;
+  f.cluster->worker(0).server().set_powered(false);
+  f.cluster->sync_workers();
+
+  f.cluster->run_pinned(edge_request(3.2, 120.0), 0,
+                        [&](wl::CompletionRecord rec) { pinned_recs.push_back(std::move(rec)); });
+  f.sim.run();
+  EXPECT_TRUE(pinned_recs.empty());
+  EXPECT_EQ(f.cluster->stats().offloaded_horizontal_out, 0u);
+  EXPECT_EQ(f.cluster->stats().offloaded_vertical, 0u);
+  EXPECT_EQ(f.peer->stats().offloaded_horizontal_in, 0u);
+
+  f.cluster->worker(0).server().set_powered(true);
+  f.cluster->sync_workers();
+  f.sim.run();
+  ASSERT_EQ(pinned_recs.size(), 1u);
+  EXPECT_EQ(pinned_recs[0].served_by, "c0:pinned");
+  EXPECT_EQ(f.cluster->worker(0).tasks_completed(), 1u);
+}
+
+// Witness: cloud load saturating both workers -> pinned(b0/w0). The
+// preemption rung used to scan every worker for a victim, letting a pinned
+// stage steal a core on worker 1 and start on the wrong chassis.
+TEST(Cluster, PinnedStagePreemptsOnlyItsOwnWorker) {
+  ClusterFixture f;  // default ladder: preempt -> delay
+  // Worker 0: 16 non-preemptible cloud shards (no victims for the stage).
+  auto filler = cloud_request(3200.0, 16);
+  filler.preemptible = false;
+  f.cluster->submit(std::move(filler), f.device);
+  // Worker 1: 16 preemptible shards (victims — but on the wrong worker).
+  f.cluster->submit(cloud_request(3200.0, 16), f.device);
+  f.sim.run_until(10.0);  // staging done, both workers saturated
+
+  std::vector<wl::CompletionRecord> pinned_recs;
+  f.cluster->run_pinned(edge_request(3.2, 3600.0), 0,
+                        [&](wl::CompletionRecord rec) { pinned_recs.push_back(std::move(rec)); });
+  f.sim.run_until(11.0);
+  // No preemption: worker 0's shards are non-preemptible and worker 1 is
+  // off-limits to a stage pinned elsewhere. The stage waits instead.
+  EXPECT_EQ(f.cluster->stats().preemptions, 0u);
+  EXPECT_TRUE(pinned_recs.empty());
+
+  f.sim.run();  // cloud drains; the stage runs where it was pinned
+  ASSERT_EQ(pinned_recs.size(), 1u);
+  EXPECT_EQ(pinned_recs[0].outcome, wl::Outcome::kCompleted);
+  EXPECT_EQ(f.cluster->stats().preemptions, 0u);
+  EXPECT_EQ(f.cluster->stats().intake(),
+            f.cluster->stats().terminal() + f.cluster->in_flight());
+}
+
+// Witness: flap(up) -> edge -> <drain>. A hand-off launched into a severed
+// peer link is dropped by the network; the drop record used to carry the
+// generic staging label. It must name the offloading cluster's partition
+// (the peer never became responsible) and must not double-count: the
+// offloader's terminal is offloaded_horizontal_out, not dropped.
+TEST(Cluster, HandoffPartitionDropIsAccountedToTheOffloader) {
+  core::ClusterConfig cfg;
+  cfg.edge_peak_ladder = {"preempt", "horizontal", "delay"};
+  ClusterFixture f(cfg);
+  auto filler = cloud_request(6400.0, 32);  // saturate both workers
+  filler.preemptible = false;
+  f.cluster->submit(std::move(filler), f.device);
+  f.sim.run_until(10.0);
+
+  f.netw.set_link_up(3, false);  // sever gateway -> gw2 (the peer link)
+  f.cluster->submit(edge_request(3.2, 600.0), f.device);
+  f.sim.run();
+
+  const auto drop = std::find_if(f.records.begin(), f.records.end(), [](const auto& rec) {
+    return rec.outcome == wl::Outcome::kDropped;
+  });
+  ASSERT_NE(drop, f.records.end());
+  EXPECT_EQ(drop->served_by, "c0:partition");
+  EXPECT_EQ(f.cluster->stats().offloaded_horizontal_out, 1u);
+  EXPECT_EQ(f.cluster->stats().dropped, 0u);  // responsibility left via the hand-off
+  EXPECT_EQ(f.peer->stats().offloaded_horizontal_in, 0u);
+  EXPECT_EQ(f.cluster->stats().intake(),
+            f.cluster->stats().terminal() + f.cluster->in_flight());
+  EXPECT_EQ(f.peer->stats().intake(), f.peer->stats().terminal() + f.peer->in_flight());
 }

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include "df3/baselines/desktop_grid.hpp"
+#include "df3/core/fault.hpp"
 #include "df3/core/platform.hpp"
+#include "df3/net/fault.hpp"
 #include "df3/thermal/calendar.hpp"
 
 namespace core = df3::core;
@@ -174,4 +176,166 @@ TEST(FailureInjection, HorizontalOffloadPartitionFallsBackToDrop) {
     }
   }
   EXPECT_TRUE(edge_resolved);
+}
+
+// ---------------------------------------------------------------------------
+// Injector edge cases audited for the model-checker work (DESIGN.md §13):
+// arming when config start is already in the past, stop() before the start
+// window, constructor validation, force_toggle choice points, and
+// same-seed schedule determinism.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Two nodes, one link, one flapper — the smallest flappable network.
+struct FlapFixture {
+  df3::sim::Simulation sim;
+  df3::net::Network netw{sim, "n"};
+  df3::net::NodeId a, b;
+  std::size_t link;
+
+  FlapFixture() {
+    a = netw.add_node("a");
+    b = netw.add_node("b");
+    link = netw.add_link(a, b, df3::net::ethernet_lan());
+  }
+
+  df3::net::LinkFlapper make_flapper(df3::net::LinkFlapConfig cfg, std::uint64_t seed = 9) {
+    cfg.links = {link};
+    return df3::net::LinkFlapper(sim, "flap", netw, std::move(cfg),
+                                 df3::util::RngStream(seed, "flap"));
+  }
+};
+
+}  // namespace
+
+TEST(FailureInjection, FlapperStoppedBeforeStartWindowFiresNothing) {
+  // stop() mid-dwell, before config.start is even reached: the armed first
+  // toggle must be cancelled and the link left untouched.
+  FlapFixture f;
+  df3::net::LinkFlapConfig cfg;
+  cfg.start = 1000.0;
+  auto flapper = f.make_flapper(cfg);
+  flapper.start();
+  f.sim.run_until(10.0);
+  flapper.stop();
+  f.sim.run_until(5000.0);
+  EXPECT_EQ(flapper.flaps(), 0u);
+  EXPECT_FALSE(flapper.is_down(0));
+  EXPECT_FALSE(flapper.running());
+}
+
+TEST(FailureInjection, FlapperStartedAfterConfigStartArmsFromNow) {
+  // start() at t=500 with config.start=100 already past: the first toggle
+  // is armed at max(now, start) + dwell, never at a timestamp in the past
+  // (Simulation::schedule_at throws on past times).
+  FlapFixture f;
+  df3::net::LinkFlapConfig cfg;
+  cfg.start = 100.0;
+  cfg.mean_up_s = 50.0;
+  auto flapper = f.make_flapper(cfg);
+  f.sim.run_until(500.0);
+  ASSERT_NO_THROW(flapper.start());
+  for (int i = 0; i < 100 && flapper.flaps() == 0; ++i) {
+    f.sim.run_until(f.sim.now() + 100.0);
+  }
+  ASSERT_GT(flapper.flaps(), 0u);
+  EXPECT_GT(f.sim.now(), 500.0);  // nothing fired before the (re)start instant
+}
+
+TEST(FailureInjection, FlapperValidatesConfig) {
+  FlapFixture f;
+  df3::net::LinkFlapConfig bad_link;
+  bad_link.links = {99};  // no such link
+  EXPECT_THROW(df3::net::LinkFlapper(f.sim, "flap", f.netw, bad_link,
+                                     df3::util::RngStream(1, "flap")),
+               std::out_of_range);
+  df3::net::LinkFlapConfig bad_dwell;
+  bad_dwell.links = {f.link};
+  bad_dwell.mean_up_s = 0.0;
+  EXPECT_THROW(df3::net::LinkFlapper(f.sim, "flap", f.netw, bad_dwell,
+                                     df3::util::RngStream(1, "flap")),
+               std::invalid_argument);
+}
+
+TEST(FailureInjection, ForceToggleIsAnExplicitChoicePoint) {
+  // force_toggle works without start(), never arms an RNG follow-up, and
+  // keeps flaps()/is_down() accounting identical to an RNG-driven toggle.
+  FlapFixture f;
+  auto flapper = f.make_flapper({});
+  EXPECT_THROW(flapper.force_toggle(7), std::out_of_range);
+  flapper.force_toggle(0);
+  EXPECT_TRUE(flapper.is_down(0));
+  EXPECT_EQ(flapper.flaps(), 1u);
+  f.sim.run();  // no events were armed: the calendar is empty
+  EXPECT_TRUE(flapper.is_down(0));
+  flapper.force_toggle(0);
+  EXPECT_FALSE(flapper.is_down(0));
+  EXPECT_EQ(flapper.flaps(), 1u);  // down->up is not a new flap
+}
+
+TEST(FailureInjection, FlapperStopRestoresForcedOutages) {
+  FlapFixture f;
+  df3::net::LinkFlapConfig cfg;
+  cfg.start = 1.0e6;  // RNG schedule far away; only the forced toggle acts
+  auto flapper = f.make_flapper(cfg);
+  flapper.start();
+  flapper.force_toggle(0);
+  EXPECT_TRUE(flapper.is_down(0));
+  flapper.stop();
+  EXPECT_FALSE(flapper.is_down(0));  // the network is whole again
+}
+
+TEST(FailureInjection, FlapperSameSeedSameSchedule) {
+  // Deterministic replay: identical seeds produce bit-identical flap
+  // schedules, including when a forced toggle is interleaved identically.
+  FlapFixture f1, f2;
+  df3::net::LinkFlapConfig cfg;
+  cfg.mean_up_s = 40.0;
+  cfg.mean_down_s = 10.0;
+  auto a = f1.make_flapper(cfg, 13);
+  auto b = f2.make_flapper(cfg, 13);
+  a.start();
+  b.start();
+  f1.sim.run_until(200.0);
+  f2.sim.run_until(200.0);
+  a.force_toggle(0);
+  b.force_toggle(0);
+  f1.sim.run_until(2000.0);
+  f2.sim.run_until(2000.0);
+  EXPECT_EQ(a.flaps(), b.flaps());
+  EXPECT_EQ(a.is_down(0), b.is_down(0));
+  EXPECT_GT(a.flaps(), 1u);  // the schedule actually ran
+}
+
+TEST(FailureInjection, WorkerChurnForceToggleAndStopRestore) {
+  df3::sim::Simulation sim;
+  df3::net::Network netw(sim, "n");
+  const auto gw = netw.add_node("gw");
+  const auto wn = netw.add_node("w0");
+  netw.add_link(gw, wn, df3::net::ethernet_lan());
+  core::Cluster cluster(sim, "c", {}, netw, gw, [](wl::CompletionRecord) {});
+  cluster.add_worker(df3::hw::qrad_spec(), wn);
+
+  core::WorkerChurnConfig bad;
+  bad.workers = {5};  // no such worker
+  EXPECT_THROW(
+      core::WorkerChurn(sim, "churn", cluster, bad, df3::util::RngStream(1, "churn")),
+      std::out_of_range);
+
+  core::WorkerChurnConfig cfg;
+  cfg.workers = {0};
+  cfg.start = 1.0e6;
+  core::WorkerChurn churn(sim, "churn", cluster, cfg, df3::util::RngStream(1, "churn"));
+  EXPECT_THROW(churn.force_toggle(3), std::out_of_range);
+
+  const auto& ccluster = cluster;
+  churn.start();
+  churn.force_toggle(0);  // resident unplugged the heater
+  EXPECT_TRUE(churn.is_down(0));
+  EXPECT_EQ(churn.outages(), 1u);
+  EXPECT_FALSE(ccluster.worker(0).server().powered());
+  churn.stop();  // end of churn: every managed worker healthy again
+  EXPECT_FALSE(churn.is_down(0));
+  EXPECT_TRUE(ccluster.worker(0).server().powered());
 }

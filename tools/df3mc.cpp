@@ -1,0 +1,168 @@
+/// \file df3mc.cpp
+/// \brief Decision-plane model checker CLI (DESIGN.md §13).
+///
+/// Exhaustively explores interleavings of exogenous decision-relevant
+/// events (fault-injector toggles, peak-rung-triggering submissions,
+/// horizontal hand-offs) over a small fixed fleet, asserting the full
+/// lifecycle-conservation identity on every branch.
+///
+/// Exit codes: 0 clean; 1 invariant violation(s) found (minimal witnesses
+/// printed); 2 required coverage missing; 3 state-count bound exceeded;
+/// 64 usage error.
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "df3/core/scheduler.hpp"
+#include "df3/mc/explorer.hpp"
+#include "df3/mc/fleet_world.hpp"
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << "usage: df3mc [options]\n"
+        "  --depth N              max actions per branch (default 3)\n"
+        "  --max-states N         abort past N explored states; 0 = unlimited (default 0).\n"
+        "                         CI pins this as the state-count bound: exceeding it\n"
+        "                         exits 3.\n"
+        "  --clusters N           fleet size, 2 or 3 (default 2)\n"
+        "  --seed S               experiment seed (default 1)\n"
+        "  --dedup                collapse digest-identical states (UNSOUND for\n"
+        "                         certification: the digest cannot observe same-instant\n"
+        "                         event-calendar order; default off = full tree)\n"
+        "  --actions a,b,...      restrict the alphabet to these labels\n"
+        "  --require-coverage k,... exit 2 unless every named coverage counter is > 0\n"
+        "  --plant-edf-bug        re-introduce the pre-fix blind EDF push_front\n"
+        "                         (checker self-test: the run must find it)\n"
+        "  --list-actions         print the full action alphabet and exit\n"
+        "  --quiet                suppress progress lines\n";
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  df3::mc::FleetWorldConfig wc;
+  df3::mc::ExplorerConfig ec;
+  std::vector<std::string> require_coverage;
+  bool plant = false;
+  bool list_actions = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "df3mc: " << flag << " needs a value\n";
+        std::exit(64);
+      }
+      return argv[++i];
+    };
+    try {
+      if (arg == "--depth") {
+        ec.max_depth = std::stoul(need_value("--depth"));
+      } else if (arg == "--max-states") {
+        ec.max_states = std::stoull(need_value("--max-states"));
+      } else if (arg == "--clusters") {
+        wc.clusters = std::stoul(need_value("--clusters"));
+      } else if (arg == "--seed") {
+        wc.seed = std::stoull(need_value("--seed"));
+      } else if (arg == "--dedup") {
+        ec.dedup = true;
+      } else if (arg == "--actions") {
+        wc.alphabet = split_csv(need_value("--actions"));
+      } else if (arg == "--require-coverage") {
+        require_coverage = split_csv(need_value("--require-coverage"));
+      } else if (arg == "--plant-edf-bug") {
+        plant = true;
+      } else if (arg == "--list-actions") {
+        list_actions = true;
+      } else if (arg == "--quiet") {
+        quiet = true;
+      } else if (arg == "--help" || arg == "-h") {
+        usage(std::cout);
+        return 0;
+      } else {
+        std::cerr << "df3mc: unknown option '" << arg << "'\n";
+        usage(std::cerr);
+        return 64;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "df3mc: bad value for " << arg << ": " << e.what() << "\n";
+      return 64;
+    }
+  }
+
+  try {
+    df3::mc::FleetWorld world(wc);
+    if (list_actions) {
+      world.reset();
+      for (const auto& a : world.enabled()) std::cout << a << "\n";
+      return 0;
+    }
+    if (plant) {
+      std::cout << "df3mc: planting the pre-fix blind EDF push_front (self-test)\n";
+      df3::core::TaskQueue::set_test_unsorted_push_front(true);
+    }
+    if (!quiet) {
+      ec.progress_every = 500;
+      ec.on_progress = [](std::uint64_t states, std::size_t frontier) {
+        std::cout << "  ... " << states << " states explored, " << frontier
+                  << " frontier nodes\n";
+      };
+    }
+
+    const auto result = df3::mc::Explorer(ec).run(world);
+    df3::core::TaskQueue::set_test_unsorted_push_front(false);
+
+    std::cout << "df3mc: " << result.states_explored << " states explored (depth <= "
+              << result.max_depth_reached << ", " << result.states_deduped << " deduped"
+              << (ec.dedup ? "" : ", dedup off: full tree") << ")\n";
+    std::cout << "coverage:\n";
+    for (const auto& [key, count] : result.coverage) {
+      std::cout << "  " << key << " = " << count << "\n";
+    }
+
+    int exit_code = 0;
+    if (!result.clean()) {
+      std::cout << result.violation_count << " violating interleaving(s); minimal witnesses:\n";
+      for (const auto& v : result.violations) {
+        std::cout << "  witness: " << df3::mc::format_witness(v.witness) << "\n";
+        for (const auto& m : v.messages) std::cout << "    " << m << "\n";
+      }
+      exit_code = 1;
+    }
+    for (const auto& key : require_coverage) {
+      const auto it = result.coverage.find(key);
+      if (it == result.coverage.end() || it->second == 0) {
+        std::cout << "required coverage '" << key << "' was not exercised\n";
+        if (exit_code == 0) exit_code = 2;
+      }
+    }
+    if (result.truncated) {
+      std::cout << "state-count bound (" << ec.max_states
+                << ") exceeded before the tree was exhausted\n";
+      if (exit_code == 0) exit_code = 3;
+    }
+    if (exit_code == 0) {
+      std::cout << "all explored interleavings preserve the lifecycle conservation identity\n";
+    }
+    return exit_code;
+  } catch (const std::exception& e) {
+    std::cerr << "df3mc: " << e.what() << "\n";
+    return 64;
+  }
+}
