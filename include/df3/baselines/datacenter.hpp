@@ -69,6 +69,7 @@ class Datacenter : public sim::Entity, public core::ComputeService {
     Done done;
     int shards_left;
     sim::Time arrived_at_dc;
+    sim::Time first_start = -1.0;  ///< first shard dispatch (queue-wait end)
   };
   struct Shard {
     std::shared_ptr<Job> job;

@@ -412,6 +412,10 @@ class Df3Platform {
   /// flow metrics. Every sink and drop callback the platform installs must
   /// come through here so no terminal can bypass conservation accounting.
   void record_completion(const workload::CompletionRecord& rec);
+  /// Open a causal journey at an intake point. Uses the owned sink directly
+  /// (not the installed global) so manual injections between run() calls
+  /// still start a journey.
+  void open_journey(std::uint64_t id);
   /// Feed the metric registry from the tick's aggregates and the cluster /
   /// energy / outcome counters, then snapshot. kCounters and above.
   void feed_metrics(sim::Time t, double room_mean_c, double city_cores, double city_demand_w,
@@ -510,6 +514,9 @@ class Df3Platform {
     // Per-policy decision counters (DESIGN.md §11).
     obs::MetricId routing_picks, placement_picks, peer_picks;
     std::vector<obs::MetricId> rung_ids;  ///< one per configured ladder rung
+    // Per-flow SLO gauges (DESIGN.md §14): rolling-window deadline-miss
+    // ratio and response p99, one pair per workload::Flow.
+    std::vector<obs::MetricId> slo_miss_ratio, slo_p99_s;
     std::uint64_t prev_preemptions = 0, prev_horizontal = 0, prev_vertical = 0, prev_delays = 0;
     std::uint64_t prev_completed = 0, prev_missed = 0, prev_rejected = 0, prev_dropped = 0;
     std::uint64_t prev_routing_picks = 0, prev_placement_picks = 0, prev_peer_picks = 0;

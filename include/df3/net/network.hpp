@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "df3/net/protocol.hpp"
+#include "df3/obs/journey.hpp"
 #include "df3/sim/engine.hpp"
 #include "df3/util/units.hpp"
 
@@ -41,6 +42,11 @@ struct Message {
   NodeId dst = 0;
   util::Bytes size{0.0};
   std::uint64_t payload_tag = 0;
+  /// When != kNone, this message is a segment of the request journey tagged
+  /// by `payload_tag`: the hop span gets a journey span-link with this kind
+  /// as its attribute (obs/journey.hpp). Staging transfers stay kNone —
+  /// their journey segment is the cluster's kStaging span.
+  obs::HopKind journey_hop = obs::HopKind::kNone;
 };
 
 /// Statistics for one link direction.

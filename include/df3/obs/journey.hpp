@@ -1,0 +1,192 @@
+#pragma once
+/// \file journey.hpp
+/// \brief Causal request journeys: runtime link bookkeeping plus the
+///        offline tree reconstruction shared by `df3trace` and the tests.
+///
+/// A *journey* is the full causal history of one request, identified by the
+/// request id it already carries end to end (the id survives horizontal
+/// hand-offs and vertical offloads by construction, so "assign a journey id
+/// at intake" reduces to adopting it). The trace ring stays the 32B-record
+/// idiom: each journey-relevant span/instant is followed by one
+/// `Phase::kSpanLink` record giving it a per-journey sequence number and the
+/// sequence number of its causal parent (DESIGN.md section 14).
+///
+/// Two halves live here:
+///
+///  * `JourneyLog` — the hot-path side. One map entry per *open* journey
+///    (bounded by in-flight requests; erased at the terminal record) holding
+///    the next sequence number and the current chain cursors. All request
+///    hooks run on the event-loop thread, so no synchronisation is needed
+///    and link order is deterministic at any physics/control thread count.
+///  * `collect_journey_spans` / `build_journey_forest` — the analysis side.
+///    Pairs links with their adjacent records, groups them per journey,
+///    checks completeness (sequence numbers 0..n-1 all present, every
+///    parent resolves), extracts the critical path (the terminal record's
+///    ancestor chain), verifies it tiles [begin, end] gap-free, and buckets
+///    its segments into queue-wait / run / net / offload-detour.
+///
+/// The parent/advance policy makes the terminal's ancestor chain *be* the
+/// critical path: run and queue-wait segments advance a per-shard cursor and
+/// the journey cursor, so the completion hop always parents at the
+/// last-finishing shard's final run segment, and each chain segment starts
+/// exactly where its parent ended.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "df3/obs/trace.hpp"
+
+namespace df3::obs {
+
+/// Attribute carried by a journey-linked net-hop record: why the message
+/// travelled. Values land in `TraceEvent::link_attr()`.
+enum class HopKind : std::uint8_t {
+  kNone = 0,       ///< not a journey hop (e.g. staging transfer, covered by kStaging)
+  kTransport = 1,  ///< origin -> entry node delivery
+  kHandoff = 2,    ///< gateway -> peer gateway horizontal hand-off
+  kReturn = 3,     ///< serving node -> origin result return
+  kDcUplink = 4,   ///< building -> datacenter WAN uplink
+  kDcDownlink = 5, ///< datacenter -> building WAN downlink
+};
+
+[[nodiscard]] constexpr const char* hop_kind_name(HopKind k) {
+  switch (k) {
+    case HopKind::kNone: return "none";
+    case HopKind::kTransport: return "transport";
+    case HopKind::kHandoff: return "handoff";
+    case HopKind::kReturn: return "return";
+    case HopKind::kDcUplink: return "dc-uplink";
+    case HopKind::kDcDownlink: return "dc-downlink";
+  }
+  return "?";
+}
+
+/// Per-journey link bookkeeping. Opened explicitly at intake
+/// (`Df3Platform` submission paths); helpers that annotate records no-op for
+/// ids that were never opened, which keeps unrelated traffic sharing ids
+/// (e.g. composition stage requests, which all carry id 0) out of the
+/// journey plane.
+class JourneyLog {
+ public:
+  struct Link {
+    std::uint32_t seq = 0;
+    std::uint32_t parent = kNoParent;
+  };
+
+  /// Open the journey context for `id` (idempotent).
+  void open(std::uint64_t id) { live_.try_emplace(id); }
+
+  [[nodiscard]] bool is_open(std::uint64_t id) const { return live_.count(id) != 0; }
+
+  /// Assign the next sequence number for a record of `phase` in journey
+  /// `id`, choosing the causal parent and advancing the chain cursors.
+  /// `shard >= 0` threads per-shard queue/run chains. Returns false (and
+  /// leaves `out` untouched) when the journey is not open.
+  bool annotate(std::uint64_t id, Phase phase, int shard, Link& out);
+
+  /// Erase the context (call after annotating the terminal record).
+  void close(std::uint64_t id) { live_.erase(id); }
+
+  [[nodiscard]] std::size_t open_count() const { return live_.size(); }
+  void clear() { live_.clear(); }
+
+ private:
+  struct Ctx {
+    std::uint32_t next_seq = 0;
+    std::uint32_t cursor = kNoParent;          ///< last structural segment
+    std::vector<std::uint32_t> shard_cursor;   ///< per-shard chain heads
+  };
+  std::unordered_map<std::uint64_t, Ctx> live_;
+};
+
+// ---------------------------------------------------------------------------
+// Offline reconstruction.
+
+/// One journey-linked record, link already folded in.
+struct JourneySpan {
+  double t0 = 0.0;
+  double t1 = 0.0;  ///< == t0 for instants
+  std::uint64_t journey = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t parent = kNoParent;
+  std::uint32_t attr = 0;   ///< flow+1 (arrival/terminal), shard, or HopKind
+  std::uint32_t track = 0;  ///< recorder track id (name via forest.tracks)
+  Phase phase = Phase::kArrival;
+  bool instant = false;
+};
+
+/// Critical-path time split for one journey (seconds).
+struct JourneyBreakdown {
+  double queue_s = 0.0;    ///< kQueueWait segments
+  double run_s = 0.0;      ///< kRun segments (wherever they executed)
+  double net_s = 0.0;      ///< transport, staging at the first cluster, return
+  double offload_s = 0.0;  ///< hand-off/WAN hops + staging beyond the first cluster
+  double other_s = 0.0;    ///< anything else on the chain
+
+  [[nodiscard]] double total() const { return queue_s + run_s + net_s + offload_s + other_s; }
+};
+
+/// One reconstructed journey tree.
+struct JourneyTree {
+  std::uint64_t id = 0;
+  std::vector<JourneySpan> spans;  ///< sorted by seq; spans[i].seq == i iff complete
+  bool complete = false;           ///< seqs 0..n-1 present, every parent resolves
+  bool terminated = false;         ///< has a terminal record
+  Phase terminal = Phase::kArrival;
+  std::uint32_t flow_attr = 0;     ///< flow+1 from arrival/terminal links (0 = unknown)
+  double t_begin = 0.0;            ///< root record start
+  double t_end = 0.0;              ///< terminal record time (if terminated)
+  std::vector<std::uint32_t> critical;  ///< seqs, root -> terminal ancestor chain
+  bool contiguous = false;         ///< critical path tiles [t_begin, t_end] gap-free
+  JourneyBreakdown breakdown;      ///< over the critical path
+  std::vector<Phase> rungs_fired;  ///< preempt/offload/delay decisions, causal order
+  std::vector<std::uint32_t> visit_tracks;  ///< kArrival tracks, causal order
+};
+
+struct JourneyForest {
+  std::vector<JourneyTree> trees;        ///< ordered by first appearance in the ring
+  std::vector<std::string> tracks;       ///< track-id -> name
+  std::uint64_t orphan_links = 0;        ///< links whose span left the ring window
+  std::uint64_t dropped_records = 0;     ///< ring overwrites during the run
+  std::uint64_t span_count = 0;          ///< linked records retained
+};
+
+/// Pair kSpanLink records with their adjacent spans, oldest-first.
+/// `orphans` (optional) counts links whose partner was overwritten.
+[[nodiscard]] std::vector<JourneySpan> collect_journey_spans(const TraceRecorder& rec,
+                                                             std::uint64_t* orphans);
+
+/// Group spans per journey, check completeness, extract critical paths and
+/// breakdowns. `spans` need not be sorted; within a journey, seq decides.
+/// `tolerance` loosens the contiguity gap check (seconds): in-memory spans
+/// tile exactly (keep 0), but timestamps that round-tripped through the
+/// microsecond-text Chrome export can disagree by a nanosecond or two.
+[[nodiscard]] JourneyForest build_journey_forest(std::vector<JourneySpan> spans,
+                                                 std::vector<std::string> tracks,
+                                                 std::uint64_t orphan_links,
+                                                 std::uint64_t dropped_records,
+                                                 double tolerance = 0.0);
+
+/// Convenience: collect + build straight from a recorder.
+[[nodiscard]] JourneyForest build_journey_forest(const TraceRecorder& rec);
+
+/// FNV-1a digest of the forest's structure and timings, using track *names*
+/// (track ids depend on how many lane/shard tracks registered first, which
+/// varies with thread counts; names do not). Equal digests mean identical
+/// trees — the cross-thread-count determinism check.
+[[nodiscard]] std::uint64_t forest_digest(const JourneyForest& f);
+
+[[nodiscard]] constexpr bool is_terminal_phase(Phase p) {
+  return p == Phase::kCompleted || p == Phase::kDeadlineMissed || p == Phase::kRejected ||
+         p == Phase::kDropped;
+}
+
+[[nodiscard]] constexpr bool is_rung_phase(Phase p) {
+  return p == Phase::kPreempt || p == Phase::kOffloadHorizontal ||
+         p == Phase::kOffloadVertical || p == Phase::kDelay;
+}
+
+}  // namespace df3::obs

@@ -107,6 +107,27 @@ class LogHistogram {
     return max_;
   }
 
+  /// Fold another histogram with the same bucket layout into this one.
+  /// Used by the rolling-window SLO monitor to merge sub-window buckets, so
+  /// windowed percentiles share the exact `quantile()` implementation.
+  void merge(const LogHistogram& other) {
+    assert(counts_.size() == other.counts_.size());
+    if (other.n_ == 0) return;
+    if (n_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (n_ == 0 || other.max_ > max_) max_ = other.max_;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  }
+
+  void reset() {
+    n_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+    counts_.assign(counts_.size(), 0);
+  }
+
   [[nodiscard]] std::uint64_t count() const { return n_; }
   [[nodiscard]] double sum() const { return sum_; }
   [[nodiscard]] double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }

@@ -27,29 +27,51 @@
 #include <cstdint>
 #include <string_view>
 
+#include "df3/obs/journey.hpp"
 #include "df3/obs/metrics.hpp"
+#include "df3/obs/slo.hpp"
 #include "df3/obs/trace.hpp"
 
 namespace df3::obs {
 
 struct ObsConfig {
   TraceLevel level = TraceLevel::kOff;
-  /// Ring capacity in records (32 B each). The default keeps ~1M records.
-  std::size_t trace_capacity = TraceRecorder::kDefaultCapacity;
+  /// Ring capacity in records (32 B each). 0 = auto: the `DF3_TRACE_CAPACITY`
+  /// environment variable when set, else the ~1M-record default.
+  std::size_t trace_capacity = 0;
+  /// Emit journey span-link records at kFull (DESIGN.md section 14). Off
+  /// restores the pre-journey trace byte-for-byte; the obs bench uses this
+  /// to price the link overhead.
+  bool journey_links = true;
+  /// Rolling SLO window and its sub-bucket count (active at >= kCounters).
+  double slo_window_s = 3600.0;
+  std::size_t slo_buckets = 60;
 };
 
-/// Everything a run records: the span ring plus the metric registry.
+/// Resolve `trace_capacity` (0 = `DF3_TRACE_CAPACITY` env or the default).
+[[nodiscard]] std::size_t resolved_trace_capacity(std::size_t requested);
+
+/// Everything a run records: the span ring, journey links, the metric
+/// registry, and the rolling SLO monitor.
 class Observability {
  public:
-  explicit Observability(ObsConfig cfg) : cfg_(cfg), trace_(cfg.trace_capacity) {}
+  explicit Observability(ObsConfig cfg)
+      : cfg_(cfg),
+        trace_(resolved_trace_capacity(cfg.trace_capacity)),
+        slo_(cfg.slo_window_s, cfg.slo_buckets) {}
 
   [[nodiscard]] TraceLevel level() const { return cfg_.level; }
   [[nodiscard]] bool tracing() const { return cfg_.level == TraceLevel::kFull; }
+  [[nodiscard]] bool journeys_enabled() const { return cfg_.journey_links && tracing(); }
 
   [[nodiscard]] TraceRecorder& trace() { return trace_; }
   [[nodiscard]] const TraceRecorder& trace() const { return trace_; }
   [[nodiscard]] MetricRegistry& registry() { return registry_; }
   [[nodiscard]] const MetricRegistry& registry() const { return registry_; }
+  [[nodiscard]] JourneyLog& journeys() { return journeys_; }
+  [[nodiscard]] const JourneyLog& journeys() const { return journeys_; }
+  [[nodiscard]] SloMonitor& slo() { return slo_; }
+  [[nodiscard]] const SloMonitor& slo() const { return slo_; }
 
   /// One-call hook helpers: register-or-lookup the track for `key` and
   /// record. Only meaningful at kFull; callers guard with
@@ -65,10 +87,69 @@ class Observability {
     trace_.host_span(trace_.track(key, track), p, t0_s, t1_s);
   }
 
+  // --- Journey-aware helpers (DESIGN.md section 14). ---
+  //
+  // `journey_span`/`journey_instant` always emit the plain record (identical
+  // to `span`/`instant`) and, when the journey id was opened at intake,
+  // follow it with an adjacent kSpanLink record. The `_if_open` variants
+  // emit nothing for unopened ids: they mark sites that exist purely to
+  // close journey-chain gaps (datacenter segments, queue-wait at offload or
+  // abandonment) and must not change traces of non-journey traffic.
+
+  /// Open the journey context at intake. No-op unless links are enabled.
+  void journey_open(std::uint64_t id) {
+    if (journeys_enabled()) journeys_.open(id);
+  }
+
+  void journey_span(const void* key, std::string_view track, Phase p, double t0_s, double t1_s,
+                    std::uint64_t id, int shard = -1, std::uint32_t attr = 0) {
+    trace_.span(trace_.track(key, track), p, t0_s, t1_s, id);
+    link_if_open(p, id, shard, attr);
+  }
+  void journey_instant(const void* key, std::string_view track, Phase p, double t_s,
+                       std::uint64_t id, int shard = -1, std::uint32_t attr = 0) {
+    trace_.instant(trace_.track(key, track), p, t_s, id);
+    link_if_open(p, id, shard, attr);
+  }
+  bool journey_span_if_open(const void* key, std::string_view track, Phase p, double t0_s,
+                            double t1_s, std::uint64_t id, int shard = -1,
+                            std::uint32_t attr = 0) {
+    if (!journeys_enabled() || !journeys_.is_open(id)) return false;
+    journey_span(key, track, p, t0_s, t1_s, id, shard, attr);
+    return true;
+  }
+  bool journey_instant_if_open(const void* key, std::string_view track, Phase p, double t_s,
+                               std::uint64_t id, int shard = -1, std::uint32_t attr = 0) {
+    if (!journeys_enabled() || !journeys_.is_open(id)) return false;
+    journey_instant(key, track, p, t_s, id, shard, attr);
+    return true;
+  }
+
+  /// Terminal instant: plain record + link, then the journey context is
+  /// erased so open-journey memory stays bounded by in-flight requests.
+  void journey_terminal(const void* key, std::string_view track, Phase p, double t_s,
+                        std::uint64_t id, std::uint32_t attr = 0) {
+    trace_.instant(trace_.track(key, track), p, t_s, id);
+    if (!journeys_enabled()) return;
+    JourneyLog::Link l;
+    if (journeys_.annotate(id, p, -1, l)) {
+      trace_.link(id, l.seq, l.parent, attr);
+      journeys_.close(id);
+    }
+  }
+
  private:
+  void link_if_open(Phase p, std::uint64_t id, int shard, std::uint32_t attr) {
+    if (!journeys_enabled()) return;
+    JourneyLog::Link l;
+    if (journeys_.annotate(id, p, shard, l)) trace_.link(id, l.seq, l.parent, attr);
+  }
+
   ObsConfig cfg_;
   TraceRecorder trace_;
   MetricRegistry registry_;
+  JourneyLog journeys_;
+  SloMonitor slo_;
 };
 
 #ifndef DF3_OBS_DISABLED

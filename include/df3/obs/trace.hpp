@@ -84,6 +84,8 @@ enum class Phase : std::uint8_t {
   kLinkFlap,           ///< up->down toggle (instant), id = link index
   kWorkerOutage,       ///< worker down -> restored (span), id = worker index
   kWorkerChurn,        ///< healthy->outage toggle (instant), id = worker idx
+  // Journey causality (simulated clock, paired with the preceding record).
+  kSpanLink,           ///< parent/child link annotating the previous record
 };
 
 [[nodiscard]] constexpr const char* phase_name(Phase p) {
@@ -111,6 +113,7 @@ enum class Phase : std::uint8_t {
     case Phase::kLinkFlap: return "link-flap";
     case Phase::kWorkerOutage: return "worker-outage";
     case Phase::kWorkerChurn: return "worker-churn";
+    case Phase::kSpanLink: return "span-link";
   }
   return "?";
 }
@@ -128,6 +131,7 @@ enum class Phase : std::uint8_t {
     case Phase::kLinkFlap:
     case Phase::kWorkerOutage:
     case Phase::kWorkerChurn: return "fault";
+    case Phase::kSpanLink: return "link";
     default: return "request";
   }
 }
@@ -138,7 +142,20 @@ enum class Clock : std::uint8_t {
   kHost,  ///< host wall seconds since recorder construction
 };
 
+/// Sentinel parent for a journey root in a span-link record.
+inline constexpr std::uint32_t kNoParent = 0xffffffffu;
+
 /// One trace record: 32 bytes. `dur_s < 0` marks an instant.
+///
+/// A `kSpanLink` record reinterprets the same 32 bytes as a causality edge
+/// annotating the *immediately preceding* record in emission order (both are
+/// pushed back-to-back on the event-loop thread, so the ring keeps them
+/// adjacent — a ring wrap can only strand a link at the very front of the
+/// retained window, which analyzers count as an orphan):
+///   t_s   = span sequence number within the journey (exact as a double),
+///   dur_s = parent sequence number, or -1 for the journey root,
+///   id    = journey id (== request id),
+///   track = phase-specific attribute (flow, shard index, hop kind).
 struct TraceEvent {
   double t_s = 0.0;         ///< begin timestamp, seconds on `clock`
   double dur_s = -1.0;      ///< span duration (>= 0) or instant (< 0)
@@ -148,6 +165,14 @@ struct TraceEvent {
   Clock clock = Clock::kSim;
 
   [[nodiscard]] bool is_span() const { return dur_s >= 0.0; }
+  [[nodiscard]] bool is_link() const { return phase == Phase::kSpanLink; }
+
+  /// Field accessors for kSpanLink records.
+  [[nodiscard]] std::uint32_t link_seq() const { return static_cast<std::uint32_t>(t_s); }
+  [[nodiscard]] std::uint32_t link_parent() const {
+    return dur_s < 0.0 ? kNoParent : static_cast<std::uint32_t>(dur_s);
+  }
+  [[nodiscard]] std::uint32_t link_attr() const { return track; }
 };
 
 /// Fixed-capacity ring of trace records. When full, the oldest records are
@@ -175,6 +200,10 @@ class TraceRecorder {
   /// Record a host-clock span (tick phase scopes): `t0_s`/`t1_s` are host
   /// wall seconds since recorder construction.
   void host_span(std::uint32_t track_id, Phase phase, double t0_s, double t1_s);
+
+  /// Record a journey span-link annotating the record pushed immediately
+  /// before (see TraceEvent). `parent == kNoParent` marks the journey root.
+  void link(std::uint64_t journey, std::uint32_t seq, std::uint32_t parent, std::uint32_t attr);
 
   /// Host wall seconds since construction (monotonic).
   [[nodiscard]] double host_now_s() const;

@@ -2,7 +2,17 @@
 
 #include <stdexcept>
 
+#include "df3/obs/obs.hpp"
+
 namespace df3::baselines {
+
+namespace {
+/// Flow attribute on journey arrival links: 0 = unknown, else flow+1
+/// (mirrors the cluster-side encoding in cluster.cpp).
+[[maybe_unused]] constexpr std::uint32_t journey_flow_attr(workload::Flow f) {
+  return static_cast<std::uint32_t>(f) + 1;
+}
+}  // namespace
 
 Datacenter::Datacenter(sim::Simulation& sim, DatacenterConfig config)
     : sim::Entity(sim, config.label), config_(std::move(config)) {
@@ -36,10 +46,22 @@ void Datacenter::submit(workload::Request r, net::NodeId origin, Done done) {
   if (!done) throw std::invalid_argument("Datacenter::submit: null completion callback");
   const double uplink =
       config_.wan.one_hop_delay(r.input_size).value() + config_.extra_latency_s;
+  // Journey segments are `_if_open`: the WAN is modelled as a point delay
+  // (no net::Network hop), so the facility emits its own uplink/downlink
+  // spans — but only for requests whose journey the platform opened, so
+  // traces of non-journey traffic are unchanged.
+  DF3_OBS_TRACE_IF(o) {
+    o->journey_span_if_open(this, config_.label, obs::Phase::kNetHop, now(), now() + uplink, r.id,
+                            -1, static_cast<std::uint32_t>(obs::HopKind::kDcUplink));
+  }
   sim().schedule_in(uplink, [this, r = std::move(r), origin, done = std::move(done)]() mutable {
     auto job = std::make_shared<Job>(
         Job{std::move(r), origin, std::move(done), 0, now()});
     job->shards_left = job->request.tasks;
+    DF3_OBS_TRACE_IF(o) {
+      o->journey_instant_if_open(this, config_.label, obs::Phase::kArrival, now(),
+                                 job->request.id, -1, journey_flow_attr(job->request.flow));
+    }
     for (int i = 0; i < job->request.tasks; ++i) {
       queue_.push_back(Shard{job, job->request.work_gigacycles});
     }
@@ -53,6 +75,13 @@ void Datacenter::dispatch() {
     Shard s = std::move(queue_.front());
     queue_.pop_front();
     ++busy_cores_;
+    if (s.job->first_start < 0.0) {
+      s.job->first_start = now();
+      DF3_OBS_TRACE_IF(o) {
+        o->journey_span_if_open(this, config_.label, obs::Phase::kQueueWait,
+                                s.job->arrived_at_dc, now(), s.job->request.id, 0, 0);
+      }
+    }
     const double duration = s.gigacycles / config_.core_speed_gcps;
     sim().schedule_in(duration, [this, job = s.job] {
       settle_energy();
@@ -68,6 +97,14 @@ void Datacenter::finish_shard(const std::shared_ptr<Job>& job) {
   ++completed_;
   const double downlink =
       config_.wan.one_hop_delay(job->request.output_size).value() + config_.extra_latency_s;
+  DF3_OBS_TRACE_IF(o) {
+    // One run segment per job: first shard dispatch to last shard finish.
+    o->journey_span_if_open(this, config_.label, obs::Phase::kRun, job->first_start, now(),
+                            job->request.id, 0, 0);
+    o->journey_span_if_open(this, config_.label, obs::Phase::kNetHop, now(), now() + downlink,
+                            job->request.id, -1,
+                            static_cast<std::uint32_t>(obs::HopKind::kDcDownlink));
+  }
   sim().schedule_in(downlink, [this, job] {
     workload::CompletionRecord rec;
     rec.request = job->request;

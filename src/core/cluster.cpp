@@ -8,6 +8,14 @@
 
 namespace df3::core {
 
+namespace {
+/// Journey-link attribute for arrival/terminal records: flow + 1, so 0 can
+/// mean "unknown" in the analyzers (obs/journey.hpp).
+constexpr std::uint32_t journey_flow_attr(workload::Flow f) {
+  return static_cast<std::uint32_t>(f) + 1u;
+}
+}  // namespace
+
 Cluster::Cluster(sim::Simulation& sim, std::string name, ClusterConfig config,
                  net::Network& network, net::NodeId gateway_node, CompletionSink sink)
     : sim::Entity(sim, std::move(name)),
@@ -69,7 +77,10 @@ double Cluster::slowdown_for(const workload::Request& r) const {
 
 void Cluster::submit(workload::Request r, net::NodeId origin) {
   (workload::is_edge(r.flow) ? stats_.received_edge : stats_.received_cloud)++;
-  DF3_OBS_TRACE_IF(o) { o->instant(this, name(), obs::Phase::kArrival, now(), r.id); }
+  DF3_OBS_TRACE_IF(o) {
+    o->journey_instant(this, name(), obs::Phase::kArrival, now(), r.id, -1,
+                       journey_flow_attr(r.flow));
+  }
   // Hybrid-infrastructure relief valve: deep cloud backlog goes straight to
   // the datacenter (Qarnot processes surplus Internet requests in classic
   // datacenter nodes when heaters cannot absorb them).
@@ -80,7 +91,7 @@ void Cluster::submit(workload::Request r, net::NodeId origin) {
     if (backlog_per_core > config_.cloud_offload_backlog_gc_per_core) {
       ++stats_.offloaded_vertical;
       DF3_OBS_TRACE_IF(o) {
-        o->span(this, name(), obs::Phase::kOffloadVertical, now(), now(), r.id);
+        o->journey_span(this, name(), obs::Phase::kOffloadVertical, now(), now(), r.id);
       }
       datacenter_->submit(std::move(r), origin, sink_);
       return;
@@ -92,7 +103,10 @@ void Cluster::submit(workload::Request r, net::NodeId origin) {
 void Cluster::submit_direct(workload::Request r, net::NodeId origin, std::size_t widx) {
   if (widx >= workers_.size()) throw std::out_of_range("submit_direct: bad worker index");
   ++stats_.received_edge;
-  DF3_OBS_TRACE_IF(o) { o->instant(this, name(), obs::Phase::kArrival, now(), r.id); }
+  DF3_OBS_TRACE_IF(o) {
+    o->journey_instant(this, name(), obs::Phase::kArrival, now(), r.id, -1,
+                       journey_flow_attr(r.flow));
+  }
   // The device talked to the worker directly; input is already on it.
   auto state = std::make_shared<RequestState>(std::move(r));
   auto p = std::make_shared<Pending>();
@@ -112,6 +126,13 @@ void Cluster::run_pinned(workload::Request r, std::size_t widx, CompletionSink d
   // activity gate watching this cluster.
   ++control_epoch_;
   ++stats_.received_pinned;
+  // Journey root for pinned injections (the platform opens the journey at
+  // intake). Composition stages share ids and are never opened, so this
+  // emits nothing for them and their traces are unchanged.
+  DF3_OBS_TRACE_IF(o) {
+    o->journey_instant_if_open(this, name(), obs::Phase::kArrival, now(), r.id, -1,
+                               journey_flow_attr(r.flow));
+  }
   auto state = std::make_shared<RequestState>(std::move(r));
   auto p = std::make_shared<Pending>();
   p->state = state;
@@ -126,7 +147,10 @@ void Cluster::run_pinned(workload::Request r, std::size_t widx, CompletionSink d
 void Cluster::submit_offloaded(workload::Request r, net::NodeId origin,
                                CompletionSink peer_sink) {
   ++stats_.offloaded_horizontal_in;
-  DF3_OBS_TRACE_IF(o) { o->instant(this, name(), obs::Phase::kArrival, now(), r.id); }
+  DF3_OBS_TRACE_IF(o) {
+    o->journey_instant(this, name(), obs::Phase::kArrival, now(), r.id, -1,
+                       journey_flow_attr(r.flow));
+  }
   stage_and_enqueue(std::move(r), origin, SIZE_MAX, /*foreign=*/true, std::move(peer_sink));
 }
 
@@ -158,7 +182,7 @@ void Cluster::stage_and_enqueue(workload::Request r, net::NodeId origin, std::si
       net::Message{gateway_node_, staging, state->request.input_size, state->request.id},
       [this, p, sent = now()](sim::Time at) {
         DF3_OBS_TRACE_IF(o) {
-          o->span(this, name(), obs::Phase::kStaging, sent, at, p->state->request.id);
+          o->journey_span(this, name(), obs::Phase::kStaging, sent, at, p->state->request.id);
         }
         enqueue_ready(p);
       },
@@ -252,7 +276,8 @@ bool Cluster::handle_unplaceable_edge(Task t) {
   // Ladder exhausted: the request waits anyway (equivalent to a delay rung).
   ++stats_.edge_delays;
   DF3_OBS_TRACE_IF(o) {
-    o->span(this, name(), obs::Phase::kDelay, now(), now(), t.request->request.id);
+    o->journey_span(this, name(), obs::Phase::kDelay, now(), now(), t.request->request.id,
+                    t.shard_index);
   }
   queue_.push_front(std::move(t));
   return false;
@@ -272,7 +297,8 @@ policy::RungOutcome Cluster::relieve_by_preemption(Task& t) {
     if (!victim) continue;
     ++stats_.preemptions;
     DF3_OBS_TRACE_IF(o) {
-      o->span(this, name(), obs::Phase::kPreempt, now(), now(), t.request->request.id);
+      o->journey_span(this, name(), obs::Phase::kPreempt, now(), now(), t.request->request.id,
+                      t.shard_index);
     }
     victim->remaining_gigacycles += config_.preemption_overhead_gc;
     victim->enqueued_at = now();
@@ -308,7 +334,16 @@ policy::RungOutcome Cluster::relieve_by_horizontal(Task& t) {
   pending_.erase(it);
   ++stats_.offloaded_horizontal_out;
   DF3_OBS_TRACE_IF(o) {
-    o->span(this, name(), obs::Phase::kOffloadHorizontal, now(), now(), t.request->request.id);
+    // The shard never reached a core here: its local queue time would
+    // otherwise vanish from the journey, so close the gap before the
+    // offload decision record.
+    if (t.enqueued_at >= 0.0) {
+      o->journey_span_if_open(this, name(), obs::Phase::kQueueWait, t.enqueued_at, now(),
+                              t.request->request.id, t.shard_index,
+                              static_cast<std::uint32_t>(t.shard_index));
+    }
+    o->journey_span(this, name(), obs::Phase::kOffloadHorizontal, now(), now(),
+                    t.request->request.id, t.shard_index);
   }
   const std::string via = "horizontal:" + peer->name();
   auto wrap = [sink = p->sink, via](workload::CompletionRecord rec) {
@@ -319,7 +354,8 @@ policy::RungOutcome Cluster::relieve_by_horizontal(Task& t) {
   workload::Request moved = p->state->request;
   moved.work_gigacycles = t.remaining_gigacycles;  // keep any progress
   network_.send(
-      net::Message{gateway_node_, peer->gateway_node(), moved.input_size, moved.id},
+      net::Message{gateway_node_, peer->gateway_node(), moved.input_size, moved.id,
+                   obs::HopKind::kHandoff},
       [peer, moved, origin = p->origin, wrap](sim::Time) mutable {
         peer->submit_offloaded(std::move(moved), origin, wrap);
       },
@@ -386,7 +422,13 @@ policy::RungOutcome Cluster::relieve_by_vertical(Task& t) {
   pending_.erase(it);
   ++stats_.offloaded_vertical;
   DF3_OBS_TRACE_IF(o) {
-    o->span(this, name(), obs::Phase::kOffloadVertical, now(), now(), t.request->request.id);
+    if (t.enqueued_at >= 0.0) {
+      o->journey_span_if_open(this, name(), obs::Phase::kQueueWait, t.enqueued_at, now(),
+                              t.request->request.id, t.shard_index,
+                              static_cast<std::uint32_t>(t.shard_index));
+    }
+    o->journey_span(this, name(), obs::Phase::kOffloadVertical, now(), now(),
+                    t.request->request.id, t.shard_index);
   }
   workload::Request moved = p->state->request;
   moved.work_gigacycles = t.remaining_gigacycles;
@@ -397,7 +439,8 @@ policy::RungOutcome Cluster::relieve_by_vertical(Task& t) {
 policy::RungOutcome Cluster::relieve_by_delay(Task& t) {
   ++stats_.edge_delays;
   DF3_OBS_TRACE_IF(o) {
-    o->span(this, name(), obs::Phase::kDelay, now(), now(), t.request->request.id);
+    o->journey_span(this, name(), obs::Phase::kDelay, now(), now(), t.request->request.id,
+                    t.shard_index);
   }
   queue_.push_front(std::move(t));
   return policy::RungOutcome::kParked;
@@ -437,6 +480,15 @@ void Cluster::abandon_expired(Task t) {
   auto p = it->second;
   pending_.erase(it);
   ++stats_.deadline_missed;
+  // The shard dies in the queue; record the wait so the journey tiles up to
+  // the deadline-missed terminal (emitted by the sink at this same instant).
+  DF3_OBS_TRACE_IF(o) {
+    if (t.enqueued_at >= 0.0) {
+      o->journey_span_if_open(this, name(), obs::Phase::kQueueWait, t.enqueued_at, now(),
+                              t.request->request.id, t.shard_index,
+                              static_cast<std::uint32_t>(t.shard_index));
+    }
+  }
   auto state = t.request;
   sim().schedule_in(0.0, [p, state, this] {
     workload::CompletionRecord rec;
@@ -487,7 +539,8 @@ void Cluster::complete(const std::shared_ptr<RequestState>& state) {
                                : gateway_node_;
   const std::string via = name() + (p->foreign ? ":foreign" : ":local");
   network_.send(
-      net::Message{from, p->origin, state->request.output_size, state->request.id},
+      net::Message{from, p->origin, state->request.output_size, state->request.id,
+                   obs::HopKind::kReturn},
       [p, state, via](sim::Time delivered) {
         workload::CompletionRecord rec;
         rec.request = state->request;

@@ -61,6 +61,11 @@ Df3Platform::Df3Platform(PlatformConfig config)
       feed_.rung_ids.push_back(reg.counter("policy/rung/" + rung));
     }
     feed_.prev_rung_hits.assign(feed_.rung_ids.size(), 0);
+    for (int f = 0; f < 3; ++f) {
+      const std::string flow = workload::flow_name(static_cast<workload::Flow>(f));
+      feed_.slo_miss_ratio.push_back(reg.gauge("slo/" + flow + "/miss_ratio"));
+      feed_.slo_p99_s.push_back(reg.gauge("slo/" + flow + "/p99_s"));
+    }
   }
 #endif
   routing_ = policy::Registry::global().make_routing("df-first");
@@ -307,6 +312,7 @@ void Df3Platform::add_cloud_source(workload::RequestFactory factory,
       [this](workload::Request r) {
         r.flow = workload::Flow::kCloud;
         auditor_.on_submitted(r);
+        open_journey(r.id);
         Cluster* target = route_cloud_target();
         if (target == nullptr) {
           if (!datacenter_) {
@@ -327,7 +333,7 @@ void Df3Platform::add_cloud_source(workload::RequestFactory factory,
         // Pay the Internet -> gateway transport, then hand to the cluster.
         const auto gw = target->gateway_node();
         network_->send(
-            net::Message{internet_node_, gw, r.input_size, r.id},
+            net::Message{internet_node_, gw, r.input_size, r.id, obs::HopKind::kTransport},
             [target, r, this](sim::Time) mutable { target->submit(std::move(r), internet_node_); },
             [this, r]() mutable {
               workload::CompletionRecord rec;
@@ -359,11 +365,13 @@ void Df3Platform::inject_cloud_at(std::size_t b, workload::Request r) {
   r.arrival = sim_.now();
   r.flow = workload::Flow::kCloud;
   auditor_.on_submitted(r);
+  open_journey(r.id);
   Cluster* target = buildings_[b]->cluster.get();
   // Same Internet -> gateway transport (and partition drop path) as the
   // routed cloud-source arrivals; only the target choice differs.
   network_->send(
-      net::Message{internet_node_, target->gateway_node(), r.input_size, r.id},
+      net::Message{internet_node_, target->gateway_node(), r.input_size, r.id,
+                   obs::HopKind::kTransport},
       [target, r, this](sim::Time) mutable { target->submit(std::move(r), internet_node_); },
       [this, r]() mutable {
         workload::CompletionRecord rec;
@@ -381,6 +389,7 @@ void Df3Platform::inject_pinned(std::size_t b, std::size_t w, workload::Request 
   r.arrival = sim_.now();
   r.flow = workload::Flow::kEdgeDirect;
   auditor_.on_submitted(r);
+  open_journey(r.id);
   buildings_[b]->cluster->run_pinned(
       std::move(r), w, [this](workload::CompletionRecord rec) { record_completion(rec); });
 }
@@ -429,13 +438,14 @@ void Df3Platform::deliver_to_cluster(workload::Request r, std::size_t b, bool di
                                      bool via_wifi) {
   Building& building = *buildings_[b];
   auditor_.on_submitted(r);
+  open_journey(r.id);
   const net::NodeId origin = via_wifi ? building.wifi_node : building.device_node;
   // Const worker access: reading the entry node must not bump the cluster's
   // control epoch (that would un-gate the district on every direct arrival).
   const net::NodeId entry = direct ? std::as_const(*building.cluster).worker(0).node()
                                    : building.cluster->gateway_node();
   network_->send(
-      net::Message{origin, entry, r.input_size, r.id},
+      net::Message{origin, entry, r.input_size, r.id, obs::HopKind::kTransport},
       [this, b, direct, origin, r](sim::Time) mutable {
         Building& bd = *buildings_[b];
         if (direct) {
@@ -464,7 +474,30 @@ namespace {
   }
   return obs::Phase::kCompleted;
 }
+
+[[maybe_unused]] constexpr obs::SloOutcome slo_outcome(workload::Outcome o) {
+  switch (o) {
+    case workload::Outcome::kCompleted: return obs::SloOutcome::kOk;
+    case workload::Outcome::kDeadlineMissed: return obs::SloOutcome::kMissed;
+    case workload::Outcome::kRejected:
+    case workload::Outcome::kDropped: return obs::SloOutcome::kFailed;
+  }
+  return obs::SloOutcome::kFailed;
+}
+
+/// Flow carried on journey arrival/terminal links: 0 = unknown, else flow+1.
+[[maybe_unused]] constexpr std::uint32_t journey_flow_attr(workload::Flow f) {
+  return static_cast<std::uint32_t>(f) + 1;
+}
 }  // namespace
+
+void Df3Platform::open_journey([[maybe_unused]] std::uint64_t id) {
+#ifndef DF3_OBS_DISABLED
+  // The owned sink, not the installed global: manual injections happen
+  // between run() calls, when no Install scope is active.
+  if (obs_) obs_->journey_open(id);
+#endif
+}
 
 void Df3Platform::record_completion(const workload::CompletionRecord& rec) {
   auditor_.on_terminal(rec);
@@ -473,9 +506,13 @@ void Df3Platform::record_completion(const workload::CompletionRecord& rec) {
     if (rec.outcome == workload::Outcome::kCompleted) {
       o->registry().at_histogram(feed_.response_s).observe(rec.response_time());
     }
+    // Per-flow SLO plane: every terminal feeds the rolling window, so the
+    // deadline-miss ratio and response quantiles are queryable live.
+    o->slo().record(static_cast<std::uint32_t>(rec.request.flow), slo_outcome(rec.outcome),
+                    rec.response_time(), rec.completed_at);
     if (o->tracing()) {
-      o->instant(this, "lifecycle", terminal_phase(rec.outcome), rec.completed_at,
-                 rec.request.id);
+      o->journey_terminal(this, "lifecycle", terminal_phase(rec.outcome), rec.completed_at,
+                          rec.request.id, journey_flow_attr(rec.request.flow));
     }
   }
 }
@@ -1100,6 +1137,15 @@ void Df3Platform::feed_metrics(sim::Time t, double room_mean_c, double city_core
   bump(feed_.deadline_missed, feed_.prev_missed, all.deadline_missed);
   bump(feed_.rejected, feed_.prev_rejected, all.rejected);
   bump(feed_.dropped, feed_.prev_dropped, all.dropped);
+
+  // Staleness-bounded SLO gauges: a flow that has gone quiet for a full
+  // window reports zero rather than a frozen last value.
+  for (std::size_t f = 0; f < feed_.slo_miss_ratio.size(); ++f) {
+    const obs::SloMonitor::FlowReport sr =
+        obs_->slo().report(static_cast<std::uint32_t>(f), t);
+    reg.at_gauge(feed_.slo_miss_ratio[f]).set(sr.stale ? 0.0 : sr.miss_ratio);
+    reg.at_gauge(feed_.slo_p99_s[f]).set(sr.stale ? 0.0 : sr.p99_s);
+  }
 
   reg.snapshot(t);
 #else

@@ -55,8 +55,9 @@ bool Worker::try_start(Task task) {
   busy_accum_mark_ = now();
   DF3_OBS_TRACE_IF(o) {
     if (task.enqueued_at >= 0.0) {
-      o->span(this, name(), obs::Phase::kQueueWait, task.enqueued_at, now(),
-              task.request->request.id);
+      o->journey_span(this, name(), obs::Phase::kQueueWait, task.enqueued_at, now(),
+                      task.request->request.id, task.shard_index,
+                      static_cast<std::uint32_t>(task.shard_index));
     }
   }
   Running r;
@@ -83,7 +84,9 @@ void Worker::finish(std::size_t idx) {
   sync_busy_cores();
   ++completed_;
   DF3_OBS_TRACE_IF(o) {
-    o->span(this, name(), obs::Phase::kRun, r.dispatched_at, now(), r.task.request->request.id);
+    o->journey_span(this, name(), obs::Phase::kRun, r.dispatched_at, now(),
+                    r.task.request->request.id, r.task.shard_index,
+                    static_cast<std::uint32_t>(r.task.shard_index));
   }
   on_task_done_(std::move(r.task));
 }
@@ -112,8 +115,9 @@ std::optional<Task> Worker::preempt_one(Priority min_keep) {
   // The partial execution segment still shows up in the trace; the ladder
   // records the preemption event itself on the cluster track.
   DF3_OBS_TRACE_IF(o) {
-    o->span(this, name(), obs::Phase::kRun, victim.dispatched_at, now(),
-            victim.task.request->request.id);
+    o->journey_span(this, name(), obs::Phase::kRun, victim.dispatched_at, now(),
+                    victim.task.request->request.id, victim.task.shard_index,
+                    static_cast<std::uint32_t>(victim.task.shard_index));
   }
   return std::move(victim.task);
 }

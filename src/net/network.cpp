@@ -145,8 +145,15 @@ void Network::send(const Message& msg, std::function<void(sim::Time)> on_deliver
   }
   // One span covers the whole multi-hop delivery: cut-through reserves
   // every link at send time, so the delivery instant is already known here.
+  // Journey segments additionally carry a span-link whose attribute says
+  // why the message travelled (transport / hand-off / return / WAN).
   DF3_OBS_TRACE_IF(o) {
-    o->span(this, name(), obs::Phase::kNetHop, now(), t, msg.payload_tag);
+    if (msg.journey_hop != obs::HopKind::kNone) {
+      o->journey_span(this, name(), obs::Phase::kNetHop, now(), t, msg.payload_tag, -1,
+                      static_cast<std::uint32_t>(msg.journey_hop));
+    } else {
+      o->span(this, name(), obs::Phase::kNetHop, now(), t, msg.payload_tag);
+    }
   }
   sim().schedule_at(t, [cb = std::move(on_delivery), t] { cb(t); });
 }

@@ -66,7 +66,9 @@ void append_value(std::string& out, double v) {
 void write_chrome_trace(std::ostream& os, const TraceRecorder& rec) {
   std::string out;
   out.reserve(1 << 20);
-  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out += "{\"displayTimeUnit\":\"ms\",\"droppedEvents\":";
+  out += std::to_string(rec.dropped());
+  out += ",\"traceEvents\":[\n";
 
   bool first = true;
   auto sep = [&] {
@@ -89,7 +91,15 @@ void write_chrome_trace(std::ostream& os, const TraceRecorder& rec) {
     append_metadata(out, "thread_name", kHostPid, static_cast<int>(t), names[t], true);
   }
 
-  rec.for_each([&](const TraceEvent& e) {
+  // kSpanLink records annotate the record pushed immediately before them
+  // (obs/journey.hpp): fold the link into that event's args instead of
+  // emitting a separate row, so Perfetto stays clean and `df3trace` reads a
+  // self-contained per-event schema. A link whose partner fell off the ring
+  // window is emitted standalone with "orphan":1.
+  TraceEvent pending{};
+  bool have_pending = false;
+
+  auto emit_event = [&](const TraceEvent& e, const TraceEvent* link) {
     sep();
     const int pid = (e.clock == Clock::kHost) ? kHostPid : kSimPid;
     out += R"({"name":")";
@@ -112,8 +122,51 @@ void write_chrome_trace(std::ostream& os, const TraceRecorder& rec) {
     }
     out += ",\"args\":{\"id\":";
     out += std::to_string(e.id);
+    if (link != nullptr) {
+      out += ",\"seq\":";
+      out += std::to_string(link->link_seq());
+      out += ",\"parent\":";
+      out += link->link_parent() == kNoParent ? "-1" : std::to_string(link->link_parent());
+      out += ",\"attr\":";
+      out += std::to_string(link->link_attr());
+    }
     out += "}}";
+  };
+
+  auto emit_orphan_link = [&](const TraceEvent& e) {
+    sep();
+    out += R"({"name":"span-link","cat":"link","ph":"i","pid":)";
+    out += std::to_string(kSimPid);
+    out += ",\"tid\":0,\"ts\":0,\"s\":\"t\",\"args\":{\"id\":";
+    out += std::to_string(e.id);
+    out += ",\"seq\":";
+    out += std::to_string(e.link_seq());
+    out += ",\"parent\":";
+    out += e.link_parent() == kNoParent ? "-1" : std::to_string(e.link_parent());
+    out += ",\"attr\":";
+    out += std::to_string(e.link_attr());
+    out += ",\"orphan\":1}}";
+  };
+
+  rec.for_each([&](const TraceEvent& e) {
+    if (e.is_link()) {
+      if (have_pending && pending.id == e.id && pending.clock == Clock::kSim) {
+        emit_event(pending, &e);
+        have_pending = false;
+      } else {
+        if (have_pending) {
+          emit_event(pending, nullptr);
+          have_pending = false;
+        }
+        emit_orphan_link(e);
+      }
+      return;
+    }
+    if (have_pending) emit_event(pending, nullptr);
+    pending = e;
+    have_pending = true;
   });
+  if (have_pending) emit_event(pending, nullptr);
 
   out += "\n]}\n";
   os << out;

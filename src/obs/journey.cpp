@@ -1,0 +1,262 @@
+#include "df3/obs/journey.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace df3::obs {
+
+bool JourneyLog::annotate(std::uint64_t id, Phase phase, int shard, Link& out) {
+  const auto it = live_.find(id);
+  if (it == live_.end()) return false;
+  Ctx& c = it->second;
+
+  // Causal parent: the shard's own chain when one exists (a shard's run
+  // segment follows its queue-wait, a requeued victim's queue-wait follows
+  // its preempted run), otherwise the journey-level cursor.
+  std::uint32_t parent = c.cursor;
+  if (shard >= 0) {
+    const auto s = static_cast<std::size_t>(shard);
+    if (s < c.shard_cursor.size() && c.shard_cursor[s] != kNoParent) {
+      parent = c.shard_cursor[s];
+    }
+  }
+
+  const std::uint32_t seq = c.next_seq++;
+  switch (phase) {
+    case Phase::kArrival:
+    case Phase::kStaging:
+      // A new location: shard chains restart behind the transfer.
+      c.cursor = seq;
+      c.shard_cursor.clear();
+      break;
+    case Phase::kQueueWait:
+    case Phase::kRun:
+      if (shard >= 0) {
+        const auto s = static_cast<std::size_t>(shard);
+        if (s >= c.shard_cursor.size()) c.shard_cursor.resize(s + 1, kNoParent);
+        c.shard_cursor[s] = seq;
+      }
+      // Also advance the journey cursor: the completion hop parents at the
+      // last-finishing shard's run segment, which makes the terminal's
+      // ancestor chain the critical path.
+      c.cursor = seq;
+      break;
+    case Phase::kOffloadHorizontal:
+    case Phase::kOffloadVertical:
+    case Phase::kNetHop:
+    case Phase::kTransport:
+      c.cursor = seq;
+      break;
+    default:
+      // kPreempt / kDelay are side markers; terminals are closed right
+      // after annotation.
+      break;
+  }
+  out.seq = seq;
+  out.parent = parent;
+  return true;
+}
+
+std::vector<JourneySpan> collect_journey_spans(const TraceRecorder& rec, std::uint64_t* orphans) {
+  std::vector<JourneySpan> out;
+  std::uint64_t orphan = 0;
+  bool have_prev = false;
+  TraceEvent prev{};
+  rec.for_each([&](const TraceEvent& e) {
+    if (e.is_link()) {
+      if (have_prev && !prev.is_link() && prev.clock == Clock::kSim && prev.id == e.id) {
+        JourneySpan s;
+        s.t0 = prev.t_s;
+        s.t1 = prev.is_span() ? prev.t_s + prev.dur_s : prev.t_s;
+        s.journey = e.id;
+        s.seq = e.link_seq();
+        s.parent = e.link_parent();
+        s.attr = e.link_attr();
+        s.track = prev.track;
+        s.phase = prev.phase;
+        s.instant = !prev.is_span();
+        out.push_back(s);
+      } else {
+        // The annotated record fell off the front of the ring window.
+        ++orphan;
+      }
+    }
+    prev = e;
+    have_prev = true;
+  });
+  if (orphans != nullptr) *orphans = orphan;
+  return out;
+}
+
+namespace {
+
+void finalize_tree(JourneyTree& t, double tolerance) {
+  std::sort(t.spans.begin(), t.spans.end(),
+            [](const JourneySpan& a, const JourneySpan& b) { return a.seq < b.seq; });
+
+  const std::size_t n = t.spans.size();
+  t.complete = n > 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const JourneySpan& s = t.spans[i];
+    if (s.seq != i) t.complete = false;
+    if (i == 0) {
+      if (s.parent != kNoParent) t.complete = false;
+    } else if (s.parent == kNoParent || s.parent >= s.seq) {
+      t.complete = false;
+    }
+  }
+  if (n == 0) return;
+
+  t.t_begin = t.spans.front().t0;
+  std::uint32_t terminal_seq = kNoParent;
+  for (const JourneySpan& s : t.spans) {
+    if (is_terminal_phase(s.phase)) {
+      t.terminated = true;
+      t.terminal = s.phase;
+      t.t_end = s.t0;
+      terminal_seq = s.seq;
+    }
+    if (is_rung_phase(s.phase)) t.rungs_fired.push_back(s.phase);
+    if (s.phase == Phase::kArrival) t.visit_tracks.push_back(s.track);
+    if (t.flow_attr == 0 && s.attr != 0 &&
+        (s.phase == Phase::kArrival || is_terminal_phase(s.phase))) {
+      t.flow_attr = s.attr;
+    }
+  }
+
+  if (!t.complete || !t.terminated) return;
+
+  // Critical path: the terminal record's ancestor chain, root first.
+  for (std::uint32_t seq = terminal_seq; seq != kNoParent; seq = t.spans[seq].parent) {
+    t.critical.push_back(seq);
+  }
+  std::reverse(t.critical.begin(), t.critical.end());
+
+  // Gap-free tiling of [t_begin, t_end] plus the category split. Chain
+  // segments may overlap (parallel shard queue-waits start together and the
+  // chain threads through each of them); each contributes only the part past
+  // the walk cursor, so the clipped durations telescope to exactly
+  // t_end - t_begin. Only a forward gap breaks contiguity.
+  t.contiguous = true;
+  double pos = t.t_begin;
+  std::size_t arrivals_seen = 0;
+  for (const std::uint32_t seq : t.critical) {
+    const JourneySpan& s = t.spans[seq];
+    if (s.t0 > pos + tolerance) t.contiguous = false;
+    if (s.phase == Phase::kArrival) ++arrivals_seen;
+    const double d = s.t1 > pos ? s.t1 - std::max(s.t0, pos) : 0.0;
+    if (s.t1 > pos) pos = s.t1;
+    switch (s.phase) {
+      case Phase::kQueueWait: t.breakdown.queue_s += d; break;
+      case Phase::kRun: t.breakdown.run_s += d; break;
+      case Phase::kStaging:
+        // Staging past the first cluster only exists because of a hand-off.
+        (arrivals_seen >= 2 ? t.breakdown.offload_s : t.breakdown.net_s) += d;
+        break;
+      case Phase::kNetHop:
+      case Phase::kTransport: {
+        const auto kind = static_cast<HopKind>(s.attr);
+        const bool detour = kind == HopKind::kHandoff || kind == HopKind::kDcUplink ||
+                            kind == HopKind::kDcDownlink;
+        (detour ? t.breakdown.offload_s : t.breakdown.net_s) += d;
+        break;
+      }
+      case Phase::kPreempt:
+      case Phase::kOffloadHorizontal:
+      case Phase::kOffloadVertical:
+      case Phase::kDelay: t.breakdown.offload_s += d; break;
+      case Phase::kArrival:
+      case Phase::kCompleted:
+      case Phase::kDeadlineMissed:
+      case Phase::kRejected:
+      case Phase::kDropped: break;  // instants, no extent
+      default: t.breakdown.other_s += d; break;
+    }
+  }
+  if (pos < t.t_end - tolerance || pos > t.t_end + tolerance) t.contiguous = false;
+}
+
+}  // namespace
+
+JourneyForest build_journey_forest(std::vector<JourneySpan> spans,
+                                   std::vector<std::string> tracks,
+                                   std::uint64_t orphan_links,
+                                   std::uint64_t dropped_records, double tolerance) {
+  JourneyForest f;
+  f.tracks = std::move(tracks);
+  f.orphan_links = orphan_links;
+  f.dropped_records = dropped_records;
+  f.span_count = spans.size();
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  for (JourneySpan& s : spans) {
+    const auto [it, fresh] = index.try_emplace(s.journey, f.trees.size());
+    if (fresh) {
+      f.trees.emplace_back();
+      f.trees.back().id = s.journey;
+    }
+    f.trees[it->second].spans.push_back(s);
+  }
+  for (JourneyTree& t : f.trees) finalize_tree(t, tolerance);
+  return f;
+}
+
+JourneyForest build_journey_forest(const TraceRecorder& rec) {
+  std::uint64_t orphans = 0;
+  std::vector<JourneySpan> spans = collect_journey_spans(rec, &orphans);
+  return build_journey_forest(std::move(spans), rec.track_names(), orphans, rec.dropped());
+}
+
+namespace {
+
+struct Fnv {
+  std::uint64_t h = 1469598103934665603ULL;
+  void bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 1099511628211ULL;
+    }
+  }
+  void u32(std::uint32_t v) { bytes(&v, sizeof v); }
+  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void str(const std::string& s) { bytes(s.data(), s.size()); }
+};
+
+}  // namespace
+
+std::uint64_t forest_digest(const JourneyForest& f) {
+  // Trees sorted by journey id: first-appearance order is already
+  // deterministic, but id order makes the digest robust to ring-window
+  // differences at the margins.
+  std::vector<const JourneyTree*> order;
+  order.reserve(f.trees.size());
+  for (const JourneyTree& t : f.trees) order.push_back(&t);
+  std::sort(order.begin(), order.end(),
+            [](const JourneyTree* a, const JourneyTree* b) { return a->id < b->id; });
+
+  static const std::string kUnknown = "?";
+  Fnv fnv;
+  fnv.u64(order.size());
+  for (const JourneyTree* t : order) {
+    fnv.u64(t->id);
+    fnv.u64(t->spans.size());
+    for (const JourneySpan& s : t->spans) {
+      fnv.u32(s.seq);
+      fnv.u32(s.parent);
+      fnv.u32(s.attr);
+      fnv.u32(static_cast<std::uint32_t>(s.phase));
+      fnv.u32(s.instant ? 1u : 0u);
+      fnv.f64(s.t0);
+      fnv.f64(s.t1);
+      fnv.str(s.track < f.tracks.size() ? f.tracks[s.track] : kUnknown);
+    }
+  }
+  return fnv.h;
+}
+
+}  // namespace df3::obs

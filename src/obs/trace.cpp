@@ -61,6 +61,18 @@ void TraceRecorder::host_span(std::uint32_t track_id, Phase phase, double t0_s, 
   push(e);
 }
 
+void TraceRecorder::link(std::uint64_t journey, std::uint32_t seq, std::uint32_t parent,
+                         std::uint32_t attr) {
+  TraceEvent e;
+  e.t_s = static_cast<double>(seq);
+  e.dur_s = (parent == kNoParent) ? -1.0 : static_cast<double>(parent);
+  e.id = journey;
+  e.track = attr;
+  e.phase = Phase::kSpanLink;
+  e.clock = Clock::kSim;
+  push(e);
+}
+
 double TraceRecorder::host_now_s() const {
   return static_cast<double>(steady_now_ns() - host_epoch_ns_) * 1e-9;
 }

@@ -28,6 +28,7 @@
 #include "df3/obs/export.hpp"
 #include "df3/obs/metrics.hpp"
 #include "df3/obs/obs.hpp"
+#include "df3/obs/slo.hpp"
 #include "df3/obs/trace.hpp"
 
 namespace obs = df3::obs;
@@ -287,6 +288,102 @@ TEST(LogHistogram, EmptyQuantileIsZero) {
   obs::LogHistogram h;
   EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
   EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(LogHistogram, QuantilePinsKnownDistributions) {
+  // 100 samples, one per bucket boundary region: sample i = base * 2^i + eps
+  // puts exactly 10 samples in each of buckets 1..10. With the upper-edge
+  // convention, quantile(q) is the upper bound of the bucket holding the
+  // ceil(q * (n-1)) + 1-th sample.
+  obs::LogHistogram h;  // base 1e-3, growth 2
+  for (int b = 0; b < 10; ++b) {
+    for (int i = 0; i < 10; ++i) h.observe(1e-3 * std::pow(2.0, b) * 1.5);
+  }
+  EXPECT_EQ(h.count(), 100u);
+  // p50: 50th/51st samples sit in bucket 5 (values 1.6e-2 * 1.5): upper edge
+  // 1e-3 * 2^5 = 0.032.
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 1e-3 * 32.0);
+  // p99: the 100th sample is in the last filled bucket; upper edge capped at
+  // max = 1e-3 * 2^9 * 1.5.
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 1e-3 * 512.0 * 1.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1e-3 * 2.0);  // first sample's bucket edge
+}
+
+TEST(LogHistogram, MergeOfPartsEqualsWhole) {
+  // The SLO window merges per-bucket sub-histograms; quantiles over the
+  // merge must equal quantiles over one histogram fed everything.
+  obs::LogHistogram whole, a, b;
+  for (int i = 1; i <= 200; ++i) {
+    const double v = 1e-3 * static_cast<double>(i);
+    whole.observe(v);
+    (i % 2 == 0 ? a : b).observe(v);
+  }
+  obs::LogHistogram merged;
+  merged.merge(a);
+  merged.merge(b);
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_DOUBLE_EQ(merged.sum(), whole.sum());
+  EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+  EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(merged.quantile(q), whole.quantile(q)) << "q=" << q;
+  }
+  merged.reset();
+  EXPECT_EQ(merged.count(), 0u);
+  EXPECT_DOUBLE_EQ(merged.quantile(0.5), 0.0);
+}
+
+// --- SLO monitor units ------------------------------------------------------
+
+TEST(SloMonitor, WindowedRatiosAndQuantiles) {
+  obs::SloMonitor slo(/*window_s=*/600.0, /*buckets=*/6);
+  // 8 ok + 2 missed + 2 failed inside the window.
+  for (int i = 0; i < 8; ++i) slo.record(0, obs::SloOutcome::kOk, 0.010, 100.0 + i);
+  slo.record(0, obs::SloOutcome::kMissed, 1.0, 200.0);
+  slo.record(0, obs::SloOutcome::kMissed, 2.0, 250.0);
+  slo.record(0, obs::SloOutcome::kFailed, 0.0, 300.0);
+  slo.record(0, obs::SloOutcome::kFailed, 0.0, 350.0);
+  const auto rep = slo.report(0, 400.0);
+  EXPECT_EQ(rep.total, 12u);
+  EXPECT_EQ(rep.missed, 2u);
+  EXPECT_EQ(rep.failed, 2u);
+  EXPECT_DOUBLE_EQ(rep.miss_ratio, 2.0 / 12.0);
+  EXPECT_DOUBLE_EQ(rep.fail_ratio, 2.0 / 12.0);
+  EXPECT_FALSE(rep.stale);
+  // Failures carry no latency: the histogram holds 8 ok + 2 missed samples,
+  // so p50 is the 0.01 bucket's upper edge and max is the missed 2 s.
+  EXPECT_DOUBLE_EQ(rep.p50_s, 0.016);
+  EXPECT_DOUBLE_EQ(rep.max_s, 2.0);
+}
+
+TEST(SloMonitor, EventsOutsideTheWindowAgeOut) {
+  obs::SloMonitor slo(600.0, 6);
+  slo.record(0, obs::SloOutcome::kMissed, 5.0, 50.0);
+  for (int i = 0; i < 5; ++i) slo.record(0, obs::SloOutcome::kOk, 0.010, 1000.0 + 100.0 * i);
+  // At t=1450 the t=50 miss is more than one window old; a bucket epoch from
+  // a previous lap must not leak into the report.
+  const auto rep = slo.report(0, 1450.0);
+  EXPECT_EQ(rep.total, 5u);
+  EXPECT_EQ(rep.missed, 0u);
+  EXPECT_DOUBLE_EQ(rep.miss_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(rep.max_s, 0.010);
+}
+
+TEST(SloMonitor, StalenessBoundedGauges) {
+  obs::SloMonitor slo(600.0, 6);
+  slo.record(1, obs::SloOutcome::kOk, 0.010, 100.0);
+  EXPECT_FALSE(slo.report(1, 300.0).stale);
+  // Default staleness bound is one window.
+  EXPECT_TRUE(slo.report(1, 800.0).stale);
+  // Explicit bound overrides.
+  EXPECT_FALSE(slo.report(1, 800.0, 1000.0).stale);
+  EXPECT_TRUE(slo.report(1, 800.0, 100.0).stale);
+  // Distinguishable from "no data": an untouched flow is stale with no
+  // last_event_s.
+  const auto empty = slo.report(0, 800.0);
+  EXPECT_EQ(empty.total, 0u);
+  EXPECT_TRUE(empty.stale);
+  EXPECT_DOUBLE_EQ(empty.last_event_s, -1.0);
 }
 
 TEST(MetricRegistry, InternsByNameAndSnapshotsSeries) {

@@ -35,6 +35,11 @@
 //   csv ("" = no export)     trace ("" = no export)   metrics ("" = no export)
 //   telemetry (off|counters|full; default inferred: full when a trace is
 //              requested, counters when only metrics are, off otherwise)
+//   trace_capacity (0 = auto: DF3_TRACE_CAPACITY env, else 1M records) —
+//              size the trace ring for long soaks; when journey spans are
+//              overwritten a loud warning reports the dropped() count and
+//              df3trace will refuse the export without --partial
+//   slo_window_s (3600)      rolling SLO window for the per-flow report
 //   report (""|json)
 //
 // Policy names resolve through policy::Registry::global(); unknown names —
@@ -107,6 +112,29 @@ void print_json_report(core::Df3Platform& city, bool boiler) {
                   s.response_s.percentile(50.0), s.response_s.p99());
     out += buf;
   }
+  // Rolling-window SLO plane (DESIGN.md section 14): the trailing-window
+  // health of each flow, as opposed to the whole-run aggregates above.
+  out += "],\"slo\":[";
+  first = true;
+  if (obs::Observability* o = city.observability()) {
+    const double now = city.now();
+    for (const auto& row : rows) {
+      const auto flow = static_cast<std::uint32_t>(row.flow);
+      if (flow >= o->slo().flows()) continue;
+      const auto rep = o->slo().report(flow, now);
+      if (rep.total == 0 && rep.last_event_s < 0.0) continue;
+      if (!first) out += ',';
+      first = false;
+      std::snprintf(buf, sizeof(buf),
+                    "{\"flow\":\"%s\",\"window_s\":%.9g,\"total\":%llu,"
+                    "\"miss_ratio\":%.6f,\"fail_ratio\":%.6f,\"p50_s\":%.9g,"
+                    "\"p99_s\":%.9g,\"stale\":%s}",
+                    row.label, o->slo().window_s(),
+                    static_cast<unsigned long long>(rep.total), rep.miss_ratio,
+                    rep.fail_ratio, rep.p50_s, rep.p99_s, rep.stale ? "true" : "false");
+      out += buf;
+    }
+  }
   const auto& energy = city.df_energy();
   std::snprintf(buf, sizeof(buf),
                 "],\"energy\":{\"it_kwh\":%.6f,\"pue\":%.6f,\"heat_reuse_fraction\":%.6f},",
@@ -161,7 +189,11 @@ int run(const std::string& config_path, const Options& opts) {
   const long shard_rooms = cfg.get_int("shard_rooms", 4096);
   const bool activity_gating = cfg.get_bool("activity_gating", true);
   const long federation_degree = cfg.get_int("federation_degree", 0);
+  const long trace_capacity = cfg.get_int("trace_capacity", 0);
+  const double slo_window_s = cfg.get_double("slo_window_s", 3600.0);
   cfg.check_exhausted();
+  if (trace_capacity < 0) throw std::invalid_argument("trace_capacity must be >= 0");
+  if (slo_window_s <= 0.0) throw std::invalid_argument("slo_window_s must be > 0");
   if (physics_threads < 0) throw std::invalid_argument("physics_threads must be >= 0");
   if (control_threads < 0) throw std::invalid_argument("control_threads must be >= 0");
   if (shard_rooms <= 0) throw std::invalid_argument("shard_rooms must be > 0");
@@ -215,6 +247,8 @@ int run(const std::string& config_path, const Options& opts) {
     std::fprintf(stderr, "df3run: --trace needs telemetry=full; raising level\n");
     pc.obs.level = obs::TraceLevel::kFull;
   }
+  pc.obs.trace_capacity = static_cast<std::size_t>(trace_capacity);
+  pc.obs.slo_window_s = slo_window_s;
 
   core::Df3Platform city(pc);
   for (long i = 0; i < buildings; ++i) {
@@ -275,6 +309,28 @@ int run(const std::string& config_path, const Options& opts) {
   }
   flows.print(std::cout);
 
+  // Rolling-window SLO plane: trailing-window health per flow, which the
+  // cumulative table above cannot show (an early-run incident stops
+  // dominating once it leaves the window).
+  if (obs::Observability* o = city.observability(); o != nullptr && o->slo().flows() > 0) {
+    util::Table slo({"flow", "window_total", "miss_%", "fail_%", "p50_ms", "p99_ms", "stale"},
+                    "SLO window (trailing " + std::to_string(static_cast<long>(slo_window_s)) +
+                        " s)");
+    slo.set_precision(1);
+    const double now = city.now();
+    for (const auto& row : rows) {
+      const auto flow = static_cast<std::uint32_t>(row.flow);
+      if (flow >= o->slo().flows()) continue;
+      const auto rep = o->slo().report(flow, now);
+      if (rep.total == 0 && rep.last_event_s < 0.0) continue;
+      slo.add_row({std::string(row.label), static_cast<std::int64_t>(rep.total),
+                   100.0 * rep.miss_ratio, 100.0 * rep.fail_ratio, rep.p50_s * 1e3,
+                   rep.p99_s * 1e3, std::string(rep.stale ? "yes" : "no")});
+    }
+    std::printf("\n");
+    slo.print(std::cout);
+  }
+
   const auto& energy = city.df_energy();
   std::printf("\nenergy: %.1f kWh IT, PUE %.3f, useful heat %.0f%%\n", energy.it().kwh(),
               energy.pue(), 100.0 * energy.heat_reuse_fraction());
@@ -313,6 +369,18 @@ int run(const std::string& config_path, const Options& opts) {
                     static_cast<unsigned long long>(o->trace().dropped()));
       }
       std::printf(") — open in ui.perfetto.dev\n");
+      if (o->trace().dropped() > 0) {
+        std::fprintf(stderr,
+                     "\ndf3run: WARNING — the trace ring overwrote %llu event(s); journey "
+                     "spans are\n"
+                     "df3run: incomplete and df3trace will refuse this export without "
+                     "--partial.\n"
+                     "df3run: Raise trace_capacity= in the scenario (current ring: %zu "
+                     "records) or set\n"
+                     "df3run: the DF3_TRACE_CAPACITY environment variable.\n\n",
+                     static_cast<unsigned long long>(o->trace().dropped()),
+                     o->trace().capacity());
+      }
     }
     if (!metrics.empty()) {
       const bool ok = ends_with(metrics, ".json")
