@@ -45,6 +45,11 @@
 #include "df3/policy/policy.hpp"
 #include "df3/workload/request.hpp"
 
+namespace df3::grid {
+class GridPlane;
+struct GridSample;
+}  // namespace df3::grid
+
 namespace df3::core {
 
 /// Anything that can execute a full request remotely (a datacenter, or in
@@ -146,6 +151,11 @@ class Cluster : public sim::Entity, private policy::LadderMechanism {
   struct PolicyCounters {
     std::uint64_t placement_picks = 0;  ///< placement-policy selections
     std::uint64_t peer_picks = 0;       ///< peer-selector selections
+    /// Times the RungView / PeerView grid fields were filled — only bumped
+    /// when some rung (resp. the selector) declared needs_grid() *and* a
+    /// grid plane is bound, so tests can prove the lazy-fill gating.
+    std::uint64_t rung_grid_fills = 0;
+    std::uint64_t peer_grid_fills = 0;
     /// Times ladder rung i resolved or parked the shard (parallel to
     /// ClusterConfig::edge_peak_ladder).
     std::vector<std::uint64_t> rung_hits;
@@ -195,6 +205,17 @@ class Cluster : public sim::Entity, private policy::LadderMechanism {
   void clear_peers() { peers_.clear(); }
   [[nodiscard]] std::size_t peer_count() const { return peers_.size(); }
   void set_datacenter(ComputeService* dc) { datacenter_ = dc; }
+
+  /// Bind this cluster to its grid region (DESIGN.md §15). `now` points at
+  /// the platform's per-tick sample slot for `region` and must stay valid
+  /// for the cluster's lifetime; both pointers nullptr (the default) means
+  /// no grid plane, in which case grid-aware policies see grid_valid=false.
+  void bind_grid(const grid::GridPlane* plane, const grid::GridSample* now, std::size_t region) {
+    grid_plane_ = plane;
+    grid_now_ = now;
+    grid_region_ = region;
+  }
+  [[nodiscard]] std::size_t grid_region() const { return grid_region_; }
 
   /// Submit a request arriving at the gateway from `origin`. The transport
   /// from the origin to the gateway must already have happened (the
@@ -357,6 +378,13 @@ class Cluster : public sim::Entity, private policy::LadderMechanism {
   std::vector<std::unique_ptr<policy::PeakRung>> ladder_;
   std::unique_ptr<policy::PlacementPolicy> placement_;
   std::unique_ptr<policy::PeerSelector> peer_selector_;
+  // Grid binding (see bind_grid); needs_grid flags cached at construction
+  // so the no-grid hot path pays a single bool test.
+  const grid::GridPlane* grid_plane_ = nullptr;
+  const grid::GridSample* grid_now_ = nullptr;
+  std::size_t grid_region_ = 0;
+  bool ladder_needs_grid_ = false;
+  bool peer_needs_grid_ = false;
   // Per-pick scratch (cleared and refilled; never reallocates steady-state).
   std::vector<policy::PlacementCandidate> place_scratch_;
   std::vector<policy::PeerInfo> peer_scratch_;

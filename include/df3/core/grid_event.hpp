@@ -1,0 +1,87 @@
+#pragma once
+/// \file grid_event.hpp
+/// \brief Deterministic demand-response event injection (DESIGN.md §15).
+///
+/// Grid operators ask flexible loads to shed during scarcity windows; a
+/// district of data furnaces is exactly such a load (paper III-B). The
+/// `GridEventSource` drives one grid region through alternating normal /
+/// curtailment dwell periods with exponentially distributed durations from
+/// a named `util::RngStream`, mirroring the `WorkerChurn` injector:
+///
+///  * entering a window marks the region curtailed on the `grid::GridPlane`
+///    (so `grid-shed` ladder rungs start shedding new arrivals) and
+///    power-gates a configured fraction of each managed cluster's workers
+///    (the fleet's direct contribution to the shed);
+///  * leaving the window (or `stop()`) restores power and clears the flag.
+///
+/// Every mutation is followed by `Cluster::sync_workers()`, exactly what
+/// the physics tick does after a hardware change. Same seed, same window
+/// schedule — soak tests asserting request conservation through
+/// shed-and-recover are bit-for-bit reproducible.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "df3/core/cluster.hpp"
+#include "df3/grid/signal.hpp"
+#include "df3/sim/engine.hpp"
+#include "df3/util/rng.hpp"
+
+namespace df3::core {
+
+struct GridEventConfig {
+  /// Region (index into the plane) this source curtails.
+  std::size_t region = 0;
+  /// Fraction of each managed cluster's workers power-gated during a
+  /// window, rounded up; 0 marks the region curtailed without touching
+  /// hardware (signal-only demand response).
+  double shed_fraction = 0.5;
+  /// Mean dwell outside a curtailment window, seconds.
+  double mean_up_s = 14400.0;
+  /// Mean curtailment window duration, seconds.
+  double mean_down_s = 3600.0;
+  /// The first window is scheduled from this instant.
+  sim::Time start = 0.0;
+};
+
+/// Injects demand-response windows into one grid region and the clusters
+/// that draw from it. `start()` arms the schedule; `stop()` cancels the
+/// pending toggle and restores the healthy state.
+class GridEventSource : public sim::Entity {
+ public:
+  /// `clusters` are the clusters drawing from `config.region`; they must
+  /// outlive the source. The plane must too.
+  GridEventSource(sim::Simulation& sim, std::string name, grid::GridPlane& plane,
+                  std::vector<Cluster*> clusters, GridEventConfig config, util::RngStream rng);
+
+  void start();
+  void stop();
+
+  /// Toggle the curtailment state right now, without consulting the dwell
+  /// RNG or arming a follow-up — the model-checker choice point, same
+  /// contract as WorkerChurn::force_toggle.
+  void force_toggle();
+
+  [[nodiscard]] bool active() const { return active_; }
+  [[nodiscard]] bool running() const { return running_; }
+  /// Number of curtailment windows entered so far.
+  [[nodiscard]] std::uint64_t windows() const { return windows_; }
+
+ private:
+  void arm();
+  void apply(bool curtail);
+  [[nodiscard]] std::size_t shed_count(const Cluster& c) const;
+
+  grid::GridPlane& plane_;
+  std::vector<Cluster*> clusters_;
+  GridEventConfig config_;
+  util::RngStream rng_;
+  sim::EventHandle next_;
+  bool active_ = false;
+  bool running_ = false;
+  sim::Time active_since_ = 0.0;
+  std::uint64_t windows_ = 0;
+};
+
+}  // namespace df3::core

@@ -30,6 +30,7 @@
 #include "df3/core/cluster.hpp"
 #include "df3/core/fleet_kernel.hpp"
 #include "df3/core/heat_regulator.hpp"
+#include "df3/grid/signal.hpp"
 #include "df3/metrics/audit.hpp"
 #include "df3/metrics/collectors.hpp"
 #include "df3/net/network.hpp"
@@ -75,6 +76,10 @@ struct BuildingConfig {
   /// building's compute capacity does not breathe with the seasons.
   std::optional<thermal::WaterTankParams> water_tank = std::nullopt;
   double daily_hot_water_l = 1500.0;
+  /// Grid region this building draws from, by name on the installed
+  /// GridPlane (DESIGN.md §15). Empty = region 0. Only consulted when a
+  /// plane is installed; unknown names throw at install/add time.
+  std::string grid_region = {};
 };
 
 struct PlatformConfig {
@@ -184,6 +189,47 @@ class Df3Platform {
   /// Lets a scenario stop injecting and drain to quiescence, the state in
   /// which the lifecycle auditor's conservation check is exact.
   void stop_sources();
+
+  // --- grid-signal plane (DESIGN.md §15) ---
+  /// Install the per-region grid signals (carbon intensity, spot price,
+  /// renewable share). The substrate owns the plane next to the weather
+  /// model: the tick samples every region once, clusters and the routing
+  /// view read the samples lazily, and the energy ledger attributes each
+  /// building's joules to its region's signal at spend time. Buildings
+  /// added before or after install are both bound (their
+  /// BuildingConfig::grid_region name resolves against this plane; a
+  /// second install throws). Runs without a plane are bit-for-bit
+  /// unchanged — every grid code path is gated on its presence.
+  void install_grid(grid::GridPlane plane);
+  [[nodiscard]] grid::GridPlane* grid_plane() { return grid_.get(); }
+  [[nodiscard]] const grid::GridPlane* grid_plane() const { return grid_.get(); }
+  /// Region index building `b` draws from (valid once a plane is installed).
+  [[nodiscard]] std::size_t building_region(std::size_t b) const { return bld_region_.at(b); }
+  /// Last tick's sample for region `r` (the value policies observed).
+  [[nodiscard]] const grid::GridSample& grid_sample(std::size_t r) const {
+    return grid_now_.at(r);
+  }
+
+  /// Per-region economics, accumulated at spend time: each tick every
+  /// building's facility joules (IT + overhead share) accrue to its
+  /// region's account at that tick's price and carbon intensity.
+  struct RegionAccount {
+    double energy_j = 0.0;
+    double cost_eur = 0.0;
+    double co2_g = 0.0;
+    std::uint64_t curtailed_ticks = 0;  ///< ticks the region ended curtailed
+  };
+  [[nodiscard]] const std::vector<RegionAccount>& grid_accounts() const { return grid_accounts_; }
+
+  /// How often each lazy RoutingView fill actually ran — the observable
+  /// side of the pay-for-what-you-ask contract (tests assert a policy that
+  /// does not declare a need never triggers the fill).
+  struct RoutingFillStats {
+    std::uint64_t season = 0;   ///< needs_season() fills
+    std::uint64_t cluster = 0;  ///< needs_cluster_info() fills
+    std::uint64_t grid = 0;     ///< needs_grid() fills honored (plane present)
+  };
+  [[nodiscard]] const RoutingFillStats& routing_fill_stats() const { return routing_fills_; }
 
   // --- deterministic single-request injection (model checker, DESIGN.md
   // §13). Each call submits exactly one request *now*, through the same
@@ -407,6 +453,9 @@ class Df3Platform {
   [[nodiscard]] std::size_t physics_thread_count() const;
   [[nodiscard]] std::size_t control_thread_count() const;
   [[nodiscard]] Cluster* route_cloud_target();
+  /// Resolve building `b`'s grid_region name against the installed plane
+  /// and bind its cluster to the per-tick sample slot.
+  void bind_building_grid(std::size_t b);
   void deliver_to_cluster(workload::Request r, std::size_t b, bool direct, bool via_wifi);
   /// Single funnel for terminal completion records: auditor first, then the
   /// flow metrics. Every sink and drop callback the platform installs must
@@ -492,7 +541,16 @@ class Df3Platform {
   /// Per-pick scratch for routing policies that need cluster info.
   std::vector<policy::ClusterInfo> routing_scratch_;
   std::uint64_t routing_picks_ = 0;
+  RoutingFillStats routing_fills_;
   std::uint64_t source_counter_ = 0;
+  /// Grid-signal plane (DESIGN.md §15); nullptr = no grid, every grid code
+  /// path disabled. grid_now_ holds the per-region sample of the current
+  /// tick; sized once at install and never resized, so clusters can hold
+  /// stable pointers into it. bld_region_ maps building -> region.
+  std::unique_ptr<grid::GridPlane> grid_;
+  std::vector<grid::GridSample> grid_now_;
+  std::vector<std::size_t> bld_region_;
+  std::vector<RegionAccount> grid_accounts_;
 
   metrics::FlowMetrics flow_metrics_;
   metrics::LifecycleAuditor auditor_;
@@ -517,6 +575,8 @@ class Df3Platform {
     // Per-flow SLO gauges (DESIGN.md §14): rolling-window deadline-miss
     // ratio and response p99, one pair per workload::Flow.
     std::vector<obs::MetricId> slo_miss_ratio, slo_p99_s;
+    // Per-region grid gauges (DESIGN.md §15), registered at install_grid.
+    std::vector<obs::MetricId> grid_carbon, grid_price, grid_curtailed;
     std::uint64_t prev_preemptions = 0, prev_horizontal = 0, prev_vertical = 0, prev_delays = 0;
     std::uint64_t prev_completed = 0, prev_missed = 0, prev_rejected = 0, prev_dropped = 0;
     std::uint64_t prev_routing_picks = 0, prev_placement_picks = 0, prev_peer_picks = 0;

@@ -11,6 +11,7 @@
 ///   df3/hw/...                CPUs (DVFS) and DF server chassis
 ///   df3/net/...               protocols and store-and-forward network
 ///   df3/workload/...          request flows, arrivals, generators, traces
+///   df3/grid/...              grid-signal plane: carbon/price/renewables
 ///   df3/policy/...            decision plane: pluggable policies + registry
 ///   df3/core/...              the DF3 middleware (the paper's contribution)
 ///   df3/baselines/...         datacenter, micro-DC/CDN, desktop grid
@@ -25,11 +26,13 @@
 #include "df3/core/cluster.hpp"
 #include "df3/core/clustering.hpp"
 #include "df3/core/fault.hpp"
+#include "df3/core/grid_event.hpp"
 #include "df3/core/heat_regulator.hpp"
 #include "df3/core/platform.hpp"
 #include "df3/core/scheduler.hpp"
 #include "df3/core/task.hpp"
 #include "df3/core/worker.hpp"
+#include "df3/grid/signal.hpp"
 #include "df3/hw/cpu.hpp"
 #include "df3/hw/mining.hpp"
 #include "df3/hw/server.hpp"

@@ -1,0 +1,114 @@
+#pragma once
+/// \file signal.hpp
+/// \brief Grid-signal substrate: per-region carbon / price / renewable series.
+///
+/// The paper's urban-integration argument (section III-B) — and the Buyya
+/// sustainability visions it points at — make the electricity grid a
+/// first-class input to resource management: a building fleet is only a
+/// good citizen of its city if it knows what its electrons cost, in euros
+/// and in grams of CO2. This module is the substrate half of that loop,
+/// sitting next to the weather model: deterministic per-region time series
+/// (`GridSignal`) grouped into a `GridPlane` the platform samples once per
+/// physics tick and exposes *read-only* through the decision plane
+/// (DESIGN.md §15).
+///
+/// Design mirrors `thermal::WeatherModel`: queries are const, reproducible
+/// in any order, and never consult a clock or RNG. A signal is a step
+/// function over explicit breakpoints (the shape of real ENTSO-E / spot
+/// price feeds) with an optional repeat period so a bundled one-day trace
+/// can drive a week-long run.
+///
+/// The plane also owns the per-region *curtailment* flags — the
+/// demand-response state a `core::GridEventSource` raises during a
+/// curtailment window and the `grid-shed` peak rung reacts to. Flags are
+/// mutable plane state, not signal data: events are injected, signals are
+/// recorded history.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace df3::grid {
+
+/// One region's grid state at an instant.
+struct GridSample {
+  double carbon_gco2_per_kwh = 0.0;  ///< grid carbon intensity
+  double price_eur_per_kwh = 0.0;    ///< spot electricity price
+  double renewable_fraction = 0.0;   ///< share of renewables in the mix [0,1]
+};
+
+/// Step-function time series of grid samples for one region. Breakpoints
+/// are strictly increasing; `sample(t)` returns the last breakpoint at or
+/// before `t` (the first one for queries before the series starts). With a
+/// repeat period set, query times wrap modulo the period, so a one-day
+/// trace repeats every day of a long run.
+class GridSignal {
+ public:
+  /// Append one breakpoint. Throws std::invalid_argument on NaN fields or
+  /// a time not strictly after the previous breakpoint.
+  void add_point(double time_s, GridSample s);
+
+  /// Repeat the trace every `period_s` seconds (0 = no repeat, hold the
+  /// last sample). Must cover the breakpoints: period > last time.
+  void set_period(double period_s);
+
+  [[nodiscard]] GridSample sample(double t) const;
+  [[nodiscard]] std::size_t size() const { return times_.size(); }
+  [[nodiscard]] double period_s() const { return period_s_; }
+
+ private:
+  std::vector<double> times_;
+  std::vector<GridSample> samples_;
+  double period_s_ = 0.0;
+};
+
+/// A city's worth of regions: named signals plus the mutable demand-response
+/// curtailment flag per region. Region indices are assignment-stable (the
+/// order add_region was called), so platform-side per-region accounts can
+/// use plain vectors.
+class GridPlane {
+ public:
+  /// Register a region; names are unique. Returns the region index.
+  std::size_t add_region(std::string name, GridSignal signal);
+
+  [[nodiscard]] std::size_t region_count() const { return names_.size(); }
+  [[nodiscard]] const std::string& region_name(std::size_t r) const { return names_.at(r); }
+  /// Index of a named region; throws std::invalid_argument listing the
+  /// known regions (same loud-typo contract as policy::Registry).
+  [[nodiscard]] std::size_t region_index(std::string_view name) const;
+  [[nodiscard]] const GridSignal& signal(std::size_t r) const { return signals_.at(r); }
+
+  /// Demand-response curtailment flag, raised/cleared by GridEventSource.
+  void set_curtailed(std::size_t r, bool v) { curtailed_.at(r) = v ? 1 : 0; }
+  [[nodiscard]] bool curtailed(std::size_t r) const { return curtailed_.at(r) != 0; }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<GridSignal> signals_;
+  std::vector<std::uint8_t> curtailed_;
+};
+
+/// Parse a grid-signal CSV into a plane. Format (header required):
+///
+///   region,time_s,carbon_gco2_per_kwh,price_eur_per_kwh,renewable_fraction
+///
+/// Rows of one region must be in strictly increasing time order (rows of
+/// different regions may interleave). A `# period_s = <v>` comment line
+/// sets the repeat period of every signal. Malformed rows, NaNs and
+/// non-monotonic timestamps throw std::invalid_argument with a one-line
+/// message naming the offending row — garbage fails loudly instead of
+/// being silently interpolated.
+[[nodiscard]] GridPlane load_signals_csv(std::istream& is, std::string_view origin = "<stream>");
+[[nodiscard]] GridPlane load_signals_csv_file(const std::string& path);
+
+/// The bundled synthetic trace the e14 bench and tests run against: two
+/// regions, "green" (hydro-backed, diurnally cheap and clean) and "dirty"
+/// (fossil-heavy, expensive), repeating daily. Green is strictly cleaner
+/// than dirty at every instant, so carbon-aware routing has an unambiguous
+/// right answer.
+[[nodiscard]] GridPlane two_region_demo_plane();
+
+}  // namespace df3::grid

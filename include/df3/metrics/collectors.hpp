@@ -68,6 +68,21 @@ class EnergyLedger {
   void add_useful_heat(util::Joules e) { add_checked(useful_heat_, e, "useful heat"); }  ///< requested heating
   void add_waste_heat(util::Joules e) { add_checked(waste_heat_, e, "waste heat"); }     ///< rejected heat
 
+  /// Attribute facility energy to the grid signal active at spend time
+  /// (DESIGN.md §15): cost and carbon accrue at the price / intensity the
+  /// region showed on the tick the joules were drawn, not at end-of-run
+  /// averages. Called by the platform once per building per tick when a
+  /// grid plane is installed; a no-grid run never touches these slots.
+  void add_grid_spend(util::Joules e, double eur_per_kwh, double gco2_per_kwh) {
+    if (e.value() < 0.0) throw_negative("grid spend");
+    const double kwh = e.value() / 3.6e6;
+    grid_cost_eur_ += kwh * eur_per_kwh;
+    grid_co2_g_ += kwh * gco2_per_kwh;
+  }
+
+  [[nodiscard]] double grid_cost_eur() const { return grid_cost_eur_; }
+  [[nodiscard]] double grid_co2_g() const { return grid_co2_g_; }
+
   [[nodiscard]] util::Joules it() const { return it_; }
   [[nodiscard]] util::Joules overhead() const { return overhead_; }
   [[nodiscard]] util::Joules cooling() const { return cooling_; }
@@ -138,6 +153,8 @@ class EnergyLedger {
   util::Joules cooling_{0.0};
   util::Joules useful_heat_{0.0};
   util::Joules waste_heat_{0.0};
+  double grid_cost_eur_ = 0.0;
+  double grid_co2_g_ = 0.0;
 };
 
 /// Comfort tracking for one room: time-weighted deviation from target.

@@ -84,6 +84,8 @@ enum class Phase : std::uint8_t {
   kLinkFlap,           ///< up->down toggle (instant), id = link index
   kWorkerOutage,       ///< worker down -> restored (span), id = worker index
   kWorkerChurn,        ///< healthy->outage toggle (instant), id = worker idx
+  kGridCurtailment,    ///< demand-response window (span), id = region index
+  kGridToggle,         ///< curtailment start/end toggle (instant), id = region
   // Journey causality (simulated clock, paired with the preceding record).
   kSpanLink,           ///< parent/child link annotating the previous record
 };
@@ -113,6 +115,8 @@ enum class Phase : std::uint8_t {
     case Phase::kLinkFlap: return "link-flap";
     case Phase::kWorkerOutage: return "worker-outage";
     case Phase::kWorkerChurn: return "worker-churn";
+    case Phase::kGridCurtailment: return "grid-curtailment";
+    case Phase::kGridToggle: return "grid-toggle";
     case Phase::kSpanLink: return "span-link";
   }
   return "?";
@@ -130,7 +134,9 @@ enum class Phase : std::uint8_t {
     case Phase::kLinkOutage:
     case Phase::kLinkFlap:
     case Phase::kWorkerOutage:
-    case Phase::kWorkerChurn: return "fault";
+    case Phase::kWorkerChurn:
+    case Phase::kGridCurtailment:
+    case Phase::kGridToggle: return "fault";
     case Phase::kSpanLink: return "link";
     default: return "request";
   }

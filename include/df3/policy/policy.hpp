@@ -63,6 +63,16 @@ class LadderMechanism {
   virtual RungOutcome relieve_by_delay(core::Task& t) = 0;
 };
 
+/// Grid-signal context a peak rung may look at, filled lazily by the
+/// cluster only when some rung in the ladder declares `needs_grid()` —
+/// same pay-for-what-you-ask contract as the routing view.
+struct RungView {
+  bool grid_valid = false;           ///< a grid plane is installed and sampled
+  bool curtailment_active = false;   ///< this cluster's region is in a demand-response window
+  double carbon_gco2_per_kwh = 0.0;  ///< region carbon intensity at the last tick
+  double price_eur_per_kwh = 0.0;    ///< region spot price at the last tick
+};
+
 /// One rung of the edge peak-management ladder (paper section III-B). Rungs
 /// are small stateful objects — a rung may carry a budget or hysteresis and
 /// decline (`kNoOp`) when it is exhausted.
@@ -70,28 +80,41 @@ class PeakRung {
  public:
   virtual ~PeakRung() = default;
   [[nodiscard]] virtual std::string_view name() const = 0;
-  virtual RungOutcome apply(LadderMechanism& mechanism, core::Task& t) = 0;
+  /// Ask the cluster to fill the RungView grid fields before apply().
+  [[nodiscard]] virtual bool needs_grid() const { return false; }
+  virtual RungOutcome apply(LadderMechanism& mechanism, core::Task& t, const RungView& view) = 0;
 };
 
 /// RoutingPolicy::pick returns this sentinel to send the request to the
 /// datacenter (or reject it when the platform has none).
 inline constexpr std::size_t kRouteToDatacenter = static_cast<std::size_t>(-1);
 
-/// Per-cluster load/heat snapshot for routing decisions, in building order.
+/// Per-cluster load/heat/grid snapshot for routing decisions, in building
+/// order. The load/heat pair is valid under needs_cluster_info(), the grid
+/// triple under needs_grid(); unrequested fields are zero (the platform
+/// refills the scratch from scratch per pick, so a policy can never observe
+/// a stale value it did not ask for).
 struct ClusterInfo {
   double backlog_gc_per_core = 0.0;      ///< queued gigacycles / usable cores
   double heat_demand_w_per_core = 0.0;   ///< last-tick heat demand / usable cores
+  double carbon_gco2_per_kwh = 0.0;      ///< region carbon intensity (needs_grid())
+  double price_eur_per_kwh = 0.0;        ///< region spot price (needs_grid())
+  double renewable_fraction = 0.0;       ///< region renewable share (needs_grid())
 };
 
-/// Everything a routing policy may look at. The season and cluster fields
-/// are only populated when the policy declares it needs them (`needs_*`), so
-/// cheap policies keep the per-arrival cost at O(1).
+/// Everything a routing policy may look at. The season, cluster and grid
+/// fields are only populated when the policy declares it needs them
+/// (`needs_*`), so cheap policies keep the per-arrival cost at O(1).
 struct RoutingView {
   std::size_t cluster_count = 0;         ///< > 0 (the platform short-circuits otherwise)
   bool has_datacenter = false;
   double seasonal_outdoor_c = 0.0;       ///< valid when needs_season()
   double heating_cutoff_c = 0.0;         ///< valid when needs_season()
-  std::span<const ClusterInfo> clusters; ///< valid when needs_cluster_info()
+  std::span<const ClusterInfo> clusters; ///< valid when needs_cluster_info() or needs_grid()
+  /// True when needs_grid() was honored: a grid plane is installed and the
+  /// ClusterInfo grid fields hold the last tick's samples. Grid-aware
+  /// policies must fall back (e.g. to round-robin) when false.
+  bool grid_valid = false;
 };
 
 /// Decides which cluster serves an arriving cloud request.
@@ -103,19 +126,25 @@ class RoutingPolicy {
   [[nodiscard]] virtual bool needs_season() const { return false; }
   /// Ask the platform to fill RoutingView::clusters (O(clusters) per pick).
   [[nodiscard]] virtual bool needs_cluster_info() const { return false; }
+  /// Ask the platform to fill the per-cluster grid fields (O(clusters)).
+  [[nodiscard]] virtual bool needs_grid() const { return false; }
   /// Cluster index in [0, cluster_count), or kRouteToDatacenter.
   virtual std::size_t pick(const RoutingView& view) = 0;
 };
 
 /// Per-peer load snapshot, in ring order: peers[0] is the next neighbor of
-/// the offloading cluster, peers[1] the one after, and so on.
+/// the offloading cluster, peers[1] the one after, and so on. The carbon
+/// field is valid under needs_grid() only (zero otherwise — the scratch is
+/// refilled per pick, never stale).
 struct PeerInfo {
   double backlog_gc_per_core = 0.0;
   int free_cores = 0;
+  double carbon_gco2_per_kwh = 0.0;  ///< peer region carbon intensity (needs_grid())
 };
 
 struct PeerView {
   std::span<const PeerInfo> peers;  ///< non-empty when pick is called
+  bool grid_valid = false;          ///< needs_grid() honored (a plane is installed)
 };
 
 /// Decides which federation peer receives a horizontal offload.
@@ -123,6 +152,8 @@ class PeerSelector {
  public:
   virtual ~PeerSelector() = default;
   [[nodiscard]] virtual std::string_view name() const = 0;
+  /// Ask the cluster to fill the per-peer grid fields.
+  [[nodiscard]] virtual bool needs_grid() const { return false; }
   /// Index into view.peers.
   virtual std::size_t pick(const PeerView& view) = 0;
 };

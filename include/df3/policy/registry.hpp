@@ -13,9 +13,10 @@
 ///
 ///   seam        | names
 ///   ------------|---------------------------------------------------------
-///   rung        | preempt, horizontal, vertical, delay
-///   routing     | df-first, dc-only, season-aware, heat-aware, least-loaded
-///   peer        | ring, least-loaded
+///   rung        | preempt, horizontal, vertical, delay, grid-shed
+///   routing     | df-first, dc-only, season-aware, heat-aware, least-loaded,
+///               | carbon-aware, price-aware
+///   peer        | ring, least-loaded, greenest
 ///   placement   | first-fit, best-fit
 ///
 /// Unknown names throw std::invalid_argument listing the known names, so a

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "df3/grid/signal.hpp"
 #include "df3/obs/obs.hpp"
 #include "df3/policy/registry.hpp"
 
@@ -41,6 +42,8 @@ Cluster::Cluster(sim::Simulation& sim, std::string name, ClusterConfig config,
   placement_ = registry.make_placement(config_.placement);
   peer_selector_ = registry.make_peer_selector(config_.peer_select);
   policy_counters_.rung_hits.assign(ladder_.size(), 0);
+  for (const auto& rung : ladder_) ladder_needs_grid_ = ladder_needs_grid_ || rung->needs_grid();
+  peer_needs_grid_ = peer_selector_->needs_grid();
 }
 
 void Cluster::add_peer(Cluster* peer) {
@@ -261,8 +264,19 @@ bool Cluster::place(Task& t) {
 }
 
 bool Cluster::handle_unplaceable_edge(Task t) {
+  // Lazy RungView fill: only a ladder that declared needs_grid() pays the
+  // lookup, and only when a plane is bound (grid_valid stays false so
+  // grid-aware rungs decline cleanly on no-grid runs).
+  policy::RungView view;
+  if (ladder_needs_grid_ && grid_now_ != nullptr) {
+    ++policy_counters_.rung_grid_fills;
+    view.grid_valid = true;
+    view.curtailment_active = grid_plane_->curtailed(grid_region_);
+    view.carbon_gco2_per_kwh = grid_now_->carbon_gco2_per_kwh;
+    view.price_eur_per_kwh = grid_now_->price_eur_per_kwh;
+  }
   for (std::size_t i = 0; i < ladder_.size(); ++i) {
-    switch (ladder_[i]->apply(*this, t)) {
+    switch (ladder_[i]->apply(*this, t, view)) {
       case policy::RungOutcome::kNoOp:
         continue;  // this rung could not help; try the next one
       case policy::RungOutcome::kResolved:
@@ -399,7 +413,19 @@ Cluster* Cluster::select_peer() {
       peer_scratch_.push_back({p->queued_gigacycles() / cores, p->free_cores()});
     }
   }
-  const std::size_t pos = peer_selector_->pick(policy::PeerView{peer_scratch_});
+  policy::PeerView view{peer_scratch_};
+  // Lazy PeerView fill, same contract as the RungView above. Peers are
+  // bound to the plane together by the platform, so each peer's own sample
+  // pointer carries its region's signal.
+  if (peer_needs_grid_ && grid_now_ != nullptr) {
+    ++policy_counters_.peer_grid_fills;
+    view.grid_valid = true;
+    for (std::size_t i = 0; i < peers_.size(); ++i) {
+      peer_scratch_[i].carbon_gco2_per_kwh =
+          peers_[i]->grid_now_ != nullptr ? peers_[i]->grid_now_->carbon_gco2_per_kwh : 0.0;
+    }
+  }
+  const std::size_t pos = peer_selector_->pick(view);
   ++policy_counters_.peer_picks;
   if (pos >= peers_.size()) {
     throw std::out_of_range("peer selector '" + std::string(peer_selector_->name()) +

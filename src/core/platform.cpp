@@ -191,6 +191,8 @@ std::size_t Df3Platform::add_building(const BuildingConfig& cfg) {
   bld_season_.push_back(0);
   bld_demand_w_.push_back(0.0);
   buildings_.push_back(std::move(b));
+  bld_region_.push_back(0);
+  if (grid_) bind_building_grid(buildings_.size() - 1);
   peers_dirty_ = true;
   shards_dirty_ = true;
   return buildings_.size() - 1;
@@ -220,6 +222,39 @@ void Df3Platform::ensure_peers_wired() {
 Cluster& Df3Platform::cluster(std::size_t b) {
   ensure_peers_wired();
   return *buildings_.at(b)->cluster;
+}
+
+void Df3Platform::install_grid(grid::GridPlane plane) {
+  if (grid_) throw std::logic_error("install_grid: a grid plane is already installed");
+  if (plane.region_count() == 0) {
+    throw std::invalid_argument("install_grid: plane has no regions");
+  }
+  grid_ = std::make_unique<grid::GridPlane>(std::move(plane));
+  const std::size_t nr = grid_->region_count();
+  // Sized once; clusters hold stable pointers into grid_now_ from here on.
+  grid_now_.resize(nr);
+  grid_accounts_.assign(nr, RegionAccount{});
+  for (std::size_t r = 0; r < nr; ++r) grid_now_[r] = grid_->signal(r).sample(sim_.now());
+  for (std::size_t b = 0; b < buildings_.size(); ++b) bind_building_grid(b);
+#ifndef DF3_OBS_DISABLED
+  if (obs_) {
+    auto& reg = obs_->registry();
+    for (std::size_t r = 0; r < nr; ++r) {
+      const std::string base = "grid/" + std::string(grid_->region_name(r));
+      feed_.grid_carbon.push_back(reg.gauge(base + "/carbon_gco2_per_kwh"));
+      feed_.grid_price.push_back(reg.gauge(base + "/price_eur_per_kwh"));
+      feed_.grid_curtailed.push_back(reg.gauge(base + "/curtailed"));
+    }
+  }
+#endif
+}
+
+void Df3Platform::bind_building_grid(std::size_t b) {
+  Building& bld = *buildings_[b];
+  const std::size_t r =
+      bld.cfg.grid_region.empty() ? 0 : grid_->region_index(bld.cfg.grid_region);
+  bld_region_[b] = r;
+  bld.cluster->bind_grid(grid_.get(), &grid_now_[r], r);
 }
 
 void Df3Platform::ensure_shards() {
@@ -411,16 +446,35 @@ Cluster* Df3Platform::route_cloud_target() {
   // The view is filled lazily per the policy's declared needs so that the
   // cheap policies keep the per-arrival cost of the old enum dispatch.
   if (routing_->needs_season()) {
+    ++routing_fills_.season;
     view.seasonal_outdoor_c = weather_.seasonal_component(sim_.now()).value();
     view.heating_cutoff_c =
         buildings_.front()->cfg.comfort.heating_cutoff_outdoor.value();
   }
-  if (routing_->needs_cluster_info()) {
-    routing_scratch_.clear();
-    for (std::size_t b = 0; b < buildings_.size(); ++b) {
-      const Cluster& c = *buildings_[b]->cluster;
-      const double cores = static_cast<double>(std::max(1, c.usable_cores()));
-      routing_scratch_.push_back({c.queued_gigacycles() / cores, bld_demand_w_[b] / cores});
+  const bool want_info = routing_->needs_cluster_info();
+  const bool want_grid = routing_->needs_grid();
+  if (want_info || want_grid) {
+    // Refill from scratch (zeroed) so a policy can never observe a stale
+    // field it did not ask for on this pick.
+    routing_scratch_.assign(buildings_.size(), policy::ClusterInfo{});
+    if (want_info) {
+      ++routing_fills_.cluster;
+      for (std::size_t b = 0; b < buildings_.size(); ++b) {
+        const Cluster& c = *buildings_[b]->cluster;
+        const double cores = static_cast<double>(std::max(1, c.usable_cores()));
+        routing_scratch_[b].backlog_gc_per_core = c.queued_gigacycles() / cores;
+        routing_scratch_[b].heat_demand_w_per_core = bld_demand_w_[b] / cores;
+      }
+    }
+    if (want_grid && grid_) {
+      ++routing_fills_.grid;
+      view.grid_valid = true;
+      for (std::size_t b = 0; b < buildings_.size(); ++b) {
+        const grid::GridSample& s = grid_now_[bld_region_[b]];
+        routing_scratch_[b].carbon_gco2_per_kwh = s.carbon_gco2_per_kwh;
+        routing_scratch_[b].price_eur_per_kwh = s.price_eur_per_kwh;
+        routing_scratch_[b].renewable_fraction = s.renewable_fraction;
+      }
     }
     view.clusters = routing_scratch_;
   }
@@ -855,6 +909,14 @@ void Df3Platform::tick(sim::Time t) {
   const std::size_t nb = buildings_.size();
   const std::size_t ns = shards_.size();
 
+  // Sample every grid region once per tick, next to the weather sample —
+  // the one read the whole tick (policies, accounting, gauges) shares.
+  if (grid_) {
+    for (std::size_t r = 0; r < grid_now_.size(); ++r) {
+      grid_now_[r] = grid_->signal(r).sample(t);
+    }
+  }
+
   // Reduction + control state. The control phase replays the exact
   // accumulation order of the old interleaved loop (ledger adds and city
   // aggregates are floating-point order-sensitive) whatever the lane
@@ -1045,6 +1107,34 @@ void Df3Platform::tick(sim::Time t) {
   }
   energy.commit();
 
+  // Grid attribution (DESIGN.md §15), after the ledger commit so it reads
+  // the same per-room deltas the reduction consumed. Each building's
+  // facility joules this tick — IT plus its overhead share — accrue to its
+  // region's account at the sample active *now*, which is what makes the
+  // economics spend-time-weighted rather than end-of-run averages. A
+  // separate pass over the scratch arrays: the existing ledger float
+  // chains are untouched, so no-grid runs stay bit-for-bit identical.
+  if (grid_) {
+    for (std::size_t b = 0; b < nb; ++b) {
+      const Building& bld = *buildings_[b];
+      double bld_j = 0.0;
+      for (std::size_t i = bld.room_begin; i < bld.room_end; ++i) bld_j += fleet_.delta_j[i];
+      if (bld.tank_unit) bld_j += bld.tank_unit->scratch_delta_j;
+      bld_j *= 1.0 + kDfOverheadFraction;
+      const grid::GridSample& s = grid_now_[bld_region_[b]];
+      RegionAccount& acct = grid_accounts_[bld_region_[b]];
+      acct.energy_j += bld_j;
+      const double kwh = bld_j / 3.6e6;
+      acct.cost_eur += kwh * s.price_eur_per_kwh;
+      acct.co2_g += kwh * s.carbon_gco2_per_kwh;
+      df_energy_.add_grid_spend(util::Joules{bld_j}, s.price_eur_per_kwh,
+                                s.carbon_gco2_per_kwh);
+    }
+    for (std::size_t r = 0; r < grid_accounts_.size(); ++r) {
+      if (grid_->curtailed(r)) ++grid_accounts_[r].curtailed_ticks;
+    }
+  }
+
   // Gating & substep accounting: a district counts as gated only when
   // every one of its buildings took the fast path this tick.
   tick_gated_districts_ = 0;
@@ -1100,6 +1190,12 @@ void Df3Platform::feed_metrics(sim::Time t, double room_mean_c, double city_core
   reg.at_gauge(feed_.energy_overhead_j).set(df_energy_.overhead().value());
   reg.at_gauge(feed_.pue).set(df_energy_.pue());
   reg.at_gauge(feed_.heat_reuse).set(df_energy_.heat_reuse_fraction());
+  // Empty vectors (and thus no loop) unless install_grid registered them.
+  for (std::size_t r = 0; r < feed_.grid_carbon.size(); ++r) {
+    reg.at_gauge(feed_.grid_carbon[r]).set(grid_now_[r].carbon_gco2_per_kwh);
+    reg.at_gauge(feed_.grid_price[r]).set(grid_now_[r].price_eur_per_kwh);
+    reg.at_gauge(feed_.grid_curtailed[r]).set(grid_->curtailed(r) ? 1.0 : 0.0);
+  }
 
   std::uint64_t preempt = 0, horizontal = 0, vertical = 0, delays = 0;
   std::uint64_t placement = 0, peer = 0;

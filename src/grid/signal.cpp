@@ -1,0 +1,207 @@
+#include "df3/grid/signal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+
+namespace df3::grid {
+
+void GridSignal::add_point(double time_s, GridSample s) {
+  if (std::isnan(time_s) || std::isnan(s.carbon_gco2_per_kwh) || std::isnan(s.price_eur_per_kwh) ||
+      std::isnan(s.renewable_fraction)) {
+    throw std::invalid_argument("GridSignal: NaN in breakpoint");
+  }
+  if (!times_.empty() && time_s <= times_.back()) {
+    throw std::invalid_argument("GridSignal: breakpoint times must be strictly increasing");
+  }
+  times_.push_back(time_s);
+  samples_.push_back(s);
+}
+
+void GridSignal::set_period(double period_s) {
+  if (std::isnan(period_s) || period_s < 0.0) {
+    throw std::invalid_argument("GridSignal: period must be >= 0");
+  }
+  if (period_s > 0.0 && !times_.empty() && period_s <= times_.back()) {
+    throw std::invalid_argument("GridSignal: period must cover the last breakpoint");
+  }
+  period_s_ = period_s;
+}
+
+GridSample GridSignal::sample(double t) const {
+  if (times_.empty()) return {};
+  if (period_s_ > 0.0) {
+    t = std::fmod(t, period_s_);
+    if (t < 0.0) t += period_s_;
+  }
+  // Last breakpoint at or before t; queries before the series starts hold
+  // the first sample (a series is a state recording, not an event log).
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  if (it == times_.begin()) return samples_.front();
+  return samples_[static_cast<std::size_t>(it - times_.begin()) - 1];
+}
+
+std::size_t GridPlane::add_region(std::string name, GridSignal signal) {
+  if (name.empty()) throw std::invalid_argument("GridPlane: empty region name");
+  for (const auto& n : names_) {
+    if (n == name) throw std::invalid_argument("GridPlane: duplicate region '" + name + "'");
+  }
+  if (signal.size() == 0) {
+    throw std::invalid_argument("GridPlane: region '" + name + "' has an empty signal");
+  }
+  names_.push_back(std::move(name));
+  signals_.push_back(std::move(signal));
+  curtailed_.push_back(0);
+  return names_.size() - 1;
+}
+
+std::size_t GridPlane::region_index(std::string_view name) const {
+  for (std::size_t r = 0; r < names_.size(); ++r) {
+    if (names_[r] == name) return r;
+  }
+  std::string known;
+  for (const auto& n : names_) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  throw std::invalid_argument("GridPlane: unknown region '" + std::string(name) +
+                              "' (known: " + (known.empty() ? "<none>" : known) + ")");
+}
+
+namespace {
+
+[[noreturn]] void row_error(std::string_view origin, std::size_t line, const std::string& what) {
+  throw std::invalid_argument("grid csv " + std::string(origin) + ":" + std::to_string(line) +
+                              ": " + what);
+}
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+double parse_field(const std::string& field, const char* name, std::string_view origin,
+                   std::size_t line) {
+  char* end = nullptr;
+  const double v = std::strtod(field.c_str(), &end);
+  if (end == field.c_str() || *end != '\0') {
+    row_error(origin, line, std::string("bad ") + name + " '" + field + "'");
+  }
+  if (std::isnan(v)) row_error(origin, line, std::string("NaN ") + name);
+  return v;
+}
+
+}  // namespace
+
+GridPlane load_signals_csv(std::istream& is, std::string_view origin) {
+  // Build per-region signals in first-appearance order, then assemble the
+  // plane. Monotonicity is enforced per region at append time so the error
+  // can name the exact offending row.
+  std::vector<std::string> names;
+  std::vector<GridSignal> signals;
+  std::vector<double> last_time;
+  double period_s = 0.0;
+  std::string line;
+  std::size_t lineno = 0;
+  bool saw_header = false;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::string t = trim(line);
+    if (t.empty()) continue;
+    if (t.front() == '#') {
+      // Optional `# period_s = 86400` directive: repeat every signal.
+      const auto eq = t.find('=');
+      if (eq != std::string::npos && t.find("period_s") != std::string::npos) {
+        period_s = parse_field(trim(t.substr(eq + 1)), "period_s", origin, lineno);
+      }
+      continue;
+    }
+    // Split on commas into exactly 5 fields.
+    std::vector<std::string> fields;
+    std::stringstream ss(t);
+    std::string f;
+    while (std::getline(ss, f, ',')) fields.push_back(trim(f));
+    if (fields.size() != 5) {
+      row_error(origin, lineno, "expected 5 fields (region,time_s,carbon,price,renewable), got " +
+                                    std::to_string(fields.size()));
+    }
+    if (!saw_header) {
+      saw_header = true;
+      if (fields[0] == "region") continue;  // header row
+      row_error(origin, lineno,
+                "missing header row 'region,time_s,carbon_gco2_per_kwh,"
+                "price_eur_per_kwh,renewable_fraction'");
+    }
+    const std::string& region = fields[0];
+    if (region.empty()) row_error(origin, lineno, "empty region name");
+    const double time_s = parse_field(fields[1], "time_s", origin, lineno);
+    GridSample s;
+    s.carbon_gco2_per_kwh = parse_field(fields[2], "carbon_gco2_per_kwh", origin, lineno);
+    s.price_eur_per_kwh = parse_field(fields[3], "price_eur_per_kwh", origin, lineno);
+    s.renewable_fraction = parse_field(fields[4], "renewable_fraction", origin, lineno);
+    std::size_t r = names.size();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == region) {
+        r = i;
+        break;
+      }
+    }
+    if (r == names.size()) {
+      names.push_back(region);
+      signals.emplace_back();
+      last_time.push_back(-1.0);
+    }
+    if (!(last_time[r] < time_s) && signals[r].size() > 0) {
+      row_error(origin, lineno,
+                "non-monotonic time_s " + fields[1] + " for region '" + region +
+                    "' (previous breakpoint at " + std::to_string(last_time[r]) + ")");
+    }
+    signals[r].add_point(time_s, s);
+    last_time[r] = time_s;
+  }
+  if (names.empty()) {
+    throw std::invalid_argument("grid csv " + std::string(origin) + ": no data rows");
+  }
+  GridPlane plane;
+  for (std::size_t r = 0; r < names.size(); ++r) {
+    if (period_s > 0.0) signals[r].set_period(period_s);
+    plane.add_region(std::move(names[r]), std::move(signals[r]));
+  }
+  return plane;
+}
+
+GridPlane load_signals_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read grid csv: " + path);
+  return load_signals_csv(in, path);
+}
+
+GridPlane two_region_demo_plane() {
+  // Hydro-backed "green" vs fossil-heavy "dirty": green is strictly
+  // cheaper and cleaner at every hour, with a midday renewable peak; both
+  // repeat daily. Values are in the range of real ENTSO-E feeds.
+  GridSignal green;
+  green.add_point(0.0, {110.0, 0.16, 0.62});
+  green.add_point(6.0 * 3600.0, {80.0, 0.11, 0.74});
+  green.add_point(12.0 * 3600.0, {40.0, 0.07, 0.93});
+  green.add_point(18.0 * 3600.0, {95.0, 0.14, 0.68});
+  green.set_period(24.0 * 3600.0);
+  GridSignal dirty;
+  dirty.add_point(0.0, {430.0, 0.24, 0.12});
+  dirty.add_point(6.0 * 3600.0, {380.0, 0.21, 0.18});
+  dirty.add_point(12.0 * 3600.0, {350.0, 0.26, 0.22});
+  dirty.add_point(18.0 * 3600.0, {470.0, 0.31, 0.09});
+  dirty.set_period(24.0 * 3600.0);
+  GridPlane plane;
+  plane.add_region("green", std::move(green));
+  plane.add_region("dirty", std::move(dirty));
+  return plane;
+}
+
+}  // namespace df3::grid

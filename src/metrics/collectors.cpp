@@ -72,6 +72,8 @@ void EnergyLedger::merge(const EnergyLedger& other) {
   cooling_ += other.cooling_;
   useful_heat_ += other.useful_heat_;
   waste_heat_ += other.waste_heat_;
+  grid_cost_eur_ += other.grid_cost_eur_;
+  grid_co2_g_ += other.grid_co2_g_;
 }
 
 

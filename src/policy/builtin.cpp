@@ -23,7 +23,7 @@ namespace {
 class PreemptRung final : public PeakRung {
  public:
   [[nodiscard]] std::string_view name() const override { return "preempt"; }
-  RungOutcome apply(LadderMechanism& m, core::Task& t) override {
+  RungOutcome apply(LadderMechanism& m, core::Task& t, const RungView&) override {
     return m.relieve_by_preemption(t);
   }
 };
@@ -31,7 +31,7 @@ class PreemptRung final : public PeakRung {
 class HorizontalRung final : public PeakRung {
  public:
   [[nodiscard]] std::string_view name() const override { return "horizontal"; }
-  RungOutcome apply(LadderMechanism& m, core::Task& t) override {
+  RungOutcome apply(LadderMechanism& m, core::Task& t, const RungView&) override {
     return m.relieve_by_horizontal(t);
   }
 };
@@ -39,7 +39,7 @@ class HorizontalRung final : public PeakRung {
 class VerticalRung final : public PeakRung {
  public:
   [[nodiscard]] std::string_view name() const override { return "vertical"; }
-  RungOutcome apply(LadderMechanism& m, core::Task& t) override {
+  RungOutcome apply(LadderMechanism& m, core::Task& t, const RungView&) override {
     return m.relieve_by_vertical(t);
   }
 };
@@ -47,8 +47,26 @@ class VerticalRung final : public PeakRung {
 class DelayRung final : public PeakRung {
  public:
   [[nodiscard]] std::string_view name() const override { return "delay"; }
-  RungOutcome apply(LadderMechanism& m, core::Task& t) override {
+  RungOutcome apply(LadderMechanism& m, core::Task& t, const RungView&) override {
     return m.relieve_by_delay(t);
+  }
+};
+
+/// Demand-response rung (paper III-B, DESIGN.md §15): while this cluster's
+/// grid region is inside a curtailment window, shed the unplaceable shard
+/// off the local grid — first to a federation peer (whose region may not be
+/// curtailed), then to the datacenter. Outside a window (or with no grid
+/// plane installed) it declines, so the ladder behaves as if the rung were
+/// absent.
+class GridShedRung final : public PeakRung {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "grid-shed"; }
+  [[nodiscard]] bool needs_grid() const override { return true; }
+  RungOutcome apply(LadderMechanism& m, core::Task& t, const RungView& view) override {
+    if (!view.grid_valid || !view.curtailment_active) return RungOutcome::kNoOp;
+    const RungOutcome horizontal = m.relieve_by_horizontal(t);
+    if (horizontal != RungOutcome::kNoOp) return horizontal;
+    return m.relieve_by_vertical(t);
   }
 };
 
@@ -136,6 +154,69 @@ class LeastLoadedRouting final : public RoutingPolicy {
   }
 };
 
+/// Route to the cluster whose grid region has the lowest carbon intensity
+/// right now — compute follows clean electrons (Buyya sustainability
+/// visions, PAPERS.md). Ties break toward the smaller backlog per core,
+/// then the lowest building index; with no grid plane installed it degrades
+/// to round-robin (the df-first arithmetic) rather than pinning building 0.
+class CarbonAwareRouting final : public RoutingPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "carbon-aware"; }
+  [[nodiscard]] bool needs_cluster_info() const override { return true; }
+  [[nodiscard]] bool needs_grid() const override { return true; }
+  std::size_t pick(const RoutingView& view) override {
+    if (!view.grid_valid) {
+      const std::size_t i = next_ % view.cluster_count;
+      ++next_;
+      return i;
+    }
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < view.clusters.size(); ++i) {
+      const ClusterInfo& c = view.clusters[i];
+      const ClusterInfo& b = view.clusters[best];
+      if (c.carbon_gco2_per_kwh < b.carbon_gco2_per_kwh ||
+          (c.carbon_gco2_per_kwh == b.carbon_gco2_per_kwh &&
+           c.backlog_gc_per_core < b.backlog_gc_per_core)) {
+        best = i;
+      }
+    }
+    return best;
+  }
+
+ private:
+  std::size_t next_ = 0;
+};
+
+/// Route to the cluster whose grid region has the lowest spot price right
+/// now. Same tie-breaks and no-grid fallback as carbon-aware.
+class PriceAwareRouting final : public RoutingPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "price-aware"; }
+  [[nodiscard]] bool needs_cluster_info() const override { return true; }
+  [[nodiscard]] bool needs_grid() const override { return true; }
+  std::size_t pick(const RoutingView& view) override {
+    if (!view.grid_valid) {
+      const std::size_t i = next_ % view.cluster_count;
+      ++next_;
+      return i;
+    }
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < view.clusters.size(); ++i) {
+      const ClusterInfo& c = view.clusters[i];
+      const ClusterInfo& b = view.clusters[best];
+      if (c.price_eur_per_kwh < b.price_eur_per_kwh ||
+          (c.price_eur_per_kwh == b.price_eur_per_kwh &&
+           c.backlog_gc_per_core < b.backlog_gc_per_core)) {
+        best = i;
+      }
+    }
+    return best;
+  }
+
+ private:
+  std::size_t next_ = 0;
+};
+
 // --- peer selection -------------------------------------------------------
 
 /// Always the next neighbor (peers arrive in ring order), reproducing the
@@ -157,6 +238,25 @@ class LeastLoadedPeerSelector final : public PeerSelector {
     for (std::size_t i = 0; i < view.peers.size(); ++i) {
       if (view.peers[i].backlog_gc_per_core < best_backlog) {
         best_backlog = view.peers[i].backlog_gc_per_core;
+        best = i;
+      }
+    }
+    return best;
+  }
+};
+
+/// The peer whose grid region is cleanest right now; ties keep ring order
+/// (nearest first). Falls back to the ring neighbor when no grid plane is
+/// installed.
+class GreenestPeerSelector final : public PeerSelector {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "greenest"; }
+  [[nodiscard]] bool needs_grid() const override { return true; }
+  std::size_t pick(const PeerView& view) override {
+    if (!view.grid_valid) return 0;
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < view.peers.size(); ++i) {
+      if (view.peers[i].carbon_gco2_per_kwh < view.peers[best].carbon_gco2_per_kwh) {
         best = i;
       }
     }
@@ -202,16 +302,20 @@ void register_builtins(Registry& r) {
   r.register_rung("horizontal", [] { return std::make_unique<HorizontalRung>(); });
   r.register_rung("vertical", [] { return std::make_unique<VerticalRung>(); });
   r.register_rung("delay", [] { return std::make_unique<DelayRung>(); });
+  r.register_rung("grid-shed", [] { return std::make_unique<GridShedRung>(); });
 
   r.register_routing("df-first", [] { return std::make_unique<DfFirstRouting>(); });
   r.register_routing("dc-only", [] { return std::make_unique<DatacenterOnlyRouting>(); });
   r.register_routing("season-aware", [] { return std::make_unique<SeasonAwareRouting>(); });
   r.register_routing("heat-aware", [] { return std::make_unique<HeatAwareRouting>(); });
   r.register_routing("least-loaded", [] { return std::make_unique<LeastLoadedRouting>(); });
+  r.register_routing("carbon-aware", [] { return std::make_unique<CarbonAwareRouting>(); });
+  r.register_routing("price-aware", [] { return std::make_unique<PriceAwareRouting>(); });
 
   r.register_peer_selector("ring", [] { return std::make_unique<RingPeerSelector>(); });
   r.register_peer_selector("least-loaded",
                            [] { return std::make_unique<LeastLoadedPeerSelector>(); });
+  r.register_peer_selector("greenest", [] { return std::make_unique<GreenestPeerSelector>(); });
 
   r.register_placement("first-fit", [] { return std::make_unique<FirstFitPlacement>(); });
   r.register_placement("best-fit", [] { return std::make_unique<BestFitPlacement>(); });

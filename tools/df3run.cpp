@@ -20,6 +20,9 @@
 //   --report json     append a machine-readable JSON summary (service /
 //                     energy / comfort) to stdout after the human report
 //
+// `df3run --list-policies` (no scenario) prints every policy name known to
+// the registry — one line per seam — and exits.
+//
 // Recognized scenario keys (defaults in parentheses):
 //   seed (1)                 start_month (0 = Jan)    days (7)
 //   tick_s (60)              gating (keepwarm|aggressive)
@@ -28,10 +31,11 @@
 //   boiler_plant (false)     daily_hot_water_l (1500)
 //   edge_alarm_rate (0.02)   edge_map_rate (0)        telemetry_period_s (0)
 //   cloud_render_interval_s (0)   cloud_risk_interval_s (1800)
-//   routing (df-first; also dc-only|season-aware|heat-aware|least-loaded)
+//   routing (df-first; also dc-only|season-aware|heat-aware|least-loaded|
+//              carbon-aware|price-aware)
 //   peak_ladder (preempt,delay — comma-separated rungs from
-//              preempt|horizontal|vertical|delay)
-//   peer_select (ring|least-loaded)   placement (first-fit|best-fit)
+//              preempt|horizontal|vertical|delay|grid-shed)
+//   peer_select (ring|least-loaded|greenest)   placement (first-fit|best-fit)
 //   csv ("" = no export)     trace ("" = no export)   metrics ("" = no export)
 //   telemetry (off|counters|full; default inferred: full when a trace is
 //              requested, counters when only metrics are, off otherwise)
@@ -41,6 +45,15 @@
 //              df3trace will refuse the export without --partial
 //   slo_window_s (3600)      rolling SLO window for the per-flow report
 //   report (""|json)
+//   grid_signals ("" = no grid plane) — per-region carbon/price/renewables
+//              CSV (see df3/grid/signal.hpp for the format); resolved as
+//              given, then relative to the scenario file's directory
+//   region ("" = all buildings on region 0) — comma-separated region names
+//              assigned to buildings round-robin
+//   grid_events ("" = none) — demand-response injectors, ';'-separated
+//              region:mean_up_s:mean_down_s:shed_fraction specs (needs
+//              grid_signals); with peak_ladder including grid-shed the
+//              fleet sheds load during each curtailment window
 //
 // Policy names resolve through policy::Registry::global(); unknown names —
 // and unrecognized scenario keys (typos) — abort with a loud error.
@@ -48,7 +61,9 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "df3/df3.hpp"
 #include "df3/util/config.hpp"
@@ -85,7 +100,66 @@ bool ends_with(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-void print_json_report(core::Df3Platform& city, bool boiler) {
+/// Resolve a scenario-referenced data file: the path as given first, then
+/// relative to the scenario file's directory (so bundled scenarios work
+/// from any cwd).
+std::string resolve_near(const std::string& path, const std::string& config_path) {
+  if (std::ifstream probe(path); probe) return path;
+  const auto slash = config_path.find_last_of('/');
+  if (slash == std::string::npos) return path;
+  return config_path.substr(0, slash + 1) + path;
+}
+
+/// One demand-response injector, parsed from the grid_events= key:
+/// region:mean_up_s:mean_down_s:shed_fraction, ';'-separated.
+struct GridEventSpec {
+  std::string region;
+  double mean_up_s = 0.0;
+  double mean_down_s = 0.0;
+  double shed_fraction = 0.5;
+};
+
+std::vector<GridEventSpec> parse_grid_events(const std::string& text) {
+  std::vector<GridEventSpec> specs;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t semi = text.find(';', pos);
+    const std::string item =
+        text.substr(pos, semi == std::string::npos ? std::string::npos : semi - pos);
+    pos = semi == std::string::npos ? text.size() : semi + 1;
+    std::vector<std::string> fields;
+    std::size_t fpos = 0;
+    while (true) {
+      const std::size_t colon = item.find(':', fpos);
+      std::string f =
+          item.substr(fpos, colon == std::string::npos ? std::string::npos : colon - fpos);
+      const auto b = f.find_first_not_of(" \t");
+      f = b == std::string::npos ? "" : f.substr(b, f.find_last_not_of(" \t") - b + 1);
+      fields.push_back(std::move(f));
+      if (colon == std::string::npos) break;
+      fpos = colon + 1;
+    }
+    if (fields.size() == 1 && fields[0].empty()) continue;
+    if (fields.size() != 4) {
+      throw std::invalid_argument(
+          "grid_events spec '" + item +
+          "' — want region:mean_up_s:mean_down_s:shed_fraction");
+    }
+    GridEventSpec s;
+    s.region = fields[0];
+    try {
+      s.mean_up_s = std::stod(fields[1]);
+      s.mean_down_s = std::stod(fields[2]);
+      s.shed_fraction = std::stod(fields[3]);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("grid_events spec '" + item + "': malformed number");
+    }
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+void print_json_report(core::Df3Platform& city, bool boiler, std::uint64_t grid_windows) {
   const struct {
     const char* label;
     workload::Flow flow;
@@ -146,6 +220,33 @@ void print_json_report(core::Df3Platform& city, bool boiler) {
                 boiler ? "store" : "rooms", city.comfort(0).mean_abs_deviation_k(city.now()),
                 city.comfort(0).mean_temperature_c(city.now()));
   out += buf;
+  // Grid economics block (DESIGN.md §15): spend-time-attributed cost and
+  // carbon per region plus the whole-run €/job and gCO2/job figures the
+  // e14 bench compares policies on. Present only when a plane is installed,
+  // so no-grid reports are byte-identical to before.
+  if (const grid::GridPlane* plane = city.grid_plane()) {
+    out += "\"grid\":{\"regions\":[";
+    const auto& accounts = city.grid_accounts();
+    for (std::size_t r = 0; r < accounts.size(); ++r) {
+      if (r > 0) out += ',';
+      std::snprintf(buf, sizeof(buf),
+                    "{\"region\":\"%s\",\"energy_kwh\":%.6f,\"cost_eur\":%.6f,"
+                    "\"co2_g\":%.6f,\"curtailed_ticks\":%llu}",
+                    plane->region_name(r).c_str(), accounts[r].energy_j / 3.6e6,
+                    accounts[r].cost_eur, accounts[r].co2_g,
+                    static_cast<unsigned long long>(accounts[r].curtailed_ticks));
+      out += buf;
+    }
+    const std::uint64_t jobs = city.flow_metrics().overall().completed;
+    std::snprintf(buf, sizeof(buf),
+                  "],\"cost_eur\":%.6f,\"co2_g\":%.6f,\"eur_per_job\":%.9g,"
+                  "\"gco2_per_job\":%.9g,\"windows\":%llu},",
+                  energy.grid_cost_eur(), energy.grid_co2_g(),
+                  jobs > 0 ? energy.grid_cost_eur() / static_cast<double>(jobs) : 0.0,
+                  jobs > 0 ? energy.grid_co2_g() / static_cast<double>(jobs) : 0.0,
+                  static_cast<unsigned long long>(grid_windows));
+    out += buf;
+  }
   std::snprintf(buf, sizeof(buf), "\"regulator_relative_error\":%.6f}",
                 city.regulator_relative_error());
   out += buf;
@@ -191,6 +292,9 @@ int run(const std::string& config_path, const Options& opts) {
   const long federation_degree = cfg.get_int("federation_degree", 0);
   const long trace_capacity = cfg.get_int("trace_capacity", 0);
   const double slo_window_s = cfg.get_double("slo_window_s", 3600.0);
+  const std::string grid_signals = cfg.get_string("grid_signals", "");
+  const std::string region_list = cfg.get_string("region", "");
+  const std::string grid_events = cfg.get_string("grid_events", "");
   cfg.check_exhausted();
   if (trace_capacity < 0) throw std::invalid_argument("trace_capacity must be >= 0");
   if (slo_window_s <= 0.0) throw std::invalid_argument("slo_window_s must be > 0");
@@ -205,6 +309,12 @@ int run(const std::string& config_path, const Options& opts) {
   const std::string report = !opts.report.empty() ? opts.report : report_key;
   if (!report.empty() && report != "json") {
     throw std::invalid_argument("unknown report format: " + report);
+  }
+  if (!grid_events.empty() && grid_signals.empty()) {
+    throw std::invalid_argument("grid_events needs grid_signals");
+  }
+  if (!region_list.empty() && grid_signals.empty()) {
+    throw std::invalid_argument("region needs grid_signals");
   }
 
   core::PlatformConfig pc;
@@ -251,11 +361,15 @@ int run(const std::string& config_path, const Options& opts) {
   pc.obs.slo_window_s = slo_window_s;
 
   core::Df3Platform city(pc);
+  const std::vector<std::string> regions = policy::Registry::split_list(region_list);
   for (long i = 0; i < buildings; ++i) {
     core::BuildingConfig b;
     b.name = "b" + std::to_string(i);
     b.rooms = static_cast<int>(rooms);
     b.high_fidelity_rooms = high_fidelity;
+    if (!regions.empty()) {
+      b.grid_region = regions[static_cast<std::size_t>(i) % regions.size()];
+    }
     if (boiler) {
       b.server = hw::stimergy_boiler_spec();
       thermal::WaterTankParams tank;
@@ -268,6 +382,31 @@ int run(const std::string& config_path, const Options& opts) {
   }
 
   city.set_cloud_routing(routing);
+
+  // Grid plane + demand-response injectors (DESIGN.md §15). Installed after
+  // the buildings so their region names resolve; event sources live outside
+  // the platform (PR-3 injector idiom) and stop after the run.
+  std::vector<std::unique_ptr<core::GridEventSource>> grid_sources;
+  if (!grid_signals.empty()) {
+    city.install_grid(grid::load_signals_csv_file(resolve_near(grid_signals, config_path)));
+    for (const GridEventSpec& spec : parse_grid_events(grid_events)) {
+      const std::size_t r = city.grid_plane()->region_index(spec.region);
+      std::vector<core::Cluster*> clusters;
+      for (std::size_t b = 0; b < city.building_count(); ++b) {
+        if (city.building_region(b) == r) clusters.push_back(&city.cluster(b));
+      }
+      core::GridEventConfig ec;
+      ec.region = r;
+      ec.mean_up_s = spec.mean_up_s;
+      ec.mean_down_s = spec.mean_down_s;
+      ec.shed_fraction = spec.shed_fraction;
+      const std::string ename = "grid-event/" + spec.region;
+      grid_sources.push_back(std::make_unique<core::GridEventSource>(
+          city.simulation(), ename, *city.grid_plane(), std::move(clusters), ec,
+          util::RngStream(pc.seed, ename)));
+      grid_sources.back()->start();
+    }
+  }
 
   if (edge_alarm_rate > 0.0) {
     city.add_edge_source(0, workload::alarm_detection_factory(), edge_alarm_rate);
@@ -290,6 +429,11 @@ int run(const std::string& config_path, const Options& opts) {
   std::printf("df3run: %s — %ld building(s), %.0f day(s) from month %ld, %s climate\n\n",
               config_path.c_str(), buildings, days, start_month, climate.c_str());
   city.run(util::days(days));
+  // End any open curtailment window (restores gated chassis) so the report
+  // reads a recovered fleet.
+  for (auto& src : grid_sources) src->stop();
+  std::uint64_t grid_windows = 0;
+  for (const auto& src : grid_sources) grid_windows += src->windows();
 
   // --- report ---------------------------------------------------------------
   util::Table flows({"flow", "requests", "success", "p50_ms", "p99_ms"}, "service quality");
@@ -334,6 +478,25 @@ int run(const std::string& config_path, const Options& opts) {
   const auto& energy = city.df_energy();
   std::printf("\nenergy: %.1f kWh IT, PUE %.3f, useful heat %.0f%%\n", energy.it().kwh(),
               energy.pue(), 100.0 * energy.heat_reuse_fraction());
+  if (const grid::GridPlane* plane = city.grid_plane()) {
+    util::Table gt({"region", "energy_kwh", "cost_eur", "co2_kg", "curtailed_ticks"},
+                   "grid economics");
+    gt.set_precision(2);
+    const auto& accounts = city.grid_accounts();
+    for (std::size_t r = 0; r < accounts.size(); ++r) {
+      gt.add_row({plane->region_name(r), accounts[r].energy_j / 3.6e6, accounts[r].cost_eur,
+                  accounts[r].co2_g / 1e3,
+                  static_cast<std::int64_t>(accounts[r].curtailed_ticks)});
+    }
+    std::printf("\n");
+    gt.print(std::cout);
+    const std::uint64_t jobs = city.flow_metrics().overall().completed;
+    std::printf("grid  : %.2f EUR, %.2f kg CO2 (%g EUR/job, %g gCO2/job), %llu window(s)\n",
+                energy.grid_cost_eur(), energy.grid_co2_g() / 1e3,
+                jobs > 0 ? energy.grid_cost_eur() / static_cast<double>(jobs) : 0.0,
+                jobs > 0 ? energy.grid_co2_g() / static_cast<double>(jobs) : 0.0,
+                static_cast<unsigned long long>(grid_windows));
+  }
   if (boiler) {
     std::printf("store : %.1f degC mean\n", city.comfort(0).mean_temperature_c(city.now()));
   } else {
@@ -342,7 +505,7 @@ int run(const std::string& config_path, const Options& opts) {
                 city.comfort(0).mean_temperature_c(city.now()));
   }
   std::printf("regulator tracking error: %.1f%%\n", 100.0 * city.regulator_relative_error());
-  if (report == "json") print_json_report(city, boiler);
+  if (report == "json") print_json_report(city, boiler, grid_windows);
 
   // --- exports --------------------------------------------------------------
   if (!csv.empty()) {
@@ -400,8 +563,22 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: df3run <scenario.cfg> [--csv <path>] [--trace <path>]\n"
-                 "              [--metrics <path>] [--report json]\n");
+                 "              [--metrics <path>] [--report json]\n"
+                 "       df3run --list-policies\n");
     return 2;
+  }
+  if (std::string(argv[1]) == "--list-policies") {
+    const auto& reg = policy::Registry::global();
+    const auto print = [](const char* seam, const std::vector<std::string>& names) {
+      std::printf("%s:", seam);
+      for (const auto& n : names) std::printf(" %s", n.c_str());
+      std::printf("\n");
+    };
+    print("rung", reg.rung_names());
+    print("routing", reg.routing_names());
+    print("peer", reg.peer_selector_names());
+    print("placement", reg.placement_names());
+    return 0;
   }
   Options opts;
   for (int i = 2; i + 1 < argc; ++i) {
